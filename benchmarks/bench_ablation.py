@@ -1,0 +1,145 @@
+"""Ablations for the design choices called out in DESIGN.md Section 5.
+
+* closed-form Lemma 6 vs exact Theorem 2 (tightness gap across the
+  synthetic population);
+* density-based vs exact ``x`` tuning (impact on the resulting s_min);
+* carry-over semantics for terminated LO tasks (Delta_R with vs without
+  the killed job's workload);
+* candidate-point scan vs dense-grid evaluation (speed of Theorem 2).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.closed_form import closed_form_speedup
+from repro.analysis.dbf import total_dbf_hi
+from repro.analysis.resetting import resetting_time
+from repro.analysis.speedup import min_speedup
+from repro.analysis.tuning import min_preparation_factor
+from repro.experiments.common import BoxStats
+from repro.generator.taskgen import GeneratorConfig, generate_taskset
+from repro.model.transform import apply_uniform_scaling, terminate_lo_tasks
+
+
+def _population(count=120, u=0.7, seed=77):
+    rng = np.random.default_rng(seed)
+    return [generate_taskset(u, rng, GeneratorConfig()) for _ in range(count)]
+
+
+def test_closed_form_vs_exact(benchmark, record_artifact):
+    def run():
+        gaps, ratios = [], []
+        for ts in _population():
+            x = min_preparation_factor(ts, method="density")
+            if x is None or x >= 1.0:
+                continue
+            bound = closed_form_speedup(ts, x, 2.0)
+            exact = min_speedup(apply_uniform_scaling(ts, x, 2.0)).s_min
+            gaps.append(bound - exact)
+            ratios.append(bound / exact)
+        return gaps, ratios
+
+    gaps, ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = BoxStats.of(ratios)
+    record_artifact(
+        "ablation_closed_form",
+        "Lemma 6 / Theorem 2 ratio across the population:\n" + stats.row(),
+    )
+    assert min(gaps) >= -1e-9, "Lemma 6 must upper-bound Theorem 2"
+    assert stats.median < 2.0, "the closed form stays within 2x of exact"
+
+
+def test_x_tuning_methods(benchmark, record_artifact):
+    def run():
+        improvements = []
+        for ts in _population(count=60):
+            dens = min_preparation_factor(ts, method="density")
+            exact = min_preparation_factor(ts, method="exact")
+            if dens is None or exact is None or dens >= 1.0:
+                continue
+            s_dens = min_speedup(apply_uniform_scaling(ts, dens, 2.0)).s_min
+            s_exact = min_speedup(apply_uniform_scaling(ts, min(exact, 1 - 1e-9), 2.0)).s_min
+            improvements.append(s_dens - s_exact)
+        return improvements
+
+    improvements = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = BoxStats.of(improvements)
+    record_artifact(
+        "ablation_x_tuning",
+        "s_min reduction from exact x tuning (vs density):\n" + stats.row(),
+    )
+    assert stats.minimum >= -1e-6, "exact tuning never hurts"
+    assert stats.maximum > 0.0, "and sometimes strictly helps"
+
+
+def test_terminated_carryover_semantics(benchmark, record_artifact):
+    def run():
+        pairs = []
+        for ts in _population(count=60):
+            x = min_preparation_factor(ts, method="density")
+            if x is None or x >= 1.0:
+                continue
+            term = terminate_lo_tasks(apply_uniform_scaling(ts, x, 1.0))
+            s = max(min_speedup(term).s_min, 1.0) * 1.05
+            keep = resetting_time(term, s).delta_r
+            drop = resetting_time(term, s, drop_terminated_carryover=True).delta_r
+            pairs.append((keep, drop))
+        return pairs
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    diffs = [k - d for k, d in pairs]
+    record_artifact(
+        "ablation_carryover",
+        "Delta_R(keep) - Delta_R(drop) across the population:\n"
+        + BoxStats.of(diffs).row(),
+    )
+    assert all(d >= -1e-6 for d in diffs), "keeping the carry-over never shrinks Delta_R"
+    assert any(d > 1e-9 for d in diffs), "and it matters for some sets"
+
+
+def test_per_task_vs_uniform_tuning(benchmark, record_artifact):
+    """Greedy per-task deadline shaping vs the uniform Section-V factor."""
+    from repro.analysis.per_task_tuning import tune_per_task_deadlines
+
+    def run():
+        improvements = []
+        for ts in _population(count=40):
+            result = tune_per_task_deadlines(ts, max_moves=30)
+            if result is None or math.isinf(result.uniform_s_min):
+                continue
+            improvements.append(result.improvement)
+        return improvements
+
+    improvements = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = BoxStats.of(improvements)
+    record_artifact(
+        "ablation_per_task_tuning",
+        "s_min reduction from per-task deadline shaping (vs uniform x):\n"
+        + stats.row(),
+    )
+    assert stats.minimum >= -1e-9, "shaping never hurts"
+
+
+def test_candidate_scan_vs_dense_grid(benchmark, record_artifact):
+    """The pseudo-polynomial scan matches a dense-grid evaluation and is
+    benchmarked against it for speed."""
+    population = _population(count=20)
+    configured = []
+    for ts in population:
+        x = min_preparation_factor(ts, method="density")
+        if x is not None and x < 1.0:
+            configured.append(apply_uniform_scaling(ts, x, 2.0))
+
+    def scan():
+        return [min_speedup(ts).s_min for ts in configured]
+
+    exact = benchmark.pedantic(scan, rounds=3, iterations=1)
+    lines = ["set  scan_s_min  dense_grid_max_ratio"]
+    for i, ts in enumerate(configured):
+        deltas = np.linspace(0.5, 5 * max(t.t_hi for t in ts), 4000)
+        dense = float(np.max(np.asarray(total_dbf_hi(ts, deltas)) / deltas))
+        lines.append(f"{i:<4d} {exact[i]:<11.5f} {dense:<.5f}")
+        assert dense <= exact[i] + 1e-6, "scan never under-approximates"
+    record_artifact("ablation_scan_vs_grid", "\n".join(lines))

@@ -1,0 +1,27 @@
+"""Figure 1: demand bound functions and minimum speedup supply lines."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, record_artifact):
+    panels = benchmark.pedantic(fig1.run, kwargs={"horizon": 40.0, "samples": 401},
+                                rounds=3, iterations=1)
+    record_artifact("fig1", fig1.render(horizon=40.0))
+
+    no_deg, deg = panels
+    # Panel (a): s_min = 4/3 and its supply line dominates the demand.
+    assert no_deg.s_min == pytest.approx(4.0 / 3.0)
+    assert np.all(no_deg.demand <= no_deg.supply + 1e-6)
+    # Panel (b): degradation drops the requirement below 1 (slow-down).
+    assert deg.s_min == pytest.approx(0.875)
+    assert deg.s_min < 1.0
+    assert np.all(deg.demand <= deg.supply + 1e-6)
+    # The supply line is tight: it touches the demand at the critical point.
+    from repro.analysis.dbf import total_dbf_hi
+    from repro.experiments.table1 import table1_taskset
+
+    touch = total_dbf_hi(table1_taskset(), no_deg.critical_delta)
+    assert touch == pytest.approx(no_deg.s_min * no_deg.critical_delta)

@@ -1,0 +1,26 @@
+"""Figure 3 / Example 2: service resetting time under speedup."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3
+
+
+def _run():
+    return fig3.run_a(), fig3.run_b(points=31)
+
+
+def test_fig3(benchmark, record_artifact):
+    curves, series = benchmark.pedantic(_run, rounds=3, iterations=1)
+    record_artifact("fig3", fig3.render())
+
+    by_s = {round(c.s, 4): c for c in curves}
+    # Example 2's published value and the paper's "reduced to 6" claim.
+    assert by_s[2.0].delta_r == pytest.approx(6.0)
+    # Panel (b): Delta_R decreases monotonically with s for both variants,
+    # and degradation lies strictly below once both are finite.
+    plain, degraded = series
+    finite = np.isfinite(plain.delta_r)
+    assert np.all(np.diff(plain.delta_r[finite]) <= 1e-9)
+    both = finite & np.isfinite(degraded.delta_r)
+    assert np.all(degraded.delta_r[both] <= plain.delta_r[both] + 1e-9)

@@ -1,0 +1,34 @@
+"""Figure 4 / Examples 3-4: closed-form trade-offs (Lemmas 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4
+
+
+def _run():
+    grid = fig4.run_a(xs=np.linspace(0.3, 0.9, 25), ys=np.linspace(1.0, 4.0, 25))
+    series = fig4.run_b(s_mins=(0.8, 1.0, 1.2, 1.5), s_max=4.0, points=97)
+    return grid, series
+
+
+def test_fig4(benchmark, record_artifact):
+    grid, series = benchmark.pedantic(_run, rounds=3, iterations=1)
+    record_artifact("fig4", fig4.render())
+
+    # Panel (a): the bound decreases with more preparation (smaller x)
+    # and with more degradation (larger y) — the paper's two trends.
+    assert np.all(np.diff(grid.s_min, axis=0) >= -1e-9)
+    assert np.all(np.diff(grid.s_min, axis=1) <= 1e-9)
+
+    # Panel (b): Delta_R decreases in s and increases with the HI load;
+    # it diverges as s approaches s_min (Example 4).
+    for curve in series:
+        assert np.all(np.diff(curve.delta_r) <= 1e-9)
+        assert curve.delta_r[0] > 20 * curve.delta_r[-1] / (curve.speedups[-1] - curve.s_min)
+    light, heavy = series[0], series[-1]
+    shared = np.linspace(2.0, 4.0, 9)
+    assert np.all(
+        np.interp(shared, heavy.speedups, heavy.delta_r)
+        >= np.interp(shared, light.speedups, light.delta_r) - 1e-9
+    )

@@ -1,0 +1,31 @@
+"""Figure 5: FMS contours — speedup over (x, y), resetting over (s, gamma)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5
+
+
+def _run():
+    a = fig5.run_a(xs=np.linspace(0.35, 0.95, 13), ys=np.linspace(1.0, 4.0, 13))
+    b = fig5.run_b(speedups=np.linspace(1.0, 3.0, 13), gammas=np.linspace(1.0, 3.0, 13))
+    headline = fig5.run_headline(s=2.0)
+    return a, b, headline
+
+
+def test_fig5(benchmark, record_artifact):
+    a, b, headline = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_artifact("fig5", fig5.render())
+
+    # Contour (a): speedup requirement decreases with smaller x / larger y.
+    assert np.all(np.diff(a.s_min, axis=0) >= -1e-6)
+    assert np.all(np.diff(a.s_min, axis=1) <= 1e-6)
+
+    # Contour (b): resetting time decreases in s, increases in gamma.
+    finite = np.isfinite(b.delta_r)
+    assert finite.all()
+    assert np.all(np.diff(b.delta_r, axis=0) <= 1e-6)
+    assert np.all(np.diff(b.delta_r, axis=1) >= -1e-6)
+
+    # Headline: worst-case recovery below 3 s at s = 2 (paper Section VI-A).
+    assert headline < 3000.0

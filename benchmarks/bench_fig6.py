@@ -1,0 +1,77 @@
+"""Figure 6: paper-scale synthetic sweeps (500 sets per point).
+
+Reproduced shape claims (Section VI-B):
+* s_min and Delta_R distributions grow with U_bound;
+* for U_bound <= 0.5 every set can even slow down in HI mode (s_min < 1);
+* at high load, allowing more speedup admits strictly more task sets;
+* more degradation (larger y) lowers both s_min and Delta_R medians;
+* higher s lowers the Delta_R median.
+"""
+
+import pytest
+
+from repro.experiments import fig6
+
+U_BOUNDS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def _run_panels():
+    return fig6.run(u_bounds=U_BOUNDS, sets_per_point=500, y=2.0, s_for_reset=3.0)
+
+
+def _run_sweep():
+    return fig6.run_sweep(
+        u_bounds=U_BOUNDS, ys=(1.5, 2.0, 3.0), s_values=(2.0, 3.0), sets_per_point=150
+    )
+
+
+def test_fig6_distributions(benchmark, record_artifact, artifact_dir):
+    points = benchmark.pedantic(_run_panels, rounds=1, iterations=1)
+    sweep = _run_sweep()
+    record_artifact("fig6", fig6.render(points, sweep))
+
+    from repro.io import write_series_csv
+
+    write_series_csv(
+        artifact_dir / "fig6_medians.csv",
+        "u_bound",
+        [p.u_bound for p in points],
+        {
+            "s_min_median": [p.s_min_stats().median for p in points],
+            "s_min_max": [p.s_min_stats().maximum for p in points],
+            "delta_r_median_ms": [p.delta_r_stats().median for p in points],
+            "delta_r_max_ms": [p.delta_r_stats().maximum for p in points],
+            "sched_at_1": [p.schedulable_fraction(1.0) for p in points],
+            "sched_at_1_9": [p.schedulable_fraction(1.9) for p in points],
+        },
+    )
+
+    by_u = {p.u_bound: p for p in points}
+    medians = [p.s_min_stats().median for p in points]
+    assert all(a <= b + 1e-9 for a, b in zip(medians, medians[1:])), "monotone growth"
+
+    # "for all cases when U_bound <= 0.5, the maximum required speedup is
+    # less than 1, indicating that the system can even slow down".
+    assert by_u[0.4].s_min_stats().maximum < 1.0
+    assert by_u[0.5].s_min_stats().maximum < 1.0
+
+    # Speedup buys schedulability at the top point (paper: 25% -> 75%).
+    top = by_u[0.9]
+    assert top.schedulable_fraction(1.9) > top.schedulable_fraction(1.0)
+    assert top.schedulable_fraction(1.0) < 1.0
+
+    # Delta_R medians also grow with load; the worst case stays bounded
+    # (paper: < 2.6 s at U = 0.9 with s = 3; periods here are in ms).
+    reset_medians = [p.delta_r_stats().median for p in points]
+    assert all(a <= b + 1e-9 for a, b in zip(reset_medians, reset_medians[1:]))
+    assert top.delta_r_stats().maximum < 2600.0
+
+    # Panels (b)/(d): degradation and speed both shrink the medians.
+    for u_idx in (3, 5):
+        mild = sweep[(3.0, 1.5)][u_idx]
+        strong = sweep[(3.0, 3.0)][u_idx]
+        assert strong.s_min_stats().median <= mild.s_min_stats().median + 1e-9
+        assert strong.delta_r_stats().median <= mild.delta_r_stats().median + 1e-9
+        slow = sweep[(2.0, 2.0)][u_idx]
+        fast = sweep[(3.0, 2.0)][u_idx]
+        assert fast.delta_r_stats().median <= slow.delta_r_stats().median + 1e-9

@@ -1,0 +1,36 @@
+"""Figure 7: schedulability regions under temporary 2x speedup.
+
+Paper claims reproduced:
+* the schedulable region strictly contains the no-speedup (EDF-VD) one;
+* at (U_HI, U_LO) ~ (0.85, 0.85) a large majority (~90%) of task sets
+  remain schedulable with 2x speedup bounded to 5 s episodes;
+* EDF-VD admits (almost) nothing at that point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig7
+
+U_POINTS = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85)
+
+
+def _run():
+    return fig7.run(u_points=U_POINTS, sets_per_point=100, s=2.0, reset_budget=5000.0)
+
+
+def test_fig7_region(benchmark, record_artifact):
+    grid = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_artifact("fig7", fig7.render(grid))
+
+    # Containment and strict gain.
+    assert np.all(grid.with_speedup >= grid.without_speedup - 1e-9)
+    assert grid.with_speedup.sum() > grid.without_speedup.sum()
+
+    # Headline cell.
+    i = j = len(U_POINTS) - 1  # (0.85, 0.85)
+    assert grid.with_speedup[i, j] >= 0.75, "paper: ~90% with 2x speedup"
+    assert grid.without_speedup[i, j] <= 0.10, "EDF-VD collapses here"
+
+    # The low-utilization half of the grid is fully schedulable with 2x.
+    assert np.all(grid.with_speedup[:3, :3] == 1.0)

@@ -1,0 +1,34 @@
+"""Table I / Examples 1-2: the paper's running-example numbers."""
+
+import pytest
+
+from repro.analysis.resetting import resetting_time
+from repro.analysis.speedup import min_speedup
+from repro.experiments import table1 as t1
+
+
+def _run():
+    ts = t1.table1_taskset()
+    tsd = t1.table1_degraded_taskset()
+    return {
+        "s_min": min_speedup(ts).s_min,
+        "s_min_degraded": min_speedup(tsd).s_min,
+        "delta_r_at_2": resetting_time(ts, 2.0).delta_r,
+        "delta_r_at_4_3": resetting_time(ts, 4.0 / 3.0).delta_r,
+        "delta_r_degraded_at_2": resetting_time(tsd, 2.0).delta_r,
+    }
+
+
+def test_table1(benchmark, record_artifact):
+    values = benchmark.pedantic(_run, rounds=3, iterations=1)
+    lines = [t1.render(), ""]
+    lines.append(f"s_min                   = {values['s_min']:.6f}   (paper: 4/3)")
+    lines.append(f"s_min (degraded)        = {values['s_min_degraded']:.6f}   (paper: 0.875)")
+    lines.append(f"Delta_R(s=2)            = {values['delta_r_at_2']:.6f}   (paper: 6)")
+    lines.append(f"Delta_R(s=4/3)          = {values['delta_r_at_4_3']:.6f}   (lost in transcription)")
+    lines.append(f"Delta_R(s=2, degraded)  = {values['delta_r_degraded_at_2']:.6f}")
+    record_artifact("table1", "\n".join(lines))
+
+    assert values["s_min"] == pytest.approx(4.0 / 3.0)
+    assert values["s_min_degraded"] == pytest.approx(0.875)
+    assert values["delta_r_at_2"] == pytest.approx(6.0)

@@ -1,0 +1,32 @@
+"""Benchmark plumbing: artifact directory and a writer fixture.
+
+Each benchmark regenerates one paper table/figure at paper scale,
+records the rendered rows/series under ``benchmarks/out/`` and asserts
+the headline observations the paper reports for it.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def record_artifact(artifact_dir):
+    """Write rendered experiment output to benchmarks/out/<name>.txt."""
+
+    def write(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also echo a short head so the bench log carries the numbers.
+        head = "\n".join(text.splitlines()[:12])
+        print(f"\n--- {name} ---\n{head}\n")
+
+    return write

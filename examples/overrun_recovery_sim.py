@@ -1,0 +1,52 @@
+"""Watch an overrun, the speedup, and the recovery — slice by slice.
+
+Runs the Table-I example at several HI-mode speeds under the adversarial
+workload and renders the schedule as ASCII Gantt charts, illustrating
+the paper's core trade-off: faster processors clear the backlog sooner
+(shorter HI-mode episode) at a higher instantaneous energy cost.
+
+Run with:  python examples/overrun_recovery_sim.py
+"""
+
+from repro.analysis.resetting import resetting_time
+from repro.analysis.speedup import min_speedup
+from repro.experiments.table1 import table1_taskset
+from repro.sim.scheduler import SimConfig, simulate
+from repro.sim.workload import OverrunModel, SynchronousWorstCaseSource
+
+
+def main() -> None:
+    system = table1_taskset()
+    s_min = min_speedup(system).s_min
+    print(f"Task set (s_min = {s_min:.4f}):")
+    print(system.table())
+    print()
+
+    source = SynchronousWorstCaseSource(OverrunModel(first_job_overruns=True))
+    rows = []
+    for s in (1.5, 2.0, 3.0):
+        bound = resetting_time(system, s).delta_r
+        result = simulate(
+            system,
+            SimConfig(speedup=s, horizon=60.0, stop_after_first_reset=True),
+            SynchronousWorstCaseSource(OverrunModel(first_job_overruns=True)),
+        )
+        episode = result.episodes[0]
+        rows.append((s, episode.length, bound, result.energy, result.miss_count))
+        print(f"--- s = {s:g}: overrun at t = {episode.start:g}, "
+              f"recovered after {episode.length:.3f} (bound {bound:.3f})")
+        print(result.trace.gantt(width=72))
+        print()
+
+    print(f"{'s':>5} {'episode':>9} {'Delta_R':>9} {'energy':>9} {'misses':>7}")
+    for s, length, bound, energy, misses in rows:
+        print(f"{s:>5g} {length:>9.3f} {bound:>9.3f} {energy:>9.1f} {misses:>7d}")
+
+    print(
+        "\nHigher speed shortens the recovery (and the offline bound tracks "
+        "it); the energy column shows the cubic-power cost of the boost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs PEP-660 wheel building; on fully offline
+machines lacking ``wheel``, ``python setup.py develop`` provides the
+equivalent editable install through this shim.
+"""
+
+from setuptools import setup
+
+setup()

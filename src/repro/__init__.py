@@ -1,0 +1,69 @@
+"""Mixed-criticality EDF scheduling with temporary processor speedup.
+
+Reproduction of Huang, Kumar, Giannopoulou, Thiele, *Run and Be Safe:
+Mixed-Criticality Scheduling with Temporary Processor Speedup* (DATE
+2015).
+
+Public API highlights
+---------------------
+* :class:`repro.model.MCTask`, :class:`repro.model.TaskSet` — the
+  dual-criticality sporadic task model of Section II.
+* :func:`repro.analysis.min_speedup` — Theorem 2: minimum HI-mode
+  processor speedup.
+* :func:`repro.analysis.resetting_time` — Corollary 5: service
+  resetting time bound.
+* :func:`repro.analysis.closed_form_speedup`,
+  :func:`repro.analysis.closed_form_resetting_time` — Lemmas 6/7.
+* :mod:`repro.sim` — discrete-event EDF simulator with mode switching
+  and dynamic speed.
+* :mod:`repro.generator` — the synthetic task-set generator of Section
+  VI and the flight-management-system workload.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.model import (
+    Criticality,
+    MCTask,
+    TaskSet,
+    apply_uniform_scaling,
+    degrade_lo_tasks,
+    shorten_hi_deadlines,
+    terminate_lo_tasks,
+)
+from repro.analysis import (
+    adb_hi,
+    closed_form_resetting_time,
+    closed_form_speedup,
+    dbf_hi,
+    dbf_lo,
+    hi_mode_schedulable,
+    lo_mode_schedulable,
+    min_preparation_factor,
+    min_speedup,
+    resetting_time,
+    system_schedulable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Criticality",
+    "MCTask",
+    "TaskSet",
+    "apply_uniform_scaling",
+    "degrade_lo_tasks",
+    "shorten_hi_deadlines",
+    "terminate_lo_tasks",
+    "adb_hi",
+    "dbf_hi",
+    "dbf_lo",
+    "min_speedup",
+    "resetting_time",
+    "closed_form_speedup",
+    "closed_form_resetting_time",
+    "lo_mode_schedulable",
+    "hi_mode_schedulable",
+    "system_schedulable",
+    "min_preparation_factor",
+    "__version__",
+]

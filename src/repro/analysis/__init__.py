@@ -1,0 +1,74 @@
+"""Offline analysis: demand bounds, minimum speedup, resetting time.
+
+Implements the paper's analytical machinery:
+
+* :mod:`repro.analysis.dbf` — Eq. (4), Lemma 1 (Eqs. 5-7) and
+  Theorem 4 (Eqs. 9-10) demand/arrived-demand bound functions.
+* :mod:`repro.analysis.points` — pseudo-polynomial candidate-point
+  enumeration for the piecewise-linear demand functions.
+* :mod:`repro.analysis.speedup` — Theorem 2, minimum HI-mode speedup.
+* :mod:`repro.analysis.resetting` — Corollary 5, service resetting time.
+* :mod:`repro.analysis.closed_form` — Lemmas 6 and 7 (implicit-deadline
+  special case of Section V).
+* :mod:`repro.analysis.schedulability` — LO/HI-mode EDF demand tests.
+* :mod:`repro.analysis.tuning` — choosing the deadline-shortening factor.
+* :mod:`repro.analysis.overrun` — Section IV remark: overrun burst
+  frequency and speedup duty cycle.
+"""
+
+from repro.analysis.dbf import (
+    adb_hi,
+    dbf_hi,
+    dbf_lo,
+    extended_mod,
+    total_adb_hi,
+    total_dbf_hi,
+    total_dbf_lo,
+)
+from repro.analysis.speedup import SpeedupResult, min_speedup
+from repro.analysis.resetting import ResettingResult, resetting_time
+from repro.analysis.closed_form import closed_form_resetting_time, closed_form_speedup
+from repro.analysis.schedulability import (
+    SchedulabilityReport,
+    hi_mode_schedulable,
+    lo_mode_schedulable,
+    system_schedulable,
+)
+from repro.analysis.tuning import min_preparation_factor
+from repro.analysis.overrun import max_overrun_frequency, speedup_duty_cycle
+from repro.analysis.dvfs import FrequencyLadder, discrete_design
+from repro.analysis.per_task_tuning import tune_per_task_deadlines
+from repro.analysis.sensitivity import (
+    max_tolerable_gamma,
+    max_tolerable_load_scale,
+    min_speedup_margin,
+)
+
+__all__ = [
+    "adb_hi",
+    "dbf_hi",
+    "dbf_lo",
+    "extended_mod",
+    "total_adb_hi",
+    "total_dbf_hi",
+    "total_dbf_lo",
+    "SpeedupResult",
+    "min_speedup",
+    "ResettingResult",
+    "resetting_time",
+    "closed_form_speedup",
+    "closed_form_resetting_time",
+    "SchedulabilityReport",
+    "lo_mode_schedulable",
+    "hi_mode_schedulable",
+    "system_schedulable",
+    "min_preparation_factor",
+    "max_overrun_frequency",
+    "speedup_duty_cycle",
+    "FrequencyLadder",
+    "discrete_design",
+    "tune_per_task_deadlines",
+    "max_tolerable_gamma",
+    "max_tolerable_load_scale",
+    "min_speedup_margin",
+]

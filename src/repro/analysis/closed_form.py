@@ -1,0 +1,120 @@
+"""Lemmas 6 and 7: closed-form bounds for the Section-V special case.
+
+Section V restricts attention to implicit-deadline tasks under two
+uniform design knobs:
+
+* Eq. (13): every HI task's LO-mode deadline is ``D(LO) = x * D(HI)``
+  with ``D(HI) = T``, for a common ``0 < x < 1``;
+* Eq. (14): every LO task's HI-mode deadline and period are scaled by a
+  common ``y >= 1`` (``y = inf`` models termination).
+
+Under these assumptions each task's ``DBF_HI(tau, Delta) / Delta`` has an
+explicit supremum, and summing per-task suprema upper-bounds the exact
+Theorem-2 value (supremum of a sum never exceeds the sum of suprema):
+
+* HI task: breakpoints at ``Delta = (1-x)T`` (carry-over jump of
+  ``C(HI)-C(LO)``) and ``Delta = (1-x)T + C(LO)`` (carry-over fully
+  inside), giving
+
+      sup = max( (U(HI)-U(LO)) / (1-x),  U(HI) / ((1-x) + U(LO)) ).
+
+* LO task: single breakpoint at ``Delta = (y-1)T + C``, giving
+
+      sup = U(LO) / ((y-1) + U(LO))        (0 when terminated).
+
+The transcription of Eq. (15) in the available text is mangled; the
+expression above is re-derived from first principles and contains
+exactly the fragments visible in the damaged formula (see DESIGN.md).
+Property-based tests verify it upper-bounds the exact Theorem-2 value
+and matches the paper's monotonicity claims.
+
+Lemma 7 then bounds the resetting time by
+
+    Delta_R_bar = sum_i C_i(HI) / (s - s_min_bar)                    (16)
+
+(infinite when ``s <= s_min_bar``), because every task satisfies
+``ADB_HI(tau, Delta) <= C(HI) + sup_ratio * Delta`` — under (13)/(14)
+the ``ADB`` breakpoint offsets coincide with the ``DBF`` ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.task import MCTask, ModelError
+from repro.model.taskset import TaskSet
+from repro.model.transform import apply_uniform_scaling
+
+
+def _check_knobs(x: float, y: float) -> None:
+    if not 0.0 < x < 1.0:
+        raise ModelError(f"x must be in (0, 1), got {x}")
+    if y < 1.0:
+        raise ModelError(f"y must be >= 1 (or inf), got {y}")
+
+
+def hi_task_ratio_bound(task: MCTask, x: float) -> float:
+    """Per-task supremum of ``DBF_HI / Delta`` for a HI task under Eq. (13)."""
+    u_lo = task.c_lo / task.t_lo
+    u_hi = task.c_hi / task.t_lo
+    jump = (u_hi - u_lo) / (1.0 - x)
+    ramp_end = u_hi / ((1.0 - x) + u_lo)
+    return max(jump, ramp_end)
+
+
+def lo_task_ratio_bound(task: MCTask, y: float) -> float:
+    """Per-task supremum of ``DBF_HI / Delta`` for a LO task under Eq. (14)."""
+    if math.isinf(y):
+        return 0.0
+    u = task.c_lo / task.t_lo
+    return u / ((y - 1.0) + u)
+
+
+def closed_form_speedup(taskset: TaskSet, x: float, y: float) -> float:
+    """Lemma 6: closed-form upper bound on the minimum HI-mode speedup.
+
+    ``taskset`` provides the base implicit-deadline parameters (``C(LO)``,
+    ``C(HI)``, ``T``); the knobs ``x`` and ``y`` are applied analytically.
+    ``y = math.inf`` models termination of LO tasks.
+
+    The bound decreases monotonically as ``x`` decreases (more overrun
+    preparation) and as ``y`` increases (more service degradation) —
+    the trade-off illustrated in Figure 4a.
+    """
+    _check_knobs(x, y)
+    total = 0.0
+    for task in taskset:
+        if task.is_hi:
+            total += hi_task_ratio_bound(task, x)
+        else:
+            total += lo_task_ratio_bound(task, y)
+    return total
+
+
+def closed_form_resetting_time(taskset: TaskSet, x: float, y: float, s: float) -> float:
+    """Lemma 7: closed-form upper bound on the service resetting time.
+
+    Returns ``+inf`` when ``s`` does not exceed the Lemma-6 speedup bound
+    (running exactly at the minimum speed never drains the backlog, cf.
+    Example 4).
+    """
+    if s <= 0.0:
+        raise ModelError(f"speedup must be positive, got {s}")
+    s_min_bar = closed_form_speedup(taskset, x, y)
+    if s <= s_min_bar:
+        return math.inf
+    total_c_hi = sum(task.c_hi for task in taskset)
+    return total_c_hi / (s - s_min_bar)
+
+
+def closed_form_vs_exact_gap(taskset: TaskSet, x: float, y: float) -> float:
+    """Tightness diagnostic: ``closed_form - exact`` speedup (>= 0).
+
+    Used by the ablation benchmark comparing Lemma 6 against Theorem 2.
+    """
+    from repro.analysis.speedup import min_speedup  # local import: avoid cycle
+
+    scaled = apply_uniform_scaling(taskset, x, y)
+    exact = min_speedup(scaled).s_min
+    bound = closed_form_speedup(taskset, x, y)
+    return bound - exact

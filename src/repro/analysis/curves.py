@@ -1,0 +1,212 @@
+"""Finite-horizon piecewise-linear curves (cross-check substrate).
+
+The demand functions of Eqs. (4)-(10) are right-continuous piecewise
+linear.  This module gives them a first-class representation on a
+finite horizon — segments with explicit values and slopes — plus the
+algebra the analysis needs (sum, scaling, supremum ratio, first
+crossing with a supply line).
+
+It serves three purposes:
+
+* an *independent implementation path* for Theorem 2 and Corollary 5 on
+  a bounded horizon, used by property tests to cross-check the
+  production scan in :mod:`repro.analysis.speedup` /
+  :mod:`repro.analysis.resetting`;
+* exact curve extraction for plots/reports (Figure 1/3 rendering);
+* a building block for service-adaptation-style analyses (ref. [6]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis import points as pts
+from repro.analysis.dbf import adb_hi, dbf_hi, dbf_lo
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """A right-continuous piecewise-linear function on ``[0, horizon)``.
+
+    Segment ``i`` starts at ``starts[i]`` with value ``values[i]`` and
+    slope ``slopes[i]`` up to ``starts[i+1]`` (or the horizon).  Jumps
+    are encoded by consecutive segments whose extrapolated end value
+    differs from the next start value.  Evaluation *at* the horizon is
+    permitted but extrapolates the last segment — a jump sitting exactly
+    on the horizon is outside the represented domain.
+    """
+
+    starts: np.ndarray
+    values: np.ndarray
+    slopes: np.ndarray
+    horizon: float
+
+    def __post_init__(self) -> None:
+        starts = np.asarray(self.starts, dtype=float)
+        if starts.size == 0 or starts[0] != 0.0:
+            raise ValueError("curve must start at 0")
+        if np.any(np.diff(starts) <= 0):
+            raise ValueError("segment starts must be strictly increasing")
+        if starts[-1] >= self.horizon:
+            raise ValueError("last segment must start before the horizon")
+        if not (starts.size == len(self.values) == len(self.slopes)):
+            raise ValueError("starts/values/slopes length mismatch")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, x) -> np.ndarray:
+        """Evaluate at ``x`` (scalar or array) within ``[0, horizon]``."""
+        arr = np.asarray(x, dtype=float)
+        if np.any((arr < -1e-12) | (arr > self.horizon * (1 + 1e-12))):
+            raise ValueError("evaluation outside the curve horizon")
+        idx = np.searchsorted(self.starts, arr, side="right") - 1
+        idx = np.clip(idx, 0, len(self.starts) - 1)
+        out = self.values[idx] + self.slopes[idx] * (arr - self.starts[idx])
+        return float(out) if np.isscalar(x) else out
+
+    def segment_ends(self) -> np.ndarray:
+        """Per-segment end abscissae (last one is the horizon)."""
+        return np.append(self.starts[1:], self.horizon)
+
+    def left_limits(self) -> np.ndarray:
+        """Value approached just before each segment end."""
+        return self.values + self.slopes * (self.segment_ends() - self.starts)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "PiecewiseLinear") -> "PiecewiseLinear":
+        if not isinstance(other, PiecewiseLinear):
+            return NotImplemented
+        horizon = min(self.horizon, other.horizon)
+        starts = np.unique(np.concatenate([self.starts, other.starts]))
+        starts = starts[starts < horizon]
+        values = self(starts) + other(starts)
+        slopes = np.array(
+            [
+                self.slopes[self._segment_of(s)] + other.slopes[other._segment_of(s)]
+                for s in starts
+            ]
+        )
+        return PiecewiseLinear(starts, values, slopes, horizon)
+
+    def scale(self, factor: float) -> "PiecewiseLinear":
+        """Pointwise multiplication by a constant."""
+        return PiecewiseLinear(
+            self.starts, self.values * factor, self.slopes * factor, self.horizon
+        )
+
+    def _segment_of(self, x: float) -> int:
+        return max(int(np.searchsorted(self.starts, x, side="right")) - 1, 0)
+
+    # ------------------------------------------------------------------
+    # Analysis primitives
+    # ------------------------------------------------------------------
+    def sup_ratio(self) -> Tuple[float, float]:
+        """``sup f(x)/x`` over ``(0, horizon]`` and a maximising ``x``.
+
+        On each linear segment the ratio is monotone, so the supremum is
+        attained at a segment start (right-continuous jumps included) or
+        at a segment end's left limit.
+        """
+        best, best_x = 0.0, self.horizon
+        ends = self.segment_ends()
+        lefts = self.left_limits()
+        for i in range(len(self.starts)):
+            if self.starts[i] > 0:
+                ratio = self.values[i] / self.starts[i]
+                if ratio > best:
+                    best, best_x = ratio, float(self.starts[i])
+            ratio_end = lefts[i] / ends[i]
+            if ratio_end > best:
+                best, best_x = float(ratio_end), float(ends[i])
+        return best, best_x
+
+    def first_crossing(self, supply_slope: float) -> Optional[float]:
+        """First ``x`` with ``f(x) <= supply_slope * x`` (None on horizon).
+
+        Mirrors Corollary 5's idle-instant search for curves built from
+        ``ADB_HI``.
+        """
+        if float(self(0.0)) <= 0.0:
+            return 0.0
+        ends = self.segment_ends()
+        lefts = self.left_limits()
+        for i in range(len(self.starts)):
+            x0, v0, m = self.starts[i], self.values[i], self.slopes[i]
+            if x0 > 0 and v0 <= supply_slope * x0 + 1e-12 * (1 + abs(v0)):
+                return float(x0)
+            if supply_slope > m:
+                crossing = x0 + (v0 - supply_slope * x0) / (supply_slope - m)
+                if x0 <= crossing < ends[i] - 1e-12 * (1 + ends[i]):
+                    return float(max(crossing, x0))
+            # Crossing exactly at the segment end belongs to the next
+            # segment's start check (post-jump value decides).
+        return None
+
+
+# ----------------------------------------------------------------------
+# Builders for the paper's demand functions
+# ----------------------------------------------------------------------
+def _build(
+    evaluate: Callable[[np.ndarray], np.ndarray],
+    breakpoints: np.ndarray,
+    horizon: float,
+) -> PiecewiseLinear:
+    starts = np.unique(np.concatenate([[0.0], breakpoints]))
+    starts = starts[(starts >= 0.0) & (starts < horizon)]
+    ends = np.append(starts[1:], horizon)
+    mids = 0.5 * (starts + ends)
+    values = np.asarray(evaluate(starts), dtype=float)
+    mid_values = np.asarray(evaluate(mids), dtype=float)
+    lengths = ends - starts
+    slopes = np.where(lengths > 0, 2.0 * (mid_values - values) / lengths, 0.0)
+    # Snap tiny numerical slopes to the exact grid {0, 1, 2, ...} the
+    # demand functions live on (sums of unit ramps).
+    snapped = np.round(slopes)
+    slopes = np.where(np.abs(slopes - snapped) < 1e-6, snapped, slopes)
+    return PiecewiseLinear(starts, values, slopes, horizon)
+
+
+def dbf_hi_curve(task: MCTask, horizon: float) -> PiecewiseLinear:
+    """Exact PWL form of Lemma 1's ``DBF_HI`` on ``[0, horizon]``."""
+    ts = TaskSet([task])
+    breaks = pts.breakpoints_in(ts, 0.0, horizon, kind="dbf")
+    return _build(lambda x: dbf_hi(task, x), breaks, horizon)
+
+
+def adb_hi_curve(task: MCTask, horizon: float) -> PiecewiseLinear:
+    """Exact PWL form of Theorem 4's ``ADB_HI`` on ``[0, horizon]``."""
+    ts = TaskSet([task])
+    breaks = pts.breakpoints_in(ts, 0.0, horizon, kind="adb")
+    return _build(lambda x: adb_hi(task, x), breaks, horizon)
+
+
+def dbf_lo_curve(task: MCTask, horizon: float) -> PiecewiseLinear:
+    """Exact PWL form of Eq. (4)'s ``DBF_LO`` on ``[0, horizon]``."""
+    ts = TaskSet([task])
+    breaks = pts.dbf_lo_breakpoints_in(ts, 0.0, horizon)
+    return _build(lambda x: dbf_lo(task, x), breaks, horizon)
+
+
+def total_curve(
+    taskset: TaskSet,
+    horizon: float,
+    builder: Callable[[MCTask, float], PiecewiseLinear] = dbf_hi_curve,
+) -> PiecewiseLinear:
+    """Sum of per-task curves (the system demand) on ``[0, horizon]``."""
+    if len(taskset) == 0:
+        return PiecewiseLinear(
+            np.array([0.0]), np.array([0.0]), np.array([0.0]), horizon
+        )
+    total: Optional[PiecewiseLinear] = None
+    for task in taskset:
+        curve = builder(task, horizon)
+        total = curve if total is None else total + curve
+    return total

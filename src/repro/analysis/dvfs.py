@@ -1,0 +1,124 @@
+"""Discrete DVFS operating points (extension).
+
+The analysis of Sections III-IV treats the speedup ``s`` as a
+continuous knob, but real platforms expose a finite frequency ladder
+(P-states).  Deploying the paper's scheme then means: compute the exact
+Theorem-2 requirement, round *up* to the next available operating
+point, and re-evaluate the resetting time at that point — rounding up
+can only shorten the recovery (Corollary 5 is monotone in ``s``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.resetting import ResettingResult, resetting_time
+from repro.analysis.speedup import SpeedupResult, min_speedup
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class FrequencyLadder:
+    """A platform's available speed multipliers, nominal speed = 1.0.
+
+    ``levels`` must be positive and include at least one value >= 1
+    (the nominal operating point).
+    """
+
+    levels: Tuple[float, ...] = (1.0, 1.2, 1.4, 1.7, 2.0)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("ladder needs at least one level")
+        if any(level <= 0.0 for level in self.levels):
+            raise ValueError(f"levels must be positive: {self.levels}")
+        object.__setattr__(self, "levels", tuple(sorted(self.levels)))
+        if self.levels[-1] < 1.0:
+            raise ValueError("ladder must reach nominal speed (>= 1.0)")
+
+    @property
+    def max_speedup(self) -> float:
+        return self.levels[-1]
+
+    def at_least(self, s: float) -> Optional[float]:
+        """Smallest level >= ``s`` (None when the ladder tops out below)."""
+        for level in self.levels:
+            if level >= s * (1.0 - 1e-12):
+                return level
+        return None
+
+
+#: A Turbo-Boost-flavoured ladder: nominal plus bounded overclock steps.
+TURBO_LADDER = FrequencyLadder((1.0, 1.25, 1.5, 1.75, 2.0))
+
+
+@dataclass(frozen=True)
+class DiscreteDesign:
+    """Outcome of fitting the paper's scheme onto a frequency ladder.
+
+    Attributes
+    ----------
+    s_min:
+        Exact Theorem-2 requirement (continuous).
+    level:
+        Chosen operating point (``None`` when the ladder cannot cover
+        ``s_min`` — the configuration is undeployable on this platform).
+    resetting:
+        Corollary-5 bound at the chosen level (``None`` when
+        undeployable).
+    quantization_loss:
+        ``level - s_min`` — capacity bought but not strictly needed
+        (0 when undeployable).
+    """
+
+    s_min: SpeedupResult
+    level: Optional[float]
+    resetting: Optional[ResettingResult]
+    quantization_loss: float
+
+    @property
+    def deployable(self) -> bool:
+        return self.level is not None
+
+
+def discrete_design(
+    taskset: TaskSet,
+    ladder: FrequencyLadder = TURBO_LADDER,
+    *,
+    drop_terminated_carryover: bool = False,
+) -> DiscreteDesign:
+    """Fit the speedup scheme onto ``ladder`` for ``taskset``.
+
+    Picks the smallest operating point covering the exact ``s_min``;
+    the resetting time is evaluated at the *chosen* level, so ladder
+    quantization shows up as faster recovery, not lost guarantees.
+    """
+    requirement = min_speedup(taskset)
+    if not math.isfinite(requirement.s_min):
+        return DiscreteDesign(requirement, None, None, 0.0)
+    level = ladder.at_least(max(requirement.s_min, 0.0))
+    if level is None:
+        return DiscreteDesign(requirement, None, None, 0.0)
+    reset = resetting_time(
+        taskset, level, drop_terminated_carryover=drop_terminated_carryover
+    )
+    return DiscreteDesign(
+        s_min=requirement,
+        level=level,
+        resetting=reset,
+        quantization_loss=level - requirement.s_min,
+    )
+
+
+def ladder_coverage(
+    tasksets: Sequence[TaskSet],
+    ladder: FrequencyLadder = TURBO_LADDER,
+) -> float:
+    """Fraction of ``tasksets`` deployable on ``ladder`` (design-space
+    diagnostic used by the energy/DVFS example)."""
+    if not tasksets:
+        return 0.0
+    deployable = sum(1 for ts in tasksets if discrete_design(ts, ladder).deployable)
+    return deployable / len(tasksets)

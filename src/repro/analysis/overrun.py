@@ -1,0 +1,97 @@
+"""Section IV remark: how often (and how long) can the system speed up?
+
+The resetting-time bound ``Delta_R`` makes no assumption on the overrun
+pattern.  If worst-case overrun *bursts* are separated by at least
+``T_O`` time units and ``Delta_R <= T_O``, then each burst is fully
+resolved before the next can begin, so
+
+* the speedup episodes occur with frequency at most ``1 / T_O``;
+* the long-run fraction of time spent overclocked (the *duty cycle*) is
+  at most ``Delta_R / T_O``.
+
+This module also provides a Turbo-Boost-style feasibility check: real
+power management allows a bounded boost duration (the paper cites Intel
+Turbo Boost: about 2x for around 30 s), so a design is deployable only if
+``Delta_R`` fits inside that envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def max_overrun_frequency(delta_r: float, t_o: float) -> float:
+    """Upper bound on speedup-episode frequency given burst separation ``T_O``.
+
+    Returns ``1 / T_O`` when ``Delta_R <= T_O`` (episodes cannot overlap);
+    ``inf`` otherwise (back-to-back bursts may keep the system in HI mode).
+    """
+    if t_o <= 0.0:
+        raise ValueError(f"T_O must be positive, got {t_o}")
+    if delta_r < 0.0:
+        raise ValueError(f"Delta_R must be non-negative, got {delta_r}")
+    if delta_r > t_o:
+        return math.inf
+    return 1.0 / t_o
+
+
+def speedup_duty_cycle(delta_r: float, t_o: float) -> float:
+    """Long-run fraction of time spent at boosted speed (``<= 1``)."""
+    if t_o <= 0.0:
+        raise ValueError(f"T_O must be positive, got {t_o}")
+    if delta_r < 0.0:
+        raise ValueError(f"Delta_R must be non-negative, got {delta_r}")
+    return min(delta_r / t_o, 1.0)
+
+
+@dataclass(frozen=True)
+class BoostEnvelope:
+    """A platform's overclocking budget (e.g. Intel Turbo Boost).
+
+    Attributes
+    ----------
+    max_speedup:
+        Largest sustainable speedup factor (e.g. 2.0).
+    max_duration:
+        Longest allowed continuous boost episode (e.g. 30 s).
+    cooldown:
+        Minimum time at nominal speed between boost episodes.
+    """
+
+    max_speedup: float = 2.0
+    max_duration: float = 30.0
+    cooldown: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_speedup < 1.0:
+            raise ValueError("max_speedup must be >= 1")
+        if self.max_duration <= 0.0:
+            raise ValueError("max_duration must be positive")
+        if self.cooldown < 0.0:
+            raise ValueError("cooldown must be non-negative")
+
+    def admits(self, s: float, delta_r: float, t_o: float = math.inf) -> bool:
+        """Can this platform sustain speedup ``s`` for ``Delta_R``?
+
+        With a finite burst separation ``T_O``, the cooldown must also fit
+        between consecutive episodes.
+        """
+        if s > self.max_speedup * (1.0 + 1e-12):
+            return False
+        if delta_r > self.max_duration * (1.0 + 1e-12):
+            return False
+        if math.isfinite(t_o) and delta_r + self.cooldown > t_o * (1.0 + 1e-12):
+            return False
+        return True
+
+
+def fallback_deadline(envelope: BoostEnvelope) -> float:
+    """Runtime watchdog threshold for the paper's fallback strategy.
+
+    Section I: "we could monitor at runtime for how long the overclocking
+    lasts.  If this exceeds the time allowed, we could then terminate
+    tasks instead of overclocking."  The watchdog fires at the boost
+    envelope's maximum duration.
+    """
+    return envelope.max_duration

@@ -1,0 +1,173 @@
+"""EDF schedulability tests for both operation modes.
+
+* LO mode (Section III): the system is schedulable at nominal speed iff
+  ``sum_i DBF_LO(tau_i, Delta) <= Delta`` for all ``Delta >= 0``
+  (processor demand criterion for EDF on a unit-speed processor).
+* HI mode (Theorem 2): schedulable at speedup ``s`` iff
+  ``sum_i DBF_HI(tau_i, Delta) <= s * Delta`` for all ``Delta >= 0``.
+
+Both scans are pseudo-polynomial: beyond the envelope horizon
+``B / (speed - rate)`` the demand can no longer catch the supply line.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis import points as pts
+from repro.analysis.dbf import total_dbf_lo
+from repro.analysis.resetting import ResettingResult, resetting_time
+from repro.analysis.speedup import SpeedupResult, min_speedup, speedup_schedulable
+from repro.model.task import Criticality
+from repro.model.taskset import TaskSet
+
+_RTOL = 1e-9
+
+
+def _scan_horizon(deadline_periods, speed: float, rate: float, excess: float) -> float:
+    """Demand-test scan horizon for ``dbf <= rate*Delta + excess``.
+
+    Normally ``excess / (speed - rate)``.  When the utilization sits at
+    the supply limit that bound degenerates, but the demand is periodic
+    up to a linear term: ``dbf(Delta + P) = dbf(Delta) + rate * P`` for
+    the period hyperperiod ``P``, so when ``rate == speed`` checking one
+    hyperperiod (plus the largest deadline) is exact.  For non-integral
+    periods exact equality is measure-zero; a generous multiple of the
+    largest period is used as a practical cutoff.
+    """
+    denom = speed - rate
+    direct = excess / denom if denom > _RTOL * max(1.0, speed) else math.inf
+    periods = [p for _, p in deadline_periods]
+    max_d = max(d for d, _ in deadline_periods)
+    if all(float(p).is_integer() for p in periods):
+        lcm = 1
+        for p in periods:
+            lcm = math.lcm(lcm, int(p))
+        return min(direct, float(lcm) + max_d)
+    return min(direct, 1e4 * max(periods) + max_d)
+
+
+def lo_mode_schedulable(taskset: TaskSet, speed: float = 1.0) -> bool:
+    """Exact EDF demand test for LO mode at the given processor speed."""
+    if speed <= 0.0:
+        return len(taskset) == 0
+    if len(taskset) == 0:
+        return True
+    rate = sum(t.utilization(Criticality.LO) for t in taskset)
+    if rate > speed * (1.0 + _RTOL):
+        return False
+    # dbf_LO(Delta) <= rate*Delta + B with B = sum U_i*(T_i - D_i), so any
+    # violation of the supply line happens before B/(speed - rate).  For
+    # implicit deadlines B = 0: the utilization test above was exact.
+    excess = sum(
+        t.utilization(Criticality.LO) * max(t.t_lo - t.d_lo, 0.0) for t in taskset
+    )
+    if excess <= 0.0:
+        return True
+    horizon = _scan_horizon(
+        [(t.d_lo, t.t_lo) for t in taskset], speed, rate, excess
+    )
+    window_lo = 0.0
+    step = 2.0 * max(t.t_lo for t in taskset)
+    density = sum(1.0 / t.t_lo for t in taskset)
+    max_window = 200_000 / density if density > 0 else math.inf
+    while window_lo < horizon:
+        window_hi = min(window_lo + step, horizon, window_lo + max_window)
+        candidates = pts.dbf_lo_breakpoints_in(taskset, window_lo, window_hi)
+        if candidates.size:
+            demand = np.asarray(total_dbf_lo(taskset, candidates), dtype=float)
+            if np.any(demand > speed * candidates * (1.0 + _RTOL) + _RTOL):
+                return False
+        window_lo = window_hi
+        step *= 2.0
+    return True
+
+
+def hi_mode_schedulable(taskset: TaskSet, s: float) -> bool:
+    """Theorem-2 test: HI mode meets all deadlines at speedup ``s``."""
+    return speedup_schedulable(taskset, s)
+
+
+@dataclass(frozen=True)
+class SchedulabilityReport:
+    """Full dual-mode verdict for a configured task set.
+
+    Attributes
+    ----------
+    lo_ok:
+        LO-mode EDF feasibility at nominal speed.
+    s_min:
+        Theorem-2 minimum HI-mode speedup (:class:`SpeedupResult`).
+    hi_ok_at:
+        The speedup the HI-mode verdict was evaluated at (``None`` when
+        no target speedup was supplied).
+    hi_ok:
+        HI-mode feasibility at ``hi_ok_at`` (vacuously True when no
+        target speedup was supplied but ``s_min`` is finite).
+    resetting:
+        Corollary-5 resetting time at ``hi_ok_at`` (``None`` without a
+        target speedup).
+    """
+
+    lo_ok: bool
+    s_min: SpeedupResult
+    hi_ok_at: Optional[float]
+    hi_ok: bool
+    resetting: Optional[ResettingResult]
+
+    @property
+    def schedulable(self) -> bool:
+        """True when both modes are feasible (at the target speedup)."""
+        return self.lo_ok and self.hi_ok
+
+    def within_reset_budget(self, budget: float) -> bool:
+        """Schedulable *and* recovers within ``budget`` time units.
+
+        This is the Figure-7 acceptance criterion (``s = 2``,
+        ``Delta_R <= 5 s``).
+        """
+        if not self.schedulable:
+            return False
+        if self.resetting is None:
+            return False
+        return self.resetting.delta_r <= budget * (1.0 + _RTOL)
+
+
+def system_schedulable(
+    taskset: TaskSet,
+    s: Optional[float] = None,
+    *,
+    drop_terminated_carryover: bool = False,
+) -> SchedulabilityReport:
+    """Evaluate the complete protocol of Section II for ``taskset``.
+
+    With ``s`` given, HI mode is checked at that speedup and the
+    resetting time is computed; otherwise only ``s_min`` is reported.
+    """
+    lo_ok = lo_mode_schedulable(taskset)
+    s_min = min_speedup(taskset)
+    if s is None:
+        return SchedulabilityReport(
+            lo_ok=lo_ok,
+            s_min=s_min,
+            hi_ok_at=None,
+            hi_ok=math.isfinite(s_min.s_min),
+            resetting=None,
+        )
+    hi_ok = s_min.s_min <= s * (1.0 + _RTOL)
+    reset = (
+        resetting_time(taskset, s, drop_terminated_carryover=drop_terminated_carryover)
+        if hi_ok
+        else None
+    )
+    return SchedulabilityReport(
+        lo_ok=lo_ok,
+        s_min=s_min,
+        hi_ok_at=s,
+        hi_ok=hi_ok,
+        resetting=reset,
+    )

@@ -1,0 +1,213 @@
+"""Theorem 2: minimum processor speedup guaranteeing HI-mode deadlines.
+
+The minimum speedup is
+
+    s_min = sup_{Delta >= 0}  sum_i DBF_HI(tau_i, Delta) / Delta        (8)
+
+with the convention that positive demand in a zero-length interval means
+``s_min = +inf`` (which happens exactly when some HI task keeps
+``D(LO) = D(HI)`` while ``C(HI) > C(LO)``, see the discussion after
+Theorem 2).
+
+The supremum is computed by scanning the breakpoints of the
+piecewise-linear total demand in geometrically growing windows.  Within a
+linear segment ``f(Delta) = a*Delta + b`` the ratio ``f/Delta`` is
+monotone, so it is maximised at segment endpoints; because ``f`` is
+right-continuous and jumps upward, every local maximum of the ratio is
+attained *at* a breakpoint.  Enumeration stops once the envelope bound
+
+    f(Delta) <= rate * Delta + B,   rate = sum C_i(HI)/T_i(HI),
+                                    B    = sum C_i(HI)
+
+proves that no later breakpoint can beat the best ratio found so far.
+As ``Delta -> inf`` the ratio tends to ``rate``, so the result is
+``max(rate, best breakpoint ratio)``.  When the best breakpoint ratio
+stays at or below ``rate`` the scan is cut off once the envelope gap
+``B/Delta`` drops below a relative tolerance; the returned
+:class:`SpeedupResult` then carries a certified upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis import points as pts
+from repro.analysis.dbf import dbf_hi_excess_bound, hi_mode_rate, total_dbf_hi
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class SpeedupResult:
+    """Outcome of the Theorem-2 computation.
+
+    Attributes
+    ----------
+    s_min:
+        The minimum speedup factor (may be ``inf``; may be below 1, in
+        which case the system can even *slow down* in HI mode, cf.
+        Example 1).
+    critical_delta:
+        An interval length attaining (or, for the asymptotic case,
+        approaching) the supremum; ``None`` when ``s_min`` is infinite.
+    exact:
+        True when the scan terminated with a proof of optimality,
+        False when it was cut off by the candidate budget.
+    upper_bound:
+        A certified upper bound on the true ``s_min`` (equals ``s_min``
+        when ``exact``).
+    candidates_examined:
+        Number of breakpoints evaluated (diagnostic).
+    """
+
+    s_min: float
+    critical_delta: Optional[float]
+    exact: bool
+    upper_bound: float
+    candidates_examined: int
+
+    @property
+    def requires_speedup(self) -> bool:
+        """True when the HI mode needs more than nominal speed."""
+        return self.s_min > 1.0
+
+    def __float__(self) -> float:  # pragma: no cover - trivial
+        return self.s_min
+
+
+#: Relative tolerance for declaring the asymptotic rate dominant.
+DEFAULT_RTOL = 1e-9
+
+#: Default cap on the number of breakpoints examined.
+DEFAULT_MAX_CANDIDATES = 2_000_000
+
+
+def _zero_interval_demand(taskset: TaskSet) -> bool:
+    """True when ``sum DBF_HI(tau_i, 0) > 0`` (infinite speedup needed)."""
+    demand = float(total_dbf_hi(taskset, 0.0))
+    return demand > 1e-12
+
+
+def min_speedup(
+    taskset: TaskSet,
+    *,
+    rtol: float = DEFAULT_RTOL,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> SpeedupResult:
+    """Compute Theorem 2's minimum HI-mode speedup for ``taskset``.
+
+    Parameters
+    ----------
+    taskset:
+        The dual-criticality task set (already carrying its LO-mode
+        deadline preparation and HI-mode degradation parameters).
+    rtol:
+        Relative tolerance used when the supremum coincides with the
+        asymptotic demand rate.
+    max_candidates:
+        Budget on examined breakpoints; exceeding it returns an inexact
+        result with a certified ``upper_bound``.
+    """
+    if len(taskset) == 0:
+        return SpeedupResult(0.0, None, True, 0.0, 0)
+    if _zero_interval_demand(taskset):
+        return SpeedupResult(math.inf, None, True, math.inf, 0)
+
+    rate = hi_mode_rate(taskset)
+    excess = dbf_hi_excess_bound(taskset)
+    if excess == 0.0:  # every task terminated: no HI-mode demand at all
+        return SpeedupResult(0.0, None, True, 0.0, 0)
+
+    best_ratio = 0.0
+    best_delta: Optional[float] = None
+    examined = 0
+    window_lo = 0.0
+    window_hi = pts.initial_window(taskset)
+
+    while True:
+        window_hi = pts.clamp_window(taskset, window_lo, window_hi, kind="dbf")
+        candidates = pts.breakpoints_in(taskset, window_lo, window_hi, kind="dbf")
+        if candidates.size:
+            demand = np.asarray(total_dbf_hi(taskset, candidates), dtype=float)
+            ratios = demand / candidates
+            idx = int(np.argmax(ratios))
+            if ratios[idx] > best_ratio:
+                best_ratio = float(ratios[idx])
+                best_delta = float(candidates[idx])
+            examined += int(candidates.size)
+
+        # Envelope pruning: any Delta > window_hi has ratio <= rate + B/Delta.
+        future_cap = rate + excess / window_hi
+        target = max(best_ratio, rate)
+        if future_cap <= target * (1.0 + rtol) + rtol:
+            if best_ratio >= rate:
+                return SpeedupResult(best_ratio, best_delta, True, best_ratio, examined)
+            # The supremum is the (possibly unattained) asymptotic rate.
+            return SpeedupResult(rate, best_delta, True, rate, examined)
+        if examined >= max_candidates:
+            upper = max(best_ratio, future_cap)
+            return SpeedupResult(max(best_ratio, rate), best_delta, False, upper, examined)
+
+        window_lo = window_hi
+        if best_ratio > rate * (1.0 + rtol) + rtol:
+            # A finite stopping point exists: beyond it the envelope cannot
+            # reach best_ratio.
+            stop = excess / (best_ratio - rate)
+            window_hi = min(max(2.0 * window_hi, window_lo * 1.5), max(stop, window_lo * 1.1))
+            if window_hi <= window_lo:
+                return SpeedupResult(best_ratio, best_delta, True, best_ratio, examined)
+        else:
+            window_hi = 2.0 * window_hi
+
+
+def speedup_schedulable(
+    taskset: TaskSet,
+    s: float,
+    *,
+    rtol: float = DEFAULT_RTOL,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> bool:
+    """HI-mode schedulability test at a *given* speedup ``s``.
+
+    Checks ``sum DBF_HI(Delta) <= s * Delta`` for all ``Delta >= 0``
+    (Theorem 2 rearranged), using a direct bounded scan: beyond
+    ``Delta > B / (s - rate)`` the envelope guarantees satisfaction.
+    Returns False when ``s < rate`` (long-run overload).
+    """
+    if len(taskset) == 0:
+        return True
+    if _zero_interval_demand(taskset):
+        return False
+    rate = hi_mode_rate(taskset)
+    excess = dbf_hi_excess_bound(taskset)
+    if excess == 0.0:
+        return True
+    if s < rate * (1.0 - rtol):
+        return False
+    if s <= 0.0:
+        return False
+    horizon = excess / max(s - rate, rtol * max(1.0, s))
+    window_lo, step = 0.0, pts.initial_window(taskset)
+    examined = 0
+    while window_lo < horizon:
+        window_hi = pts.clamp_window(
+            taskset, window_lo, min(window_lo + step, horizon), kind="dbf"
+        )
+        candidates = pts.breakpoints_in(taskset, window_lo, window_hi, kind="dbf")
+        if candidates.size:
+            demand = np.asarray(total_dbf_hi(taskset, candidates), dtype=float)
+            slack = s * candidates * (1.0 + rtol) + rtol - demand
+            if np.any(slack < 0.0):
+                return False
+            examined += int(candidates.size)
+            if examined >= max_candidates:
+                # Fall back to the exact computation's verdict.
+                return min_speedup(taskset, rtol=rtol, max_candidates=max_candidates).s_min <= s * (
+                    1.0 + rtol
+                )
+        window_lo = window_hi
+        step *= 2.0
+    return True

@@ -1,0 +1,36 @@
+"""Baseline schedulers/tests the paper's approach is compared against.
+
+* :mod:`repro.baselines.edf` — single-mode EDF feasibility tests: the
+  optimistic (all-LO) and pessimistic (all-HI) extremes.
+* :mod:`repro.baselines.edf_vd` — classic EDF-VD (Baruah et al.,
+  ECRTS 2012): virtual deadlines plus LO-task termination, *no*
+  speedup.  This is the ``s_min = 1`` comparison point of Figure 6a and
+  the "no processor speedup" region of Figure 7.
+* :mod:`repro.baselines.amc` — fixed-priority AMC-rtb with Audsley's
+  priority assignment (Baruah/Burns/Davis, RTSS 2011) and the SMC
+  sufficient test: the fixed-priority state of the art.
+"""
+
+from repro.baselines.edf import (
+    edf_demand_schedulable,
+    edf_utilization_schedulable,
+    pessimistic_edf_schedulable,
+)
+from repro.baselines.edf_vd import (
+    EdfVdResult,
+    edf_vd_schedulable,
+    edf_vd_virtual_deadline_factor,
+)
+from repro.baselines.amc import AmcResult, amc_schedulable, smc_schedulable
+
+__all__ = [
+    "edf_demand_schedulable",
+    "edf_utilization_schedulable",
+    "pessimistic_edf_schedulable",
+    "EdfVdResult",
+    "edf_vd_schedulable",
+    "edf_vd_virtual_deadline_factor",
+    "AmcResult",
+    "amc_schedulable",
+    "smc_schedulable",
+]

@@ -1,0 +1,178 @@
+"""Fixed-priority Adaptive Mixed Criticality (AMC) — a second baseline.
+
+Baruah, Burns & Davis, *Response-Time Analysis for Mixed Criticality
+Systems* (RTSS 2011).  The EDF-based scheme of this paper is usually
+contrasted with the fixed-priority state of the art; AMC-rtb with
+Audsley's optimal priority assignment is that comparator:
+
+* LO-mode response time (classic RTA, LO WCETs)::
+
+      R_i = C_i(LO) + sum_{j in hp(i)} ceil(R_i / T_j) * C_j(LO)
+
+* HI-mode response time, AMC-rtb bound: after the switch only HI tasks
+  keep running (LO tasks are terminated), but LO-criticality
+  higher-priority tasks may have interfered before the switch, which
+  happens no later than ``R_i(LO)``::
+
+      R_i(HI) = C_i(HI)
+              + sum_{j in hpH(i)} ceil(R_i(HI) / T_j) * C_j(HI)
+              + sum_{k in hpL(i)} ceil(R_i(LO) / T_k) * C_k(LO)
+
+A task is schedulable when its relevant response times meet the
+respective deadlines; Audsley's algorithm searches a feasible priority
+order bottom-up.  All analysis is on a unit-speed processor, making AMC
+the fixed-priority analogue of the paper's "no speedup" comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+
+#: Iteration cap for the fixed-point recurrences.
+_MAX_ITER = 10_000
+
+
+def _fixed_point(start: float, step) -> Optional[float]:
+    """Solve ``R = step(R)`` by iteration from ``start``; None = divergence."""
+    response = start
+    for _ in range(_MAX_ITER):
+        nxt = step(response)
+        if nxt <= response + 1e-12:
+            return nxt
+        response = nxt
+    return None
+
+
+def lo_mode_response_time(
+    task: MCTask, higher: Sequence[MCTask], bound: Optional[float] = None
+) -> Optional[float]:
+    """Classic RTA with LO WCETs; ``None`` when it exceeds ``bound``.
+
+    ``bound`` defaults to the task's LO-mode deadline (divergence past
+    the deadline means unschedulable anyway).
+    """
+    limit = task.d_lo if bound is None else bound
+
+    def step(r: float) -> float:
+        return task.c_lo + sum(
+            math.ceil(r / j.t_lo - 1e-12) * j.c_lo for j in higher
+        )
+
+    response = _fixed_point(task.c_lo, step)
+    if response is None or response > limit + 1e-9:
+        return None
+    return response
+
+
+def hi_mode_response_time(
+    task: MCTask, higher: Sequence[MCTask], r_lo: float
+) -> Optional[float]:
+    """AMC-rtb HI-mode response time for a HI task; None = diverges."""
+    hp_hi = [j for j in higher if j.is_hi]
+    hp_lo = [j for j in higher if j.is_lo]
+    lo_interference = sum(
+        math.ceil(r_lo / k.t_lo - 1e-12) * k.c_lo for k in hp_lo
+    )
+
+    def step(r: float) -> float:
+        return (
+            task.c_hi
+            + lo_interference
+            + sum(math.ceil(r / j.t_hi - 1e-12) * j.c_hi for j in hp_hi)
+        )
+
+    response = _fixed_point(task.c_hi, step)
+    if response is None or response > task.d_hi + 1e-9:
+        return None
+    return response
+
+
+def _priority_level_feasible(task: MCTask, higher: Sequence[MCTask]) -> bool:
+    """Can ``task`` sit *below* every task in ``higher``?"""
+    r_lo = lo_mode_response_time(task, higher)
+    if r_lo is None:
+        return False
+    if task.is_lo:
+        return True
+    r_hi = hi_mode_response_time(task, higher, r_lo)
+    return r_hi is not None
+
+
+@dataclass(frozen=True)
+class AmcResult:
+    """Verdict of the AMC-rtb + Audsley analysis.
+
+    Attributes
+    ----------
+    schedulable:
+        Whether some priority order passes AMC-rtb.
+    priority_order:
+        Highest-priority-first task names (``None`` when unschedulable).
+    response_times:
+        Per task: ``(R_LO, R_HI)`` with ``R_HI = None`` for LO tasks.
+    """
+
+    schedulable: bool
+    priority_order: Optional[List[str]]
+    response_times: Dict[str, tuple]
+
+
+def amc_schedulable(taskset: TaskSet) -> AmcResult:
+    """Audsley's optimal priority assignment over the AMC-rtb test.
+
+    Audsley's argument applies because the per-level test depends only
+    on the *set* of higher-priority tasks, not their relative order.
+    """
+    remaining: List[MCTask] = list(taskset)
+    order_low_to_high: List[MCTask] = []
+    while remaining:
+        placed = None
+        for candidate in remaining:
+            higher = [t for t in remaining if t is not candidate]
+            if _priority_level_feasible(candidate, higher):
+                placed = candidate
+                break
+        if placed is None:
+            return AmcResult(False, None, {})
+        order_low_to_high.append(placed)
+        remaining.remove(placed)
+
+    order = list(reversed(order_low_to_high))  # highest priority first
+    responses: Dict[str, tuple] = {}
+    for idx, task in enumerate(order):
+        higher = order[:idx]
+        r_lo = lo_mode_response_time(task, higher)
+        r_hi = (
+            hi_mode_response_time(task, higher, r_lo)
+            if task.is_hi and r_lo is not None
+            else None
+        )
+        responses[task.name] = (r_lo, r_hi)
+    return AmcResult(True, [t.name for t in order], responses)
+
+
+def smc_schedulable(taskset: TaskSet) -> bool:
+    """Static Mixed Criticality (SMC) sufficient test, for reference.
+
+    SMC runs every task at its own-criticality WCET with no mode switch:
+    HI tasks budgeted at ``C(HI)``, LO tasks at ``C(LO)``, deadlines at
+    the LO-mode values.  Deadline-monotonic priorities; plain RTA.
+    """
+    order = sorted(taskset, key=lambda t: t.d_lo)
+    for idx, task in enumerate(order):
+        higher = order[:idx]
+
+        def step(r: float) -> float:
+            return task.wcet(task.crit) + sum(
+                math.ceil(r / j.t_lo - 1e-12) * j.wcet(j.crit) for j in higher
+            )
+
+        response = _fixed_point(task.wcet(task.crit), step)
+        if response is None or response > task.d_lo + 1e-9:
+            return False
+    return True

@@ -1,0 +1,107 @@
+"""Single-mode EDF baselines.
+
+Two non-mixed-criticality extremes bracket every MC scheme:
+
+* *optimistic* — trust the LO WCETs and run plain EDF; unsafe under
+  overrun but maximally permissive (this is LO-mode feasibility).
+* *pessimistic* — budget every HI task at its HI WCET all the time;
+  safe but wasteful.  The gap between the two is the resource the MC
+  protocol (and, here, temporary speedup) recovers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.task import Criticality, MCTask
+from repro.model.taskset import TaskSet
+
+_RTOL = 1e-9
+
+
+def _dbf_single(c: float, d: float, t: float, delta) -> np.ndarray:
+    """Classic single-mode demand bound: ``max(floor((D-d)/t)+1, 0)*c``."""
+    d_arr = np.asarray(delta, dtype=float)
+    jobs = np.maximum(np.floor((d_arr - d) / t + 1e-12) + 1.0, 0.0)
+    return jobs * c
+
+
+def edf_utilization_schedulable(taskset: TaskSet, level: Criticality) -> bool:
+    """Utilization test: exact for implicit deadlines at a single level."""
+    total = sum(t.utilization(level) for t in taskset)
+    implicit = all(t.deadline(level) >= t.period(level) or t.terminated_in_hi for t in taskset)
+    if not implicit:
+        raise ValueError("utilization test is exact only for implicit deadlines")
+    return total <= 1.0 + _RTOL
+
+
+def _demand_test(taskset: TaskSet, params, speed: float = 1.0) -> bool:
+    """Generic processor-demand test for per-task ``(c, d, t)`` triples."""
+    triples = [params(t) for t in taskset]
+    triples = [x for x in triples if x is not None]
+    if not triples:
+        return True
+    rate = sum(c / t for c, _, t in triples)
+    if rate > speed * (1.0 + _RTOL):
+        return False
+    # dbf(Delta) <= rate*Delta + B with B = sum (c/t)*(t - d): violations
+    # only occur before B/(speed - rate); implicit deadlines pass outright.
+    excess = sum((c / t) * max(t - d, 0.0) for c, d, t in triples)
+    if excess <= 0.0:
+        return True
+    from repro.analysis.schedulability import _scan_horizon
+
+    horizon = _scan_horizon([(d, t) for _, d, t in triples], speed, rate, excess)
+    window_lo = 0.0
+    step = 2.0 * max(t for _, _, t in triples)
+    density = sum(1.0 / t for _, _, t in triples)
+    max_window = 200_000 / density if density > 0 else np.inf
+    while window_lo < horizon:
+        window_hi = min(window_lo + step, horizon, window_lo + max_window)
+        candidates = []
+        for c, d, t in triples:
+            k_hi = int(np.floor((window_hi - d) / t + 1e-12))
+            k_lo = max(0, int(np.ceil((window_lo - d) / t - 1e-12)))
+            if k_hi >= k_lo:
+                candidates.append(np.arange(k_lo, k_hi + 1, dtype=float) * t + d)
+        if candidates:
+            points = np.unique(np.concatenate(candidates))
+            points = points[(points > window_lo) & (points <= window_hi)]
+            if points.size:
+                demand = np.zeros_like(points)
+                for c, d, t in triples:
+                    demand += _dbf_single(c, d, t, points)
+                if np.any(demand > speed * points * (1.0 + _RTOL) + _RTOL):
+                    return False
+        window_lo = window_hi
+        step *= 2.0
+    return True
+
+
+def edf_demand_schedulable(taskset: TaskSet, level: Criticality, speed: float = 1.0) -> bool:
+    """Exact EDF demand test with every task at its ``level`` parameters.
+
+    ``level = LO`` reproduces the optimistic baseline; terminated tasks
+    are skipped at level HI.
+    """
+
+    def params(task: MCTask):
+        if level is Criticality.HI and task.terminated_in_hi:
+            return None
+        return (task.wcet(level), task.deadline(level), task.period(level))
+
+    return _demand_test(taskset, params, speed)
+
+
+def pessimistic_edf_schedulable(taskset: TaskSet, speed: float = 1.0) -> bool:
+    """Pessimistic baseline: HI WCETs with original (LO-mode) deadlines.
+
+    Every job is budgeted at ``C(HI)`` while keeping its normal service
+    (``D(LO)``, ``T(LO)``); no mode switching is ever needed, at the cost
+    of massive over-provisioning.
+    """
+
+    def params(task: MCTask):
+        return (task.c_hi, task.d_lo, task.t_lo)
+
+    return _demand_test(taskset, params, speed)

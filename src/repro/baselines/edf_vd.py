@@ -1,0 +1,95 @@
+"""Classic EDF-VD (Baruah et al., ECRTS 2012) — the no-speedup baseline.
+
+EDF with Virtual Deadlines handles dual-criticality implicit-deadline
+sporadic tasks on a *unit-speed* processor by (i) shortening HI tasks'
+deadlines by a factor ``x`` in LO mode and (ii) *terminating* all LO
+tasks on a switch to HI mode.  Writing ``U^chi_lev`` for the total
+utilization of the ``chi``-criticality tasks at their ``lev`` WCETs, the
+scheme is schedulable when either
+
+* ``U^LO_LO + U^HI_HI <= 1`` (plain worst-case EDF suffices; no virtual
+  deadlines needed), or
+* ``x = U^HI_LO / (1 - U^LO_LO)`` satisfies
+  ``x * U^LO_LO ... `` equivalently ``U^LO_LO * x + U^HI_HI <= 1``
+  — i.e. a feasible ``x`` exists in
+  ``[U^HI_LO / (1 - U^LO_LO), (1 - U^HI_HI) / U^LO_LO]``.
+
+EDF-VD is speedup-optimal among MC schedulers with a 4/3 bound, which
+makes it the natural ``s = 1`` comparison point for the paper's Figures
+6a and 7 ("no processor speedup").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.task import Criticality
+from repro.model.taskset import TaskSet
+
+_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class EdfVdResult:
+    """Verdict of the EDF-VD test.
+
+    Attributes
+    ----------
+    schedulable:
+        Whether EDF-VD can schedule the set on a unit-speed processor.
+    x:
+        The virtual-deadline factor to deploy (``None`` when plain
+        worst-case EDF already works or the set is unschedulable).
+    plain_edf:
+        True when ``U^LO_LO + U^HI_HI <= 1`` (no mode logic needed).
+    """
+
+    schedulable: bool
+    x: Optional[float]
+    plain_edf: bool
+
+
+def _utilizations(taskset: TaskSet):
+    u_lo_lo = taskset.utilization(Criticality.LO, Criticality.LO)
+    u_hi_lo = taskset.utilization(Criticality.LO, Criticality.HI)
+    u_hi_hi = sum(t.c_hi / t.t_lo for t in taskset.hi_tasks)
+    return u_lo_lo, u_hi_lo, u_hi_hi
+
+
+def edf_vd_virtual_deadline_factor(taskset: TaskSet) -> Optional[float]:
+    """The canonical EDF-VD deadline-shrinking factor.
+
+    ``x = U^HI_LO / (1 - U^LO_LO)``; ``None`` when LO mode is already
+    infeasible (``U^LO_LO + U^HI_LO > 1``).
+    """
+    u_lo_lo, u_hi_lo, _ = _utilizations(taskset)
+    if u_lo_lo + u_hi_lo > 1.0 + _RTOL:
+        return None
+    headroom = 1.0 - u_lo_lo
+    if headroom <= 0.0:
+        return None if u_hi_lo > 0.0 else 1.0
+    return min(u_hi_lo / headroom, 1.0) if u_hi_lo > 0.0 else 1.0
+
+
+def edf_vd_schedulable(taskset: TaskSet) -> EdfVdResult:
+    """Apply the ECRTS-2012 sufficient schedulability test.
+
+    Expects implicit-deadline base parameters (the generator's output);
+    the LO tasks' HI-mode parameters are irrelevant because EDF-VD
+    terminates them.
+    """
+    u_lo_lo, u_hi_lo, u_hi_hi = _utilizations(taskset)
+    if u_lo_lo + u_hi_hi <= 1.0 + _RTOL:
+        return EdfVdResult(True, None, True)
+    x = edf_vd_virtual_deadline_factor(taskset)
+    if x is None or x > 1.0:
+        return EdfVdResult(False, None, False)
+    if x * u_lo_lo + u_hi_hi <= 1.0 + _RTOL:
+        return EdfVdResult(True, x, False)
+    return EdfVdResult(False, None, False)
+
+
+def edf_vd_speedup_bound() -> float:
+    """EDF-VD's proven speedup-optimality bound (4/3)."""
+    return 4.0 / 3.0

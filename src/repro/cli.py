@@ -1,0 +1,230 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    repro-mc table1
+    repro-mc fig1 | fig3 | fig4 | fig5 | fig6 | fig7
+    repro-mc validate            # simulator-vs-analysis cross-check
+    repro-mc all [--quick]
+    repro-mc analyze --taskset my_tasks.json [--speedup 2] [--budget 5000]
+
+``--quick`` shrinks the synthetic population sizes so the whole
+evaluation finishes in about a minute (the benchmark harness under
+``benchmarks/`` runs the paper-scale versions).  ``analyze`` runs the
+full dual-mode analysis on a user-supplied JSON task set (see
+:mod:`repro.io` for the format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _run_table1() -> str:
+    from repro.analysis.resetting import resetting_time
+    from repro.analysis.speedup import min_speedup
+    from repro.experiments import table1
+
+    out = [table1.render(), ""]
+    ts, tsd = table1.table1_taskset(), table1.table1_degraded_taskset()
+    out.append(f"Example 1: s_min            = {min_speedup(ts).s_min:.6g} (paper: 4/3)")
+    out.append(f"Example 1: s_min (degraded) = {min_speedup(tsd).s_min:.6g} (paper: 0.875)")
+    out.append(
+        f"Example 2: Delta_R(s=2)     = {resetting_time(ts, 2.0).delta_r:.6g} (paper: 6)"
+    )
+    out.append(
+        f"Example 2: Delta_R(s=4/3)   = {resetting_time(ts, 4.0 / 3.0).delta_r:.6g}"
+    )
+    return "\n".join(out)
+
+
+def _run_fig1() -> str:
+    from repro.experiments import fig1
+
+    return fig1.render()
+
+
+def _run_fig3() -> str:
+    from repro.experiments import fig3
+
+    return fig3.render()
+
+
+def _run_fig4() -> str:
+    from repro.experiments import fig4
+
+    return fig4.render()
+
+
+def _run_fig5() -> str:
+    from repro.experiments import fig5
+
+    return fig5.render()
+
+
+def _make_fig6(quick: bool) -> Callable[[], str]:
+    def run() -> str:
+        from repro.experiments import fig6
+
+        n = 60 if quick else 500
+        n_sweep = 30 if quick else 200
+        points = fig6.run(sets_per_point=n)
+        sweep = fig6.run_sweep(sets_per_point=n_sweep)
+        return fig6.render(points, sweep)
+
+    return run
+
+
+def _make_fig7(quick: bool) -> Callable[[], str]:
+    def run() -> str:
+        from repro.experiments import fig7
+
+        n = 20 if quick else 100
+        grid = fig7.run(sets_per_point=n)
+        return fig7.render(grid)
+
+    return run
+
+
+def _run_validate() -> str:
+    from repro.experiments.table1 import table1_degraded_taskset, table1_taskset
+    from repro.sim.validate import validate_bounds
+
+    out = ["Simulator-vs-analysis validation (Table I example):"]
+    for name, ts in (
+        ("no degradation", table1_taskset()),
+        ("with degradation", table1_degraded_taskset()),
+    ):
+        report = validate_bounds(ts, speedup=2.0, horizon=400.0)
+        out.append(
+            f"  {name}: s_min={report.s_min:.4g}, Delta_R(2)={report.delta_r:.4g}, "
+            f"misses@2x={report.misses_at_s_min}, "
+            f"max episode={report.max_episode:.4g}, "
+            f"bounds hold: {report.bounds_hold}"
+        )
+    return "\n".join(out)
+
+
+def _run_analyze(path: str, speedup, budget) -> str:
+    """Dual-mode analysis report for a user-supplied JSON task set."""
+    import math
+
+    from repro.analysis.resetting import resetting_time
+    from repro.analysis.schedulability import system_schedulable
+    from repro.analysis.sensitivity import max_tolerable_gamma, min_speedup_margin
+    from repro.io import load_taskset
+
+    taskset = load_taskset(path)
+    out = [f"Task set {taskset.name!r} ({len(taskset)} tasks):", taskset.table(), ""]
+    report = system_schedulable(taskset, s=speedup)
+    out.append(f"LO mode schedulable at nominal speed: {report.lo_ok}")
+    out.append(f"Theorem 2 minimum HI-mode speedup:    {report.s_min.s_min:.6g}")
+    if speedup is not None:
+        out.append(f"HI mode schedulable at s = {speedup:g}:      {report.hi_ok}")
+        if report.resetting is not None:
+            out.append(
+                f"Corollary 5 resetting time at s = {speedup:g}: "
+                f"{report.resetting.delta_r:.6g}"
+            )
+            if budget is not None:
+                ok = report.within_reset_budget(budget)
+                out.append(f"Within recovery budget {budget:g}:        {ok}")
+        out.append(
+            f"Speedup margin (headroom):            "
+            f"{min_speedup_margin(taskset, speedup):.6g}"
+        )
+        if report.schedulable:
+            gamma = max_tolerable_gamma(
+                taskset, speedup,
+                reset_budget=budget if budget is not None else math.inf,
+            )
+            if gamma is not None:
+                out.append(f"Max tolerable WCET ratio gamma:       {gamma:.4g}")
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mc",
+        description="Reproduce the tables and figures of 'Run and Be Safe' (DATE 2015).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "validate", "all", "analyze",
+        ],
+        help="which artefact to regenerate (or 'analyze' a task-set file)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller synthetic populations (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--taskset",
+        help="JSON task-set file for 'analyze' (see repro.io)",
+    )
+    parser.add_argument(
+        "--speedup",
+        type=float,
+        default=2.0,
+        help="HI-mode speedup evaluated by 'analyze' (default 2.0)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="recovery-time budget checked by 'analyze' (same unit as the task set)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="emit the full design report (analysis + sensitivity + simulated "
+        "worst case) instead of the short summary",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "analyze":
+        if not args.taskset:
+            parser.error("'analyze' requires --taskset <file.json>")
+        if args.report:
+            from repro.io import load_taskset
+            from repro.report import build_report
+
+            print(
+                build_report(
+                    load_taskset(args.taskset),
+                    args.speedup,
+                    reset_budget=args.budget,
+                )
+            )
+        else:
+            print(_run_analyze(args.taskset, args.speedup, args.budget))
+        return 0
+
+    runners: Dict[str, Callable[[], str]] = {
+        "table1": _run_table1,
+        "fig1": _run_fig1,
+        "fig3": _run_fig3,
+        "fig4": _run_fig4,
+        "fig5": _run_fig5,
+        "fig6": _make_fig6(args.quick),
+        "fig7": _make_fig7(args.quick),
+        "validate": _run_validate,
+    }
+    names = list(runners) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        print(runners[name]())
+        print(f"--- {name} done in {time.perf_counter() - start:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Energy cost of temporary speedup (extension).
+
+The paper motivates *temporary* speedup by its bounded power cost
+(Section I cites Turbo-Boost-style budgets; reference [11] studies the
+energy angle).  This package quantifies that cost with the standard
+cubic DVFS proxy, turning the resetting-time bound into an energy
+budget per overrun episode.
+"""
+
+from repro.energy.cost import (
+    EnergyModel,
+    episode_energy,
+    episode_energy_overhead,
+    long_run_power_overhead,
+    optimal_recovery_speed,
+)
+
+__all__ = [
+    "EnergyModel",
+    "episode_energy",
+    "episode_energy_overhead",
+    "long_run_power_overhead",
+    "optimal_recovery_speed",
+]

@@ -1,0 +1,125 @@
+"""Energy accounting for speedup episodes.
+
+A speedup episode runs the processor at speed ``s`` for (at most) the
+resetting time ``Delta_R(s)`` of Corollary 5.  With the cubic power
+proxy ``P(s) = s ** alpha`` the per-episode energy is
+
+    E(s) = s ** alpha * Delta_R(s),
+
+and because ``Delta_R`` shrinks roughly like ``1 / (s - s_min)``
+(Lemma 7) there is a genuine optimisation problem: very small ``s``
+drags the episode out, very large ``s`` burns power quadratically
+faster than it saves time.  :func:`optimal_recovery_speed` locates the
+minimum-energy speed on a grid.
+
+Combined with a worst-case burst separation ``T_O`` (Section IV
+remark), the *long-run* average power overhead of the scheme is
+
+    (E(s) - nominal energy over Delta_R) / T_O.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.resetting import resetting_time
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """DVFS power model: ``P(s) = dynamic * s**alpha + static``."""
+
+    alpha: float = 3.0
+    dynamic: float = 1.0
+    static: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1, got {self.alpha}")
+        if self.dynamic <= 0.0:
+            raise ValueError(f"dynamic coefficient must be positive, got {self.dynamic}")
+        if self.static < 0.0:
+            raise ValueError(f"static power must be non-negative, got {self.static}")
+
+    def power(self, s: float) -> float:
+        """Instantaneous power at speed ``s``."""
+        if s < 0.0:
+            raise ValueError(f"speed must be non-negative, got {s}")
+        return self.dynamic * s**self.alpha + self.static
+
+
+def episode_energy(
+    taskset: TaskSet, s: float, model: EnergyModel = EnergyModel()
+) -> float:
+    """Worst-case energy of one speedup episode: ``P(s) * Delta_R(s)``.
+
+    Infinite when ``s`` cannot drain the HI-mode backlog.
+    """
+    delta_r = resetting_time(taskset, s).delta_r
+    if math.isinf(delta_r):
+        return math.inf
+    return model.power(s) * delta_r
+
+
+def episode_energy_overhead(
+    taskset: TaskSet, s: float, model: EnergyModel = EnergyModel()
+) -> float:
+    """Episode energy *beyond* running the same interval at nominal speed."""
+    delta_r = resetting_time(taskset, s).delta_r
+    if math.isinf(delta_r):
+        return math.inf
+    return (model.power(s) - model.power(1.0)) * delta_r
+
+
+def long_run_power_overhead(
+    taskset: TaskSet,
+    s: float,
+    t_o: float,
+    model: EnergyModel = EnergyModel(),
+) -> float:
+    """Average extra power given overrun bursts at least ``t_o`` apart.
+
+    Returns ``inf`` when episodes can overlap (``Delta_R > T_O``), i.e.
+    the system may stay boosted indefinitely.
+    """
+    if t_o <= 0.0:
+        raise ValueError(f"T_O must be positive, got {t_o}")
+    delta_r = resetting_time(taskset, s).delta_r
+    if delta_r > t_o:
+        return math.inf
+    return episode_energy_overhead(taskset, s, model) / t_o
+
+
+def optimal_recovery_speed(
+    taskset: TaskSet,
+    model: EnergyModel = EnergyModel(),
+    *,
+    s_max: float = 4.0,
+    points: int = 200,
+    s_min_hint: Optional[float] = None,
+) -> Tuple[float, float]:
+    """Minimum-energy recovery speed on a grid of feasible speeds.
+
+    Returns ``(s_star, energy)``; raises when no grid speed up to
+    ``s_max`` yields a finite episode energy.  ``s_min_hint`` (e.g. the
+    Theorem-2 value) narrows the grid's lower end.
+    """
+    from repro.analysis.dbf import hi_mode_rate
+
+    lower = max(s_min_hint or 0.0, hi_mode_rate(taskset)) + 1e-6
+    if lower >= s_max:
+        raise ValueError(f"no feasible speed in ({lower:.3g}, {s_max:.3g}]")
+    grid = np.linspace(lower * 1.001, s_max, points)
+    best_s, best_e = None, math.inf
+    for s in grid:
+        energy = episode_energy(taskset, float(s), model)
+        if energy < best_e:
+            best_s, best_e = float(s), energy
+    if best_s is None or math.isinf(best_e):
+        raise ValueError("every candidate speed has infinite episode energy")
+    return best_s, best_e

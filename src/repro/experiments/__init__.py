@@ -1,0 +1,13 @@
+"""One module per paper table/figure (see DESIGN.md Section 4).
+
+Every experiment module exposes a ``run(...)`` function returning plain
+data structures plus a ``render(...)`` helper that prints the series the
+paper's table/figure reports.  The benchmarks under ``benchmarks/``
+drive these with paper-scale parameters; the experiment functions accept
+smaller counts for quick runs and tests.
+"""
+
+from repro.experiments import common
+from repro.experiments.table1 import table1_taskset, table1_degraded_taskset
+
+__all__ = ["common", "table1_taskset", "table1_degraded_taskset"]

@@ -1,0 +1,88 @@
+"""Figure 1: minimum speedup and HI-mode demand bound functions.
+
+Two panels over the Table-I example:
+
+* (a) no service degradation — the total ``DBF_HI`` curve against the
+  supply line ``s_min * Delta`` with ``s_min = 4/3``;
+* (b) with Example 1's degradation — supply line at ``s_min = 0.875``
+  (the system may even *slow down* in HI mode).
+
+``run`` returns the sampled curves; ``render`` prints the series plus
+the computed minima, which is the figure's content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.dbf import total_dbf_hi
+from repro.analysis.speedup import min_speedup
+from repro.experiments import common
+from repro.experiments.table1 import table1_degraded_taskset, table1_taskset
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class Fig1Panel:
+    """One panel: demand curve, supply line and the speedup minimum."""
+
+    name: str
+    deltas: np.ndarray
+    demand: np.ndarray
+    s_min: float
+    critical_delta: float
+
+    @property
+    def supply(self) -> np.ndarray:
+        return self.s_min * self.deltas
+
+
+def _panel(taskset: TaskSet, name: str, horizon: float, samples: int) -> Fig1Panel:
+    result = min_speedup(taskset)
+    deltas = np.linspace(0.0, horizon, samples)
+    demand = np.asarray(total_dbf_hi(taskset, deltas), dtype=float)
+    return Fig1Panel(
+        name=name,
+        deltas=deltas,
+        demand=demand,
+        s_min=result.s_min,
+        critical_delta=result.critical_delta or 0.0,
+    )
+
+
+def run(horizon: float = 40.0, samples: int = 401) -> List[Fig1Panel]:
+    """Compute both Figure-1 panels on the Table-I example."""
+    return [
+        _panel(table1_taskset(), "no degradation", horizon, samples),
+        _panel(table1_degraded_taskset(), "with degradation", horizon, samples),
+    ]
+
+
+def render(horizon: float = 40.0) -> str:
+    """Figure 1 as text: s_min values and demand-vs-supply samples."""
+    panels = run(horizon=horizon, samples=int(horizon) + 1)
+    out = []
+    for panel in panels:
+        out.append(
+            f"Figure 1 ({panel.name}): s_min = {panel.s_min:.6g} "
+            f"attained at Delta = {panel.critical_delta:g}"
+        )
+        cols = {"DBF_HI": panel.demand, "s_min*Delta": panel.supply}
+        step = max(1, len(panel.deltas) // 20)
+        xs = panel.deltas[::step]
+        out.append(
+            common.series_table(
+                "Delta", xs, {k: v[::step] for k, v in cols.items()}
+            )
+        )
+        out.append(
+            common.ascii_curve(
+                panel.deltas, panel.demand - panel.supply,
+                title=f"demand minus supply ({panel.name}; <= 0 means schedulable)",
+            )
+        )
+        out.append("")
+    return "\n".join(out)

@@ -1,0 +1,91 @@
+"""Figure 3 / Example 2: service resetting time under processor speedup.
+
+* (a) arrived-demand curves ``sum ADB_HI`` against supply lines
+  ``s * Delta`` for the Table-I set without degradation — the first
+  crossing is ``Delta_R`` (= 6 at s = 2).
+* (b) the parametric trend ``Delta_R`` vs ``s``, with and without
+  Example 1's service degradation: higher speedup resolves the overload
+  faster, degradation shrinks it further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.dbf import total_adb_hi
+from repro.analysis.resetting import resetting_time
+from repro.experiments import common
+from repro.experiments.table1 import table1_degraded_taskset, table1_taskset
+
+
+@dataclass(frozen=True)
+class Fig3aCurve:
+    """Arrived demand vs one supply line (one choice of s)."""
+
+    s: float
+    deltas: np.ndarray
+    demand: np.ndarray
+    delta_r: float
+
+
+@dataclass(frozen=True)
+class Fig3bSeries:
+    """Delta_R across speedups for one configuration."""
+
+    name: str
+    speedups: np.ndarray
+    delta_r: np.ndarray
+
+
+def run_a(
+    speedups: Sequence[float] = (4.0 / 3.0, 2.0),
+    horizon: float = 20.0,
+    samples: int = 201,
+) -> List[Fig3aCurve]:
+    """Panel (a): ADB curves and resetting points, no degradation."""
+    taskset = table1_taskset()
+    deltas = np.linspace(0.0, horizon, samples)
+    demand = np.asarray(total_adb_hi(taskset, deltas), dtype=float)
+    curves = []
+    for s in speedups:
+        dr = resetting_time(taskset, s).delta_r
+        curves.append(Fig3aCurve(s=s, deltas=deltas, demand=demand, delta_r=dr))
+    return curves
+
+
+def run_b(
+    s_lo: float = 1.0,
+    s_hi: float = 4.0,
+    points: int = 31,
+) -> List[Fig3bSeries]:
+    """Panel (b): Delta_R vs s, with and without degradation."""
+    speedups = np.linspace(s_lo, s_hi, points)
+    series = []
+    for name, taskset in (
+        ("no degradation", table1_taskset()),
+        ("with degradation", table1_degraded_taskset()),
+    ):
+        drs = np.asarray(
+            [resetting_time(taskset, float(s)).delta_r for s in speedups]
+        )
+        series.append(Fig3bSeries(name=name, speedups=speedups, delta_r=drs))
+    return series
+
+
+def render() -> str:
+    """Figure 3 as text: resetting points and the Delta_R(s) trend."""
+    out = ["Figure 3a: resetting time from ADB/supply crossing (no degradation)"]
+    for curve in run_a():
+        out.append(f"  s = {curve.s:.6g}: Delta_R = {curve.delta_r:.6g}")
+    out.append("")
+    out.append("Figure 3b: Delta_R vs speedup")
+    series = run_b()
+    xs = series[0].speedups
+    cols: Dict[str, np.ndarray] = {s.name: s.delta_r for s in series}
+    out.append(common.series_table("s", xs, cols))
+    for s in series:
+        out.append(common.ascii_curve(s.speedups, s.delta_r, title=f"Delta_R vs s ({s.name})"))
+    return "\n".join(out)

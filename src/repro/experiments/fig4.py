@@ -1,0 +1,99 @@
+"""Figure 4 / Examples 3-4: closed-form trade-offs (Lemmas 6 and 7).
+
+The Table-I tasks are re-parameterized per Eqs. (13)/(14) (implicit
+deadlines, common knobs ``x`` and ``y``), then:
+
+* (a) the Lemma-6 speedup bound is swept over ``(x, y)`` — it decreases
+  with more overrun preparation (smaller ``x``) and with more service
+  degradation (larger ``y``);
+* (b) the Lemma-7 resetting bound is swept over ``s`` for several
+  values of the minimum speedup ``s_min`` (i.e. HI-mode load):
+  ``Delta_R`` grows as ``s`` approaches ``s_min`` and diverges at it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.closed_form import closed_form_speedup
+from repro.experiments import common
+from repro.experiments.table1 import table1_taskset
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class Fig4aGrid:
+    """Lemma-6 bound over the (x, y) grid."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    s_min: np.ndarray  # shape (len(xs), len(ys))
+
+
+@dataclass(frozen=True)
+class Fig4bSeries:
+    """Lemma-7 bound vs s for one artificial s_min (HI-mode load)."""
+
+    s_min: float
+    speedups: np.ndarray
+    delta_r: np.ndarray
+
+
+def run_a(
+    taskset: TaskSet = None,
+    xs: Sequence[float] = None,
+    ys: Sequence[float] = None,
+) -> Fig4aGrid:
+    """Sweep the Lemma-6 bound over overrun preparation and degradation."""
+    taskset = taskset or table1_taskset()
+    xs = np.asarray(xs if xs is not None else np.linspace(0.3, 0.9, 13))
+    ys = np.asarray(ys if ys is not None else np.linspace(1.0, 4.0, 13))
+    grid = np.empty((xs.size, ys.size))
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            grid[i, j] = closed_form_speedup(taskset, float(x), float(y))
+    return Fig4aGrid(xs=xs, ys=ys, s_min=grid)
+
+
+def run_b(
+    s_mins: Sequence[float] = (0.8, 1.0, 1.2, 1.5),
+    s_max: float = 4.0,
+    points: int = 49,
+    total_c_hi: float = None,
+) -> List[Fig4bSeries]:
+    """Lemma 7: ``Delta_R = sum C(HI) / (s - s_min)`` for several loads.
+
+    ``s_mins`` are treated as given HI-mode loads (the paper "artificially
+    increases s_min" to illustrate the trend); ``total_c_hi`` defaults to
+    the Table-I value.
+    """
+    if total_c_hi is None:
+        total_c_hi = sum(t.c_hi for t in table1_taskset())
+    series = []
+    for s_min in s_mins:
+        speedups = np.linspace(s_min + 0.05, s_max, points)
+        delta_r = total_c_hi / (speedups - s_min)
+        series.append(Fig4bSeries(s_min=s_min, speedups=speedups, delta_r=delta_r))
+    return series
+
+
+def render() -> str:
+    """Figure 4 as text: the (x, y) grid and the Delta_R(s) family."""
+    grid = run_a()
+    out = ["Figure 4a: Lemma-6 speedup bound over (x, y)"]
+    out.append(common.contour_grid("x", "y", grid.xs, grid.ys, grid.s_min))
+    out.append("")
+    out.append("Figure 4b: Lemma-7 resetting bound vs s")
+    series = run_b()
+    xs = series[-1].speedups
+    cols: Dict[str, np.ndarray] = {}
+    for s in series:
+        resampled = np.interp(xs, s.speedups, s.delta_r, left=np.inf)
+        cols[f"s_min={s.s_min:g}"] = resampled
+    out.append(common.series_table("s", xs[:: max(1, len(xs) // 16)], {
+        k: v[:: max(1, len(xs) // 16)] for k, v in cols.items()
+    }))
+    return "\n".join(out)

@@ -1,0 +1,23 @@
+"""Workload generation: synthetic task sets (Section VI-B/C) and the FMS.
+
+* :mod:`repro.generator.taskgen` — the random task-set generator of
+  Baruah et al. [4] as parameterized by the captions of Figures 6 and 7.
+* :mod:`repro.generator.fms` — a representative flight-management-system
+  workload matching the structural description of Section VI-A.
+"""
+
+from repro.generator.taskgen import (
+    GeneratorConfig,
+    generate_taskset,
+    generate_taskset_with_targets,
+    random_task,
+)
+from repro.generator.fms import fms_taskset
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_taskset",
+    "generate_taskset_with_targets",
+    "random_task",
+    "fms_taskset",
+]

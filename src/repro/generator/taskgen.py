@@ -1,0 +1,297 @@
+"""Random task-set generator of Baruah et al. [4], Section VI parameters.
+
+The generator "starts with an empty task set and continuously adds new
+random tasks to this set until certain system utilization U_bound is
+met".  Per-task parameters follow the caption of Figure 6:
+
+* minimum inter-arrival times drawn uniformly from [2 ms, 2 s]
+  (log-uniform draws available via the config);
+* LO-criticality utilization ``C(LO)/T(LO)`` uniform in [0.01, 0.2];
+* WCET uncertainty ``gamma = C(HI)/C(LO)`` uniform in [1, 3] for HI
+  tasks (Figure 7 uses gamma = 10);
+* criticality HI with probability 0.5;
+* implicit deadlines (``D = T`` on every level; overrun preparation and
+  degradation are applied afterwards via the Section-V transforms).
+
+The dimensioning metric ``U_bound`` defaults to the average of the
+LO-mode and HI-mode system utilizations of the base set (before
+preparation/degradation);
+see :class:`GeneratorConfig` for alternatives.  Overshoot handling is
+configurable; the default rescales the final task's utilization so the
+target is hit exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.model.task import Criticality, MCTask, ModelError
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the synthetic generator (defaults: Figure 6 caption).
+
+    Attributes
+    ----------
+    period_range:
+        Bounds (inclusive) for minimum inter-arrival times, in ms.
+    u_lo_range:
+        Bounds for the per-task LO-criticality utilization.
+    gamma_range:
+        Bounds for the HI/LO WCET ratio of HI tasks.  A degenerate range
+        ``(g, g)`` pins gamma (Figure 7 uses ``(10, 10)``).
+    p_hi:
+        Probability that a new task is HI-criticality.
+    log_uniform_periods:
+        Draw periods log-uniformly instead of uniformly (default False,
+        the plain reading of the Figure-6 caption).
+    overshoot:
+        What to do when the last task pushes past the target utilization:
+        ``"scale"`` (shrink its utilization to land exactly on target),
+        ``"drop"`` (discard it and stop below target) or ``"resample"``
+        (retry the last task up to 100 times with a smaller utilization
+        draw, else scale).
+    metric:
+        Dimensioning metric for ``U_bound``.  ``"avg"`` (default)
+        averages the LO-mode and HI-mode *system* utilizations — the
+        only convention consistent with the paper's "speedup < 1
+        whenever U_bound <= 0.5" observation (see EXPERIMENTS.md).
+        ``"avg_crit"`` is ``(U^LO_LO + U^HI_HI) / 2`` (EDF-VD
+        literature); ``"max"`` takes the larger mode; ``"lo"``/``"hi"``
+        one mode only.
+    cap_each_mode:
+        With the ``"avg"`` metric, optionally keep each individual
+        mode's utilization at or below this cap (1.0 keeps both modes
+        individually unit-speed feasible).  The default ``inf`` matches
+        the paper: HI-mode overload beyond 1 is exactly what the
+        speedup absorbs, and LO-infeasible draws are simply reported as
+        unschedulable.
+    """
+
+    period_range: Tuple[float, float] = (2.0, 2000.0)
+    u_lo_range: Tuple[float, float] = (0.01, 0.2)
+    gamma_range: Tuple[float, float] = (1.0, 3.0)
+    p_hi: float = 0.5
+    log_uniform_periods: bool = False
+    overshoot: str = "scale"
+    metric: str = "avg"
+    cap_each_mode: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.period_range[0] <= self.period_range[1]:
+            raise ModelError(f"bad period range {self.period_range}")
+        if not 0.0 < self.u_lo_range[0] <= self.u_lo_range[1] <= 1.0:
+            raise ModelError(f"bad utilization range {self.u_lo_range}")
+        if not 1.0 <= self.gamma_range[0] <= self.gamma_range[1]:
+            raise ModelError(f"bad gamma range {self.gamma_range}")
+        if not 0.0 <= self.p_hi <= 1.0:
+            raise ModelError(f"bad HI probability {self.p_hi}")
+        if self.overshoot not in ("scale", "drop", "resample"):
+            raise ModelError(f"unknown overshoot policy {self.overshoot!r}")
+        if self.metric not in ("avg_crit", "avg", "max", "lo", "hi"):
+            raise ModelError(f"unknown metric {self.metric!r}")
+        if self.cap_each_mode <= 0.0:
+            raise ModelError(f"cap_each_mode must be positive, got {self.cap_each_mode}")
+
+
+#: The Figure 7 configuration: pinned gamma = 10, otherwise Figure 6.
+FIG7_CONFIG = GeneratorConfig(gamma_range=(10.0, 10.0))
+
+
+def _draw_period(rng: np.random.Generator, config: GeneratorConfig) -> float:
+    lo, hi = config.period_range
+    if config.log_uniform_periods:
+        return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+    return float(rng.uniform(lo, hi))
+
+
+def random_task(
+    rng: np.random.Generator,
+    config: GeneratorConfig = GeneratorConfig(),
+    *,
+    name: str = "task",
+    crit: Optional[Criticality] = None,
+) -> MCTask:
+    """Draw one implicit-deadline task with the Figure-6 distributions.
+
+    ``crit`` forces the criticality level (used by the Figure-7 variant
+    that fills HI and LO budgets independently).
+    """
+    if crit is None:
+        crit = Criticality.HI if rng.uniform() < config.p_hi else Criticality.LO
+    period = _draw_period(rng, config)
+    u_lo = float(rng.uniform(*config.u_lo_range))
+    c_lo = u_lo * period
+    if crit is Criticality.HI:
+        gamma = float(rng.uniform(*config.gamma_range))
+        c_hi = min(gamma * c_lo, period)  # C(HI) <= D(HI) = T structurally
+        return MCTask.hi(name, c_lo=c_lo, c_hi=c_hi, d_lo=period, d_hi=period, period=period)
+    return MCTask.lo(name, c=c_lo, d_lo=period, t_lo=period)
+
+
+def _scale_task_u_lo(task: MCTask, factor: float) -> MCTask:
+    """Shrink a task's LO utilization by ``factor`` (WCETs scale together)."""
+    return replace(task, c_lo=task.c_lo * factor, c_hi=task.c_hi * factor)
+
+
+def _mode_utils(tasks: List[MCTask]) -> Tuple[float, float]:
+    u_lo = sum(t.c_lo / t.t_lo for t in tasks)
+    u_hi = sum(t.c_hi / t.t_hi for t in tasks)
+    return u_lo, u_hi
+
+
+def _crit_utils(tasks: List[MCTask]) -> Tuple[float, float]:
+    """(U^LO of the LO tasks, U^HI of the HI tasks) — Figure-7 notation."""
+    u_lo_of_lo = sum(t.c_lo / t.t_lo for t in tasks if t.crit is Criticality.LO)
+    u_hi_of_hi = sum(t.c_hi / t.t_hi for t in tasks if t.crit is Criticality.HI)
+    return u_lo_of_lo, u_hi_of_hi
+
+
+def _metric(tasks: List[MCTask], config: GeneratorConfig) -> float:
+    if config.metric == "avg_crit":
+        u_lo_of_lo, u_hi_of_hi = _crit_utils(tasks)
+        return 0.5 * (u_lo_of_lo + u_hi_of_hi)
+    u_lo, u_hi = _mode_utils(tasks)
+    if config.metric == "avg":
+        return 0.5 * (u_lo + u_hi)
+    if config.metric == "max":
+        return max(u_lo, u_hi)
+    if config.metric == "lo":
+        return u_lo
+    return u_hi
+
+
+def _max_admissible_scale(
+    tasks: List[MCTask],
+    candidate: MCTask,
+    u_bound: float,
+    config: GeneratorConfig,
+) -> float:
+    """Largest factor ``f`` so that ``tasks + f*candidate`` respects both
+    the metric target and the per-mode cap (utilizations are linear in f)."""
+    base = _metric(tasks, config)
+    load = _metric(tasks + [candidate], config) - base
+    factors = [1.0]
+    if load > 0.0:
+        factors.append((u_bound - base) / load)
+    if config.metric in ("avg", "avg_crit") and math.isfinite(config.cap_each_mode):
+        u_lo, u_hi = _mode_utils(tasks)
+        c_lo, c_hi = _mode_utils([candidate])
+        if c_lo > 0.0:
+            factors.append((config.cap_each_mode - u_lo) / c_lo)
+        if c_hi > 0.0:
+            factors.append((config.cap_each_mode - u_hi) / c_hi)
+    return min(factors)
+
+
+def generate_taskset(
+    u_bound: float,
+    rng: np.random.Generator,
+    config: GeneratorConfig = GeneratorConfig(),
+    *,
+    name: str = "synthetic",
+    min_u_floor: float = 1e-4,
+) -> TaskSet:
+    """Generate one task set with dimensioning metric ``= u_bound``.
+
+    Follows the add-until-met loop of [4] with the configured overshoot
+    policy and dimensioning metric (see :class:`GeneratorConfig`).  The
+    returned set is implicit-deadline and un-prepared; apply
+    :func:`repro.model.transform.apply_uniform_scaling` afterwards.
+    """
+    if not 0.0 < u_bound <= 1.0 + 1e-9:
+        raise ModelError(f"u_bound must be in (0, 1], got {u_bound}")
+    tasks: List[MCTask] = []
+    index = 0
+    while _metric(tasks, config) < u_bound - 1e-12:
+        candidate = random_task(rng, config, name=f"{name}_{index}")
+        attempts = 0
+        while True:
+            scale = _max_admissible_scale(tasks, candidate, u_bound, config)
+            if scale >= 1.0 - 1e-12:
+                tasks.append(candidate)
+                index += 1
+                break
+            if config.overshoot == "drop":
+                return TaskSet(tasks, name=name)
+            if config.overshoot == "resample" and attempts < 100:
+                candidate = random_task(rng, config, name=f"{name}_{index}")
+                attempts += 1
+                continue
+            # "scale" (and resample fallback): shrink the candidate so every
+            # constraint is met exactly, then stop (nothing more fits).
+            if scale <= min_u_floor:
+                return TaskSet(tasks, name=name)
+            tasks.append(_scale_task_u_lo(candidate, scale))
+            return TaskSet(tasks, name=f"{name}")
+    return TaskSet(tasks, name=name)
+
+
+def generate_taskset_with_targets(
+    u_hi_target: float,
+    u_lo_target: float,
+    rng: np.random.Generator,
+    config: GeneratorConfig = FIG7_CONFIG,
+    *,
+    name: str = "synthetic",
+    jitter: float = 0.0,
+) -> TaskSet:
+    """Generate a set hitting Figure 7's per-criticality utilizations.
+
+    ``U_HI = sum over HI tasks of C(HI)/T`` and ``U_LO = sum over LO
+    tasks of C(LO)/T`` are filled independently; ``jitter`` perturbs each
+    target uniformly within ``±jitter`` (the paper samples a ±0.025
+    neighbourhood of each grid point).
+    """
+    if jitter < 0.0:
+        raise ModelError(f"jitter must be non-negative, got {jitter}")
+    tasks: List[MCTask] = []
+    targets = {
+        Criticality.HI: max(1e-6, u_hi_target + float(rng.uniform(-jitter, jitter))),
+        Criticality.LO: max(1e-6, u_lo_target + float(rng.uniform(-jitter, jitter))),
+    }
+    index = 0
+    for crit, target in targets.items():
+        def level_util(task_list: List[MCTask]) -> float:
+            level = Criticality.HI if crit is Criticality.HI else Criticality.LO
+            return sum(t.utilization(level) for t in task_list if t.crit is crit)
+
+        while level_util(tasks) < target - 1e-12:
+            candidate = random_task(rng, config, name=f"{name}_{index}", crit=crit)
+            overshoot = level_util(tasks + [candidate]) - target
+            if overshoot > 1e-12:
+                load = level_util(tasks + [candidate]) - level_util(tasks)
+                headroom = target - level_util(tasks)
+                if load <= 0.0 or headroom <= 1e-6:
+                    break
+                candidate = _scale_task_u_lo(candidate, headroom / load)
+                tasks.append(candidate)
+                index += 1
+                break
+            tasks.append(candidate)
+            index += 1
+    return TaskSet(tasks, name=name)
+
+
+def population(
+    u_bound: float,
+    count: int,
+    seed: int,
+    config: GeneratorConfig = GeneratorConfig(),
+) -> List[TaskSet]:
+    """Generate ``count`` independent task sets at one utilization point.
+
+    A convenience for the Figure-6 sweeps (500 sets per point in the
+    paper); seeded for reproducibility.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        generate_taskset(u_bound, rng, config, name=f"u{u_bound:g}_{i}")
+        for i in range(count)
+    ]

@@ -1,0 +1,136 @@
+"""Serialization: task sets to/from JSON, experiment results to CSV.
+
+A downstream user needs to feed their own workloads in and get raw
+numbers out; this module provides stable, versioned formats:
+
+* task sets — JSON with one object per task carrying the full
+  ``{T, D, C}`` triple per mode (``null`` encodes the terminated-task
+  infinities);
+* experiment series — plain CSV with a header row, written without any
+  third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.model.task import Criticality, MCTask
+from repro.model.taskset import TaskSet
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _encode_value(value: float):
+    return None if math.isinf(value) else value
+
+
+def _decode_value(value) -> float:
+    return math.inf if value is None else float(value)
+
+
+def task_to_dict(task: MCTask) -> Dict:
+    """One task as a JSON-ready dictionary."""
+    return {
+        "name": task.name,
+        "criticality": task.crit.value,
+        "c_lo": task.c_lo,
+        "c_hi": task.c_hi,
+        "d_lo": task.d_lo,
+        "d_hi": _encode_value(task.d_hi),
+        "t_lo": task.t_lo,
+        "t_hi": _encode_value(task.t_hi),
+    }
+
+
+def task_from_dict(data: Dict) -> MCTask:
+    """Inverse of :func:`task_to_dict`; validates via the model."""
+    try:
+        crit = Criticality(data["criticality"])
+        return MCTask(
+            name=str(data["name"]),
+            crit=crit,
+            c_lo=float(data["c_lo"]),
+            c_hi=float(data["c_hi"]),
+            d_lo=float(data["d_lo"]),
+            d_hi=_decode_value(data["d_hi"]),
+            t_lo=float(data["t_lo"]),
+            t_hi=_decode_value(data["t_hi"]),
+        )
+    except KeyError as missing:
+        raise ValueError(f"task record missing field {missing}") from None
+
+
+def taskset_to_json(taskset: TaskSet, *, indent: int = 2) -> str:
+    """Serialize a task set (with format version and name)."""
+    payload = {
+        "format": "repro-mc-taskset",
+        "version": FORMAT_VERSION,
+        "name": taskset.name,
+        "tasks": [task_to_dict(t) for t in taskset],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def taskset_from_json(text: str) -> TaskSet:
+    """Parse a task set serialized by :func:`taskset_to_json`."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-mc-taskset":
+        raise ValueError("not a repro-mc task-set document")
+    if payload.get("version", 0) > FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {payload.get('version')}")
+    tasks = [task_from_dict(entry) for entry in payload.get("tasks", [])]
+    return TaskSet(tasks, name=payload.get("name", "taskset"))
+
+
+def save_taskset(taskset: TaskSet, path: PathLike) -> None:
+    """Write a task set to a JSON file."""
+    Path(path).write_text(taskset_to_json(taskset) + "\n")
+
+
+def load_taskset(path: PathLike) -> TaskSet:
+    """Read a task set from a JSON file."""
+    return taskset_from_json(Path(path).read_text())
+
+
+def write_series_csv(
+    path: PathLike,
+    x_label: str,
+    xs: Sequence[float],
+    columns: Dict[str, Sequence[float]],
+) -> None:
+    """Write an experiment series (one x column, named y columns).
+
+    Infinite values are written as the string ``inf`` (readable by
+    ``float``); lengths must agree.
+    """
+    for name, values in columns.items():
+        if len(values) != len(xs):
+            raise ValueError(f"column {name!r} has {len(values)} rows, expected {len(xs)}")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label, *columns.keys()])
+        for i, x in enumerate(xs):
+            writer.writerow([x, *(values[i] for values in columns.values())])
+
+
+def read_series_csv(path: PathLike):
+    """Inverse of :func:`write_series_csv`: ``(x_label, xs, columns)``."""
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        raise ValueError(f"{path}: empty CSV")
+    header, *body = rows
+    x_label, *names = header
+    xs: List[float] = []
+    columns: Dict[str, List[float]] = {name: [] for name in names}
+    for row in body:
+        xs.append(float(row[0]))
+        for name, cell in zip(names, row[1:]):
+            columns[name].append(float(cell))
+    return x_label, xs, columns

@@ -1,0 +1,27 @@
+"""Dual-criticality sporadic task model.
+
+This package implements the system model of Section II of the paper:
+sporadic tasks with per-mode parameters ``{T(chi), D(chi), C(chi)}``,
+criticality levels LO/HI, the structural constraints of Eqs. (1)-(3),
+and the uniform scaling transforms of Eqs. (13)-(14) used by the
+closed-form analysis.
+"""
+
+from repro.model.task import Criticality, MCTask
+from repro.model.taskset import TaskSet
+from repro.model.transform import (
+    apply_uniform_scaling,
+    degrade_lo_tasks,
+    shorten_hi_deadlines,
+    terminate_lo_tasks,
+)
+
+__all__ = [
+    "Criticality",
+    "MCTask",
+    "TaskSet",
+    "apply_uniform_scaling",
+    "degrade_lo_tasks",
+    "shorten_hi_deadlines",
+    "terminate_lo_tasks",
+]

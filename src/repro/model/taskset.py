@@ -1,0 +1,188 @@
+"""Task-set container with the utilization aggregates used in Section VI."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.model.task import Criticality, MCTask, ModelError
+
+
+class TaskSet:
+    """An ordered collection of :class:`MCTask` with unique names.
+
+    The container is immutable in spirit: transformation helpers return new
+    :class:`TaskSet` instances, mirroring the paper's offline design flow
+    (pick ``x``/``y``, then analyse).
+    """
+
+    def __init__(self, tasks: Iterable[MCTask], name: str = "taskset") -> None:
+        self._tasks: List[MCTask] = list(tasks)
+        self.name = name
+        seen = set()
+        for task in self._tasks:
+            if task.name in seen:
+                raise ModelError(f"duplicate task name: {task.name}")
+            seen.add(task.name)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[MCTask]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, index: int) -> MCTask:
+        return self._tasks[index]
+
+    def __contains__(self, task: MCTask) -> bool:
+        return task in self._tasks
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskSet):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._tasks))
+
+    def by_name(self, name: str) -> MCTask:
+        """Look a task up by its name."""
+        for task in self._tasks:
+            if task.name == name:
+                return task
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Subsets
+    # ------------------------------------------------------------------
+    @property
+    def hi_tasks(self) -> List[MCTask]:
+        """All HI-criticality tasks (``tau_HI``)."""
+        return [t for t in self._tasks if t.is_hi]
+
+    @property
+    def lo_tasks(self) -> List[MCTask]:
+        """All LO-criticality tasks (``tau_LO``)."""
+        return [t for t in self._tasks if t.is_lo]
+
+    def filter(self, predicate: Callable[[MCTask], bool], name: Optional[str] = None) -> "TaskSet":
+        """Return a new task set with the tasks satisfying ``predicate``."""
+        return TaskSet(
+            (t for t in self._tasks if predicate(t)),
+            name=name or f"{self.name}|filtered",
+        )
+
+    def map(self, func: Callable[[MCTask], MCTask], name: Optional[str] = None) -> "TaskSet":
+        """Return a new task set with ``func`` applied to every task."""
+        return TaskSet((func(t) for t in self._tasks), name=name or self.name)
+
+    def extended(self, tasks: Sequence[MCTask], name: Optional[str] = None) -> "TaskSet":
+        """Return a new task set with ``tasks`` appended."""
+        return TaskSet(list(self._tasks) + list(tasks), name=name or self.name)
+
+    # ------------------------------------------------------------------
+    # Utilization aggregates
+    # ------------------------------------------------------------------
+    def utilization(self, level: Criticality, crit: Optional[Criticality] = None) -> float:
+        """Sum of ``U_i(level)`` over tasks, optionally restricted to ``crit``.
+
+        ``utilization(HI, crit=HI)`` is ``U_HI`` of Figure 7's caption;
+        ``utilization(LO, crit=LO)`` is ``U_LO``.
+        """
+        tasks = self._tasks if crit is None else [t for t in self._tasks if t.crit is crit]
+        return sum(t.utilization(level) for t in tasks)
+
+    @property
+    def u_lo_system(self) -> float:
+        """LO-mode system utilization: every task at its LO parameters."""
+        return sum(t.utilization(Criticality.LO) for t in self._tasks)
+
+    @property
+    def u_hi_system(self) -> float:
+        """HI-mode system utilization: every task at its HI parameters.
+
+        Terminated LO tasks contribute zero; degraded LO tasks contribute
+        ``C / T(HI)``.
+        """
+        return sum(t.utilization(Criticality.HI) for t in self._tasks)
+
+    @property
+    def u_hi_of_hi(self) -> float:
+        """``U_HI = sum over HI tasks of C(HI)/T(HI)`` (Figure 7 caption)."""
+        return self.utilization(Criticality.HI, Criticality.HI)
+
+    @property
+    def u_lo_of_hi(self) -> float:
+        """HI tasks' utilization at LO assurance, ``sum C(LO)/T(LO)``."""
+        return self.utilization(Criticality.LO, Criticality.HI)
+
+    @property
+    def u_lo_of_lo(self) -> float:
+        """``U_LO = sum over LO tasks of C(LO)/T(LO)`` (Figure 7 caption)."""
+        return self.utilization(Criticality.LO, Criticality.LO)
+
+    @property
+    def u_bound(self) -> float:
+        """Generator utilization metric: ``max(U^LO_system, U^HI_system)``.
+
+        This is the dimensioning metric of the task generator of Baruah et
+        al. [4] used for Figure 6 (see DESIGN.md Section 4).
+        """
+        return max(self.u_lo_system, self.u_hi_system)
+
+    @property
+    def max_gamma(self) -> float:
+        """Largest WCET uncertainty ratio among HI tasks (1.0 if none)."""
+        hi = self.hi_tasks
+        if not hi:
+            return 1.0
+        return max(t.gamma for t in hi)
+
+    @property
+    def total_c_hi(self) -> float:
+        """``sum C_i(HI)`` over all tasks — the numerator of Lemma 7.
+
+        Terminated LO tasks contribute their (LO == HI) WCET; this matches
+        the formula's reading that a carry-over job may still have to finish.
+        """
+        return sum(t.c_hi for t in self._tasks)
+
+    @property
+    def hyperperiod_lo(self) -> float:
+        """LCM of LO-mode periods when they are integral, else their product.
+
+        Only used to bound simulation horizons; not part of the analysis.
+        """
+        periods = [t.t_lo for t in self._tasks]
+        if all(float(p).is_integer() for p in periods):
+            lcm = 1
+            for p in periods:
+                lcm = math.lcm(lcm, int(p))
+            return float(lcm)
+        product = 1.0
+        for p in periods:
+            product *= p
+        return product
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def table(self) -> str:
+        """Render the task set as a Table-I style text table."""
+        header = (
+            f"{'task':<10}{'chi':<5}{'C(LO)':>9}{'C(HI)':>9}"
+            f"{'D(LO)':>9}{'D(HI)':>9}{'T(LO)':>9}{'T(HI)':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for t in self._tasks:
+            lines.append(
+                f"{t.name:<10}{t.crit.value:<5}{t.c_lo:>9g}{t.c_hi:>9g}"
+                f"{t.d_lo:>9g}{t.d_hi:>9g}{t.t_lo:>9g}{t.t_hi:>9g}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"TaskSet({self.name!r}, n={len(self._tasks)})"

@@ -1,0 +1,106 @@
+"""Task-set transforms: overrun preparation and service degradation.
+
+These implement the design knobs of Section V:
+
+* Eq. (13): shorten every HI task's LO-mode deadline by a common factor
+  ``x`` in ``(0, 1)`` — *preparation for overrun*.
+* Eq. (14): scale every LO task's HI-mode deadline/period by a common
+  factor ``y >= 1`` — *service degradation*.
+* Eq. (3): terminate LO tasks in HI mode (``T(HI) = D(HI) = +inf``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.model.task import Criticality, MCTask, ModelError
+from repro.model.taskset import TaskSet
+
+
+def shorten_hi_deadlines(taskset: TaskSet, x: float) -> TaskSet:
+    """Apply Eq. (13): ``D_i(LO) = x * D_i(HI)`` for every HI task.
+
+    LO tasks are returned unchanged.  ``x`` must lie in ``(0, 1]``; ``x = 1``
+    means no preparation (and generally an infinite required speedup).
+    """
+    if not 0 < x <= 1:
+        raise ModelError(f"x must be in (0, 1], got {x}")
+
+    def shorten(task: MCTask) -> MCTask:
+        if task.is_hi:
+            # Clamp at C(LO): a virtual deadline below the LO WCET is
+            # structurally meaningless (and float rounding could otherwise
+            # dip just under it when x equals the per-task floor).
+            return task.with_lo_deadline(max(x * task.d_hi, task.c_lo))
+        return task
+
+    return taskset.map(shorten, name=f"{taskset.name}|x={x:g}")
+
+
+def degrade_lo_tasks(taskset: TaskSet, y: float) -> TaskSet:
+    """Apply Eq. (14): scale LO tasks' HI-mode deadline and period by ``y``.
+
+    The degradation is applied relative to the tasks' *LO-mode* parameters:
+    ``D_i(HI) = y * D_i(LO)`` and ``T_i(HI) = y * T_i(LO)``, which for the
+    implicit-deadline tasks of Section V coincides with Eq. (14).
+    HI tasks are returned unchanged.
+    """
+    if y < 1:
+        raise ModelError(f"y must be >= 1, got {y}")
+
+    def degrade(task: MCTask) -> MCTask:
+        if task.is_lo:
+            return task.with_degraded_service(d_hi=y * task.d_lo, t_hi=y * task.t_lo)
+        return task
+
+    return taskset.map(degrade, name=f"{taskset.name}|y={y:g}")
+
+
+def terminate_lo_tasks(taskset: TaskSet) -> TaskSet:
+    """Apply Eq. (3): drop every LO task in HI mode.
+
+    The returned tasks have ``T(HI) = D(HI) = +inf`` so their HI-mode demand
+    bound function vanishes.
+    """
+
+    def terminate(task: MCTask) -> MCTask:
+        if task.is_lo:
+            return replace(task, d_hi=math.inf, t_hi=math.inf)
+        return task
+
+    return taskset.map(terminate, name=f"{taskset.name}|terminated")
+
+
+def apply_uniform_scaling(taskset: TaskSet, x: float, y: float) -> TaskSet:
+    """Apply both Section-V knobs: Eq. (13) with ``x`` and Eq. (14) with ``y``.
+
+    ``y = math.inf`` is accepted as shorthand for termination.
+    """
+    prepared = shorten_hi_deadlines(taskset, x)
+    if math.isinf(y):
+        return terminate_lo_tasks(prepared)
+    return degrade_lo_tasks(prepared, y)
+
+
+def scale_wcet_uncertainty(taskset: TaskSet, gamma: float) -> TaskSet:
+    """Set ``C_i(HI) = gamma * C_i(LO)`` for every HI task.
+
+    This is the ``gamma`` sweep of Figure 5b.  Raises :class:`ModelError`
+    when the scaled WCET would exceed the HI-mode deadline of some task
+    (the configuration is then structurally infeasible).
+    """
+    if gamma < 1:
+        raise ModelError(f"gamma must be >= 1, got {gamma}")
+
+    def scale(task: MCTask) -> MCTask:
+        if task.is_hi:
+            return replace(task, c_hi=gamma * task.c_lo)
+        return task
+
+    return taskset.map(scale, name=f"{taskset.name}|gamma={gamma:g}")
+
+
+def restrict_to(taskset: TaskSet, crit: Criticality) -> TaskSet:
+    """Return only the tasks of criticality ``crit`` (helper for baselines)."""
+    return taskset.filter(lambda t: t.crit is crit, name=f"{taskset.name}|{crit.value}")

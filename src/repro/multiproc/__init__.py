@@ -1,0 +1,23 @@
+"""Partitioned multiprocessor deployment (extension).
+
+The paper's analysis is per-processor; consolidating avionics/automotive
+functions (its Section-I motivation) usually means *partitioned*
+scheduling: assign each task statically to a core, then run the
+uniprocessor protocol — including per-core temporary speedup —
+independently on every core.  This package provides the partitioning
+heuristics and the aggregated multi-core design report.
+"""
+
+from repro.multiproc.partition import (
+    PartitionedDesign,
+    PartitioningError,
+    partition_tasks,
+    partitioned_design,
+)
+
+__all__ = [
+    "PartitionedDesign",
+    "PartitioningError",
+    "partition_tasks",
+    "partitioned_design",
+]

@@ -1,0 +1,210 @@
+"""Static task partitioning with per-core speedup analysis.
+
+Strategy: classical bin-packing heuristics over a utilization proxy,
+with an *admission test per core* that is the paper's own dual-mode
+analysis — a task fits on a core iff the core's task set stays LO-mode
+feasible and its Theorem-2 requirement stays within the per-core
+speedup cap.  After assignment, each core gets its exact ``s_min`` and
+``Delta_R`` so heterogeneous boost budgets can be provisioned.
+
+Heuristics:
+
+* ``"first_fit"``  — first core that admits the task;
+* ``"worst_fit"``  — emptiest admitting core (balances load, tends to
+  equalize the per-core speedup requirements);
+* ``"best_fit"``   — fullest admitting core (packs tightly, frees whole
+  cores for future growth).
+
+Tasks are considered in decreasing LO-utilization order (the standard
+decreasing-first-fit family).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.resetting import ResettingResult, resetting_time
+from repro.analysis.schedulability import lo_mode_schedulable
+from repro.analysis.speedup import SpeedupResult, min_speedup
+from repro.model.task import Criticality, MCTask
+from repro.model.taskset import TaskSet
+
+_HEURISTICS = ("first_fit", "worst_fit", "best_fit")
+
+
+class PartitioningError(ValueError):
+    """Raised when the task set cannot be partitioned onto the cores."""
+
+
+@dataclass
+class CoreDesign:
+    """Per-core outcome of the partitioned design."""
+
+    index: int
+    taskset: TaskSet
+    s_min: SpeedupResult
+    resetting: Optional[ResettingResult]
+
+    @property
+    def u_lo(self) -> float:
+        return self.taskset.u_lo_system
+
+
+@dataclass
+class PartitionedDesign:
+    """A complete multi-core deployment.
+
+    Attributes
+    ----------
+    cores:
+        Per-core task sets with their exact analysis results.
+    speedup_cap:
+        The per-core speedup cap the admission used.
+    max_s_min:
+        The largest per-core requirement (provision the boost for this).
+    max_delta_r:
+        The slowest per-core recovery at the cap.
+    """
+
+    cores: List[CoreDesign]
+    speedup_cap: float
+
+    @property
+    def max_s_min(self) -> float:
+        finite = [c.s_min.s_min for c in self.cores if c.taskset]
+        return max(finite) if finite else 0.0
+
+    @property
+    def max_delta_r(self) -> float:
+        values = [
+            c.resetting.delta_r for c in self.cores if c.resetting is not None
+        ]
+        return max(values) if values else 0.0
+
+    @property
+    def used_cores(self) -> int:
+        return sum(1 for c in self.cores if len(c.taskset) > 0)
+
+    def assignment(self) -> Dict[str, int]:
+        """``task name -> core index`` mapping."""
+        return {
+            task.name: core.index for core in self.cores for task in core.taskset
+        }
+
+    def table(self) -> str:
+        """Per-core summary table."""
+        header = f"{'core':>5} {'tasks':>6} {'U_LO':>7} {'s_min':>8} {'Delta_R':>9}"
+        lines = [header, "-" * len(header)]
+        for core in self.cores:
+            dr = core.resetting.delta_r if core.resetting else float("nan")
+            lines.append(
+                f"{core.index:>5d} {len(core.taskset):>6d} {core.u_lo:>7.3f} "
+                f"{core.s_min.s_min:>8.3f} {dr:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _admits(tasks: List[MCTask], candidate: MCTask, speedup_cap: float) -> bool:
+    trial = TaskSet(tasks + [candidate])
+    if not lo_mode_schedulable(trial):
+        return False
+    return min_speedup(trial).s_min <= speedup_cap * (1.0 + 1e-9)
+
+
+def partition_tasks(
+    taskset: TaskSet,
+    n_cores: int,
+    *,
+    speedup_cap: float = 2.0,
+    heuristic: str = "first_fit",
+) -> List[TaskSet]:
+    """Assign every task to one of ``n_cores`` cores.
+
+    Raises :class:`PartitioningError` when some task fits nowhere under
+    the per-core admission test.
+    """
+    if n_cores < 1:
+        raise PartitioningError(f"need at least one core, got {n_cores}")
+    if heuristic not in _HEURISTICS:
+        raise PartitioningError(f"unknown heuristic {heuristic!r}")
+    if speedup_cap <= 0.0:
+        raise PartitioningError(f"speedup cap must be positive, got {speedup_cap}")
+
+    bins: List[List[MCTask]] = [[] for _ in range(n_cores)]
+    order = sorted(
+        taskset, key=lambda t: t.utilization(Criticality.LO), reverse=True
+    )
+    for task in order:
+        candidates = [
+            i for i in range(n_cores) if _admits(bins[i], task, speedup_cap)
+        ]
+        if not candidates:
+            raise PartitioningError(
+                f"task {task.name!r} fits on no core "
+                f"({n_cores} cores, cap {speedup_cap:g})"
+            )
+        if heuristic == "first_fit":
+            chosen = candidates[0]
+        elif heuristic == "worst_fit":
+            chosen = min(
+                candidates, key=lambda i: sum(t.c_lo / t.t_lo for t in bins[i])
+            )
+        else:  # best_fit
+            chosen = max(
+                candidates, key=lambda i: sum(t.c_lo / t.t_lo for t in bins[i])
+            )
+        bins[chosen].append(task)
+    return [
+        TaskSet(tasks, name=f"{taskset.name}|core{i}") for i, tasks in enumerate(bins)
+    ]
+
+
+def partitioned_design(
+    taskset: TaskSet,
+    n_cores: int,
+    *,
+    speedup_cap: float = 2.0,
+    heuristic: str = "first_fit",
+    evaluate_at_cap: bool = True,
+) -> PartitionedDesign:
+    """Partition and fully analyse every core.
+
+    ``evaluate_at_cap`` computes each core's ``Delta_R`` at the common
+    cap (uniform provisioning); otherwise at the core's own ``s_min``
+    times 1.01 (heterogeneous provisioning).
+    """
+    partitions = partition_tasks(
+        taskset, n_cores, speedup_cap=speedup_cap, heuristic=heuristic
+    )
+    cores: List[CoreDesign] = []
+    for index, core_set in enumerate(partitions):
+        requirement = min_speedup(core_set)
+        reset = None
+        if len(core_set) and math.isfinite(requirement.s_min):
+            s = speedup_cap if evaluate_at_cap else max(requirement.s_min, 1e-6) * 1.01
+            reset = resetting_time(core_set, s)
+        cores.append(
+            CoreDesign(index=index, taskset=core_set, s_min=requirement, resetting=reset)
+        )
+    return PartitionedDesign(cores=cores, speedup_cap=speedup_cap)
+
+
+def min_cores(
+    taskset: TaskSet,
+    *,
+    speedup_cap: float = 2.0,
+    heuristic: str = "first_fit",
+    max_cores: int = 64,
+) -> int:
+    """Smallest core count the heuristic can partition ``taskset`` onto."""
+    for n in range(1, max_cores + 1):
+        try:
+            partition_tasks(taskset, n, speedup_cap=speedup_cap, heuristic=heuristic)
+            return n
+        except PartitioningError:
+            continue
+    raise PartitioningError(
+        f"not partitionable within {max_cores} cores (cap {speedup_cap:g})"
+    )

@@ -1,0 +1,39 @@
+"""Discrete-event uniprocessor EDF simulator with mode switching.
+
+A SimSo-like simulation substrate used to *validate* the paper's offline
+bounds (Figures 1 and 3 juxtapose analysis with schedules):
+
+* :mod:`repro.sim.engine` — time-ordered event queue.
+* :mod:`repro.sim.job` — runtime job instances.
+* :mod:`repro.sim.processor` — variable-speed processor model with an
+  energy-accounting hook.
+* :mod:`repro.sim.workload` — job sources: synchronous worst case,
+  periodic, random sporadic; overrun injection.
+* :mod:`repro.sim.scheduler` — the mode-switch protocol of Section II
+  on top of preemptive EDF, with temporary speedup.
+* :mod:`repro.sim.trace` — traces, metrics, ASCII Gantt rendering.
+* :mod:`repro.sim.validate` — analysis-vs-simulation cross-checks.
+"""
+
+from repro.sim.scheduler import MCEDFSimulator, SimConfig, SimResult
+from repro.sim.workload import (
+    BurstySource,
+    OverrunModel,
+    PeriodicSource,
+    SporadicSource,
+    SynchronousWorstCaseSource,
+)
+from repro.sim.validate import ValidationReport, validate_bounds
+
+__all__ = [
+    "MCEDFSimulator",
+    "SimConfig",
+    "SimResult",
+    "BurstySource",
+    "OverrunModel",
+    "PeriodicSource",
+    "SporadicSource",
+    "SynchronousWorstCaseSource",
+    "ValidationReport",
+    "validate_bounds",
+]

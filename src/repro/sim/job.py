@@ -1,0 +1,102 @@
+"""Runtime job instances tracked by the simulator."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.task import MCTask
+
+_job_ids = itertools.count()
+
+
+@dataclass
+class Job:
+    """One released job of a task.
+
+    Attributes
+    ----------
+    task:
+        The generating :class:`~repro.model.task.MCTask`.
+    release:
+        Absolute release time.
+    exec_time:
+        The job's *actual* execution requirement (drawn by the workload
+        model; at most ``C(HI)`` for HI tasks, at most ``C(LO)`` for LO
+        tasks per the Section-II assumption).
+    abs_deadline:
+        Absolute deadline used both for EDF priority and miss detection;
+        updated by the scheduler at a mode switch (HI jobs move from
+        their shortened LO-mode deadline to the real one, carry-over LO
+        jobs to their degraded one).
+    executed:
+        Work completed so far (in nominal-speed time units).
+    finish:
+        Completion time (``None`` while pending).
+    background:
+        True for carry-over jobs of terminated LO tasks: they keep the
+        processor busy (matching the ``ADB`` accounting) but carry no
+        deadline and never preempt deadline-bearing work.
+    """
+
+    task: MCTask
+    release: float
+    exec_time: float
+    abs_deadline: float
+    executed: float = 0.0
+    finish: Optional[float] = None
+    background: bool = False
+    killed: bool = False
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    def __post_init__(self) -> None:
+        if self.exec_time <= 0.0:
+            raise ValueError(f"job of {self.task.name}: exec_time must be positive")
+        if self.exec_time > self.task.c_hi + 1e-9:
+            raise ValueError(
+                f"job of {self.task.name}: exec_time {self.exec_time} exceeds C(HI)"
+            )
+
+    @property
+    def remaining(self) -> float:
+        """Outstanding work in nominal-speed time units."""
+        return max(self.exec_time - self.executed, 0.0)
+
+    @property
+    def done(self) -> bool:
+        """True once finished or killed."""
+        return self.finish is not None or self.killed
+
+    @property
+    def overruns(self) -> bool:
+        """True when the job's true demand exceeds its LO-level WCET."""
+        return self.exec_time > self.task.c_lo + 1e-12
+
+    @property
+    def lo_budget_left(self) -> float:
+        """Work left before the job crosses its LO WCET (inf if crossed)."""
+        gap = self.task.c_lo - self.executed
+        return gap if gap > 1e-12 else math.inf
+
+    def response_time(self) -> Optional[float]:
+        """Finish minus release (``None`` while pending/killed)."""
+        if self.finish is None:
+            return None
+        return self.finish - self.release
+
+    def missed(self) -> bool:
+        """Deadline miss verdict (background jobs never miss)."""
+        if self.background or self.killed:
+            return False
+        if self.finish is None:
+            return False
+        return self.finish > self.abs_deadline + 1e-9
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else f"rem={self.remaining:.3g}"
+        return (
+            f"Job({self.task.name}#{self.job_id}, rel={self.release:.3g}, "
+            f"dl={self.abs_deadline:.3g}, {state})"
+        )

@@ -1,0 +1,140 @@
+"""Per-task statistics and miss diagnostics over simulation results.
+
+Turns the raw :class:`~repro.sim.scheduler.SimResult` into the numbers
+an evaluation section quotes: response-time percentiles, lateness,
+per-task miss ratios, service received by LO tasks across modes (the
+degradation actually experienced), and a compact report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.model.task import Criticality
+from repro.model.taskset import TaskSet
+from repro.sim.scheduler import SimResult
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    """Simulation statistics of one task.
+
+    Attributes
+    ----------
+    released / finished / killed:
+        Job counts by final state (pending jobs are the remainder).
+    misses:
+        Finished-or-expired jobs that violated their deadline.
+    response_mean / response_max / response_p99:
+        Response-time statistics over finished jobs (NaN when none).
+    worst_lateness:
+        Largest ``finish - deadline`` over finished jobs (negative
+        values mean all jobs finished early).
+    throughput:
+        Finished jobs per unit time over the simulated horizon.
+    """
+
+    name: str
+    criticality: Criticality
+    released: int
+    finished: int
+    killed: int
+    misses: int
+    response_mean: float
+    response_max: float
+    response_p99: float
+    worst_lateness: float
+    throughput: float
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses over released jobs (0 when nothing was released)."""
+        return self.misses / self.released if self.released else 0.0
+
+
+def task_stats(result: SimResult, task_name: str) -> TaskStats:
+    """Compute :class:`TaskStats` for one task of a finished simulation."""
+    jobs = [j for j in result.jobs if j.task.name == task_name]
+    if not jobs:
+        raise KeyError(f"no jobs of task {task_name!r} in the result")
+    crit = jobs[0].task.crit
+    finished = [j for j in jobs if j.finish is not None]
+    responses = np.asarray([j.finish - j.release for j in finished])
+    lateness = [
+        j.finish - j.abs_deadline
+        for j in finished
+        if math.isfinite(j.abs_deadline)
+    ]
+    misses = sum(1 for j in jobs if j in result.misses)
+    horizon = result.trace.horizon or 1.0
+    return TaskStats(
+        name=task_name,
+        criticality=crit,
+        released=len(jobs),
+        finished=len(finished),
+        killed=sum(1 for j in jobs if j.killed),
+        misses=misses,
+        response_mean=float(responses.mean()) if responses.size else math.nan,
+        response_max=float(responses.max()) if responses.size else math.nan,
+        response_p99=(
+            float(np.percentile(responses, 99)) if responses.size else math.nan
+        ),
+        worst_lateness=max(lateness) if lateness else -math.inf,
+        throughput=len(finished) / horizon,
+    )
+
+
+def all_task_stats(result: SimResult) -> Dict[str, TaskStats]:
+    """Statistics for every task that released at least one job."""
+    names = sorted({j.task.name for j in result.jobs})
+    return {name: task_stats(result, name) for name in names}
+
+
+def lo_service_ratio(result: SimResult, taskset: TaskSet) -> float:
+    """LO tasks' delivered jobs relative to undisturbed LO-mode service.
+
+    1.0 means the LO tasks received their full nominal rate despite the
+    overruns (the speedup paid for itself); lower values quantify the
+    degradation/termination actually suffered.
+    """
+    horizon = result.trace.horizon
+    if horizon <= 0:
+        return 0.0
+    expected = sum(horizon / t.t_lo for t in taskset.lo_tasks)
+    if expected == 0:
+        return 1.0
+    delivered = sum(
+        1
+        for j in result.jobs
+        if j.task.is_lo and j.finish is not None and not j.background
+    )
+    return min(delivered / expected, 1.0)
+
+
+def summarize(result: SimResult, taskset: Optional[TaskSet] = None) -> str:
+    """Compact text report of a simulation run."""
+    stats = all_task_stats(result)
+    header = (
+        f"{'task':<14}{'chi':<4}{'rel':>6}{'fin':>6}{'miss':>6}"
+        f"{'R_mean':>9}{'R_max':>9}{'late':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in stats.values():
+        late = f"{s.worst_lateness:.3g}" if math.isfinite(s.worst_lateness) else "-"
+        lines.append(
+            f"{s.name:<14}{s.criticality.value:<4}{s.released:>6d}{s.finished:>6d}"
+            f"{s.misses:>6d}{s.response_mean:>9.3g}{s.response_max:>9.3g}{late:>9}"
+        )
+    lines.append(
+        f"mode switches: {result.mode_switch_count}, "
+        f"max episode: {result.max_episode_length:.4g}, "
+        f"boosted: {result.boosted_time:.4g}, "
+        f"fallbacks: {result.fallback_count}"
+    )
+    if taskset is not None:
+        lines.append(f"LO service ratio: {lo_service_ratio(result, taskset):.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,441 @@
+"""Preemptive EDF with the mode-switch-plus-speedup protocol.
+
+Runtime protocol (Sections II-IV of the paper):
+
+1. The system starts in LO mode at nominal speed.  HI tasks are
+   scheduled against their shortened LO-mode deadlines, LO tasks against
+   their normal ones.
+2. The instant any HI job executes beyond its LO WCET without
+   completing, the system switches to HI mode: the processor speed is
+   raised to ``s``, pending HI jobs fall back to their real (HI-mode)
+   deadlines, and LO tasks receive their degraded HI-mode service (or
+   are terminated; their in-flight jobs then either run in the
+   background or are killed, see :class:`SimConfig`).
+3. At the first processor idle instant the system resets: LO mode,
+   nominal speed, original service for LO tasks.  The offline bound
+   ``Delta_R`` (Corollary 5) upper-bounds the duration of step 2-3.
+
+Deadline misses are recorded, never masked; validation asserts that no
+miss occurs when ``s >= s_min`` under worst-case workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.model.task import Criticality, MCTask
+from repro.model.taskset import TaskSet
+from repro.sim.engine import EventKind, EventQueue
+from repro.sim.job import Job
+from repro.sim.processor import Processor
+from repro.sim.trace import ExecutionSlice, ModeEpisode, SimTrace
+from repro.sim.workload import JobSource, SynchronousWorstCaseSource
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator knobs.
+
+    Attributes
+    ----------
+    speedup:
+        Processor speed in HI mode (1.0 = no speedup; values below 1
+        model the slow-down permitted when degradation frees enough
+        capacity, cf. Example 1).
+    horizon:
+        Simulated time span.
+    drop_terminated_carryover:
+        Kill in-flight jobs of terminated LO tasks at the switch instead
+        of letting them finish in the background (ablation, matches the
+        analysis flag of the same name).
+    alpha:
+        DVFS power-law exponent for energy accounting.
+    stop_after_first_reset:
+        End the simulation at the first HI-to-LO reset (speeds up
+        resetting-time measurements).
+    boost_budget:
+        Runtime watchdog of Section I: the longest boost episode the
+        platform's power management allows.  When an episode reaches the
+        budget, the fallback fires — every LO task is terminated for the
+        rest of the episode (their pending jobs move to the background)
+        and the processor returns to nominal speed, trading service for
+        staying inside the thermal envelope.  ``inf`` disables it.
+    """
+
+    speedup: float = 1.0
+    horizon: float = 1000.0
+    drop_terminated_carryover: bool = False
+    alpha: float = 3.0
+    stop_after_first_reset: bool = False
+    boost_budget: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.speedup <= 0.0:
+            raise ValueError(f"speedup must be positive, got {self.speedup}")
+        if self.horizon <= 0.0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if self.boost_budget <= 0.0:
+            raise ValueError(f"boost budget must be positive, got {self.boost_budget}")
+
+
+@dataclass
+class SimResult:
+    """Everything the simulation observed.
+
+    Attributes
+    ----------
+    jobs:
+        All released jobs with their final state.
+    misses:
+        Jobs that finished past their deadline (or were still pending at
+        an expired deadline when the horizon was reached).
+    episodes:
+        HI-mode episodes as :class:`ModeEpisode` records; an episode
+        still open at the horizon has ``end = None``.
+    trace:
+        Execution slices and mode timeline for rendering/validation.
+    energy:
+        Cubic-proxy energy consumed over the horizon.
+    boosted_time:
+        Total time spent above nominal speed.
+    """
+
+    config: SimConfig
+    jobs: List[Job] = field(default_factory=list)
+    misses: List[Job] = field(default_factory=list)
+    episodes: List[ModeEpisode] = field(default_factory=list)
+    trace: SimTrace = field(default_factory=SimTrace)
+    energy: float = 0.0
+    boosted_time: float = 0.0
+    fallback_times: List[float] = field(default_factory=list)
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.misses)
+
+    @property
+    def max_episode_length(self) -> float:
+        """Longest *closed* HI-mode episode (empirical resetting time)."""
+        closed = [e.end - e.start for e in self.episodes if e.end is not None]
+        return max(closed) if closed else 0.0
+
+    @property
+    def mode_switch_count(self) -> int:
+        return len(self.episodes)
+
+    @property
+    def fallback_count(self) -> int:
+        """Times the boost-budget watchdog fired (Section I fallback)."""
+        return len(self.fallback_times)
+
+    def response_times(self, task_name: str) -> List[float]:
+        """Response times of the finished jobs of one task."""
+        return [
+            j.response_time()
+            for j in self.jobs
+            if j.task.name == task_name and j.response_time() is not None
+        ]
+
+
+class MCEDFSimulator:
+    """Drives one simulation of a task set under the protocol above."""
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        config: SimConfig,
+        source: Optional[JobSource] = None,
+    ) -> None:
+        self.taskset = taskset
+        self.config = config
+        self.source = source or SynchronousWorstCaseSource()
+        self._queue = EventQueue()
+        self._processor = Processor(alpha=config.alpha)
+        self._mode = Criticality.LO
+        self._now = 0.0
+        self._ready: List[Job] = []
+        self._running: Optional[Job] = None
+        self._run_started = 0.0
+        self._timer_entry = None
+        self._last_release: Dict[str, float] = {}
+        self._job_counts: Dict[str, int] = {t.name: 0 for t in taskset}
+        self._pending_release: Dict[str, object] = {}
+        self._deferred: Dict[str, float] = {}  # task -> earliest legal release
+        self._episode_start: Optional[float] = None
+        self._watchdog_entry = None
+        self._result = SimResult(config=config)
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Execute the simulation and return the collected results."""
+        for task in self.taskset:
+            first = self.source.initial_release(task)
+            if first is not None and first <= self.config.horizon:
+                entry = self._queue.push(first, EventKind.RELEASE, task)
+                self._pending_release[task.name] = entry
+        self._queue.push(self.config.horizon, EventKind.HORIZON)
+
+        while True:
+            entry = self._queue.pop()
+            if entry is None or self._stopped:
+                break
+            self._advance(entry.time)
+            if entry.kind is EventKind.HORIZON:
+                break
+            if entry.kind is EventKind.RELEASE:
+                self._on_release(entry.payload)
+            elif entry.kind is EventKind.TIMER:
+                self._on_timer()
+            elif entry.kind is EventKind.WATCHDOG:
+                self._on_watchdog()
+            self._dispatch()
+
+        self._finalize()
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def _advance(self, time: float) -> None:
+        """Account execution progress of the running job up to ``time``."""
+        if time < self._now - _EPS:
+            raise RuntimeError(f"time went backwards: {self._now} -> {time}")
+        if self._running is not None and time > self._run_started:
+            worked = (time - self._run_started) * self._processor.speed
+            self._running.executed = min(
+                self._running.executed + worked, self._running.exec_time
+            )
+            self._result.trace.slices.append(
+                ExecutionSlice(
+                    start=self._run_started,
+                    end=time,
+                    task_name=self._running.task.name,
+                    job_id=self._running.job_id,
+                    speed=self._processor.speed,
+                )
+            )
+            self._run_started = time
+        self._now = max(self._now, time)
+
+    def _on_release(self, task: MCTask) -> None:
+        self._pending_release.pop(task.name, None)
+        if self._mode is Criticality.HI and task.terminated_in_hi:
+            # Terminated tasks do not release in HI mode; retry at reset.
+            self._deferred[task.name] = self._now
+            return
+        index = self._job_counts[task.name]
+        self._job_counts[task.name] = index + 1
+        self._last_release[task.name] = self._now
+        exec_time = self.source.exec_time(task, index)
+        deadline = self._now + task.deadline(self._mode)
+        job = Job(
+            task=task,
+            release=self._now,
+            exec_time=exec_time,
+            abs_deadline=deadline,
+        )
+        self._ready.append(job)
+        self._result.jobs.append(job)
+        self._schedule_next_release(task, self._now)
+
+    def _schedule_next_release(self, task: MCTask, prev_release: float) -> None:
+        min_gap = task.period(self._mode)
+        nxt = self.source.next_release(task, prev_release, min_gap)
+        if math.isfinite(nxt) and nxt <= self.config.horizon:
+            entry = self._queue.push(nxt, EventKind.RELEASE, task)
+            self._pending_release[task.name] = entry
+
+    def _on_timer(self) -> None:
+        """Completion or LO-budget crossing of the running job."""
+        self._timer_entry = None
+        job = self._running
+        if job is None:
+            return
+        if job.remaining <= _EPS:
+            job.finish = self._now
+            if job.missed():
+                self._result.misses.append(job)
+            self._running = None
+            return
+        # Not finished: the timer must be the overrun threshold.
+        if (
+            self._mode is Criticality.LO
+            and job.task.is_hi
+            and job.executed >= job.task.c_lo - _EPS
+        ):
+            self._switch_to_hi()
+
+    # ------------------------------------------------------------------
+    # Mode transitions
+    # ------------------------------------------------------------------
+    def _switch_to_hi(self) -> None:
+        self._mode = Criticality.HI
+        self._episode_start = self._now
+        self._processor.set_speed(self._now, self.config.speedup)
+        if math.isfinite(self.config.boost_budget):
+            self._watchdog_entry = self._queue.push(
+                self._now + self.config.boost_budget, EventKind.WATCHDOG
+            )
+        self._result.trace.mode_changes.append((self._now, Criticality.HI))
+        # Carry-over jobs adopt their HI-mode deadlines (HI tasks regain
+        # their real deadline; LO tasks get the degraded one).
+        for job in self._ready + ([self._running] if self._running else []):
+            if job is None or job.done:
+                continue
+            task = job.task
+            if task.terminated_in_hi:
+                if self.config.drop_terminated_carryover:
+                    job.killed = True
+                else:
+                    job.background = True
+                    job.abs_deadline = math.inf
+            else:
+                job.abs_deadline = job.release + task.d_hi
+        self._ready = [j for j in self._ready if not j.killed]
+        if self._running is not None and self._running.killed:
+            self._running = None
+        # Re-space pending releases of LO tasks to the degraded rate.
+        for task in self.taskset.lo_tasks:
+            entry = self._pending_release.get(task.name)
+            if entry is None:
+                continue
+            if task.terminated_in_hi:
+                self._queue.cancel(entry)
+                self._pending_release.pop(task.name, None)
+                self._deferred[task.name] = self._now
+                continue
+            last = self._last_release.get(task.name)
+            if last is None:
+                continue
+            earliest = last + task.t_hi
+            if entry.time < earliest - _EPS:
+                self._queue.cancel(entry)
+                if earliest <= self.config.horizon:
+                    new_entry = self._queue.push(earliest, EventKind.RELEASE, task)
+                    self._pending_release[task.name] = new_entry
+                else:
+                    self._pending_release.pop(task.name, None)
+
+    def _on_watchdog(self) -> None:
+        """Boost-budget exhausted: fall back to termination (Section I).
+
+        The processor returns to nominal speed and every LO task loses
+        its service for the remainder of the episode — pending LO jobs
+        become background work and further LO releases are deferred to
+        the next reset.  HI tasks keep their guarantees: the offline
+        analysis of the termination configuration still applies from
+        this instant on.
+        """
+        self._watchdog_entry = None
+        if self._mode is not Criticality.HI:
+            return
+        self._result.fallback_times.append(self._now)
+        self._processor.reset_speed(self._now)
+        for job in self._ready + ([self._running] if self._running else []):
+            if job is None or job.done or not job.task.is_lo:
+                continue
+            job.background = True
+            job.abs_deadline = math.inf
+        for task in self.taskset.lo_tasks:
+            entry = self._pending_release.get(task.name)
+            if entry is not None:
+                self._queue.cancel(entry)
+                self._pending_release.pop(task.name, None)
+            self._deferred[task.name] = self._now
+
+    def _reset_to_lo(self) -> None:
+        self._mode = Criticality.LO
+        if self._watchdog_entry is not None:
+            self._queue.cancel(self._watchdog_entry)
+            self._watchdog_entry = None
+        self._processor.reset_speed(self._now)
+        self._result.trace.mode_changes.append((self._now, Criticality.LO))
+        if self._episode_start is not None:
+            self._result.episodes.append(ModeEpisode(self._episode_start, self._now))
+            self._episode_start = None
+        # Resume terminated tasks: earliest legal release respecting the
+        # original spacing from their last actual release.
+        for name in list(self._deferred):
+            task = self.taskset.by_name(name)
+            last = self._last_release.get(name)
+            earliest = self._now if last is None else max(self._now, last + task.t_lo)
+            if earliest <= self.config.horizon:
+                entry = self._queue.push(earliest, EventKind.RELEASE, task)
+                self._pending_release[name] = entry
+            del self._deferred[name]
+        if self.config.stop_after_first_reset:
+            self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Dispatching
+    # ------------------------------------------------------------------
+    def _pick_job(self) -> Optional[Job]:
+        live = [j for j in self._ready if not j.done]
+        self._ready = live
+        foreground = [j for j in live if not j.background]
+        pool = foreground if foreground else live
+        if not pool:
+            return None
+        return min(pool, key=lambda j: (j.abs_deadline, j.release, j.job_id))
+
+    def _dispatch(self) -> None:
+        if self._running is not None and not self._running.done:
+            self._ready.append(self._running)
+        elif self._running is not None:
+            pass  # finished job already accounted
+        self._running = None
+        if self._timer_entry is not None:
+            self._queue.cancel(self._timer_entry)
+            self._timer_entry = None
+
+        job = self._pick_job()
+        if job is None:
+            if self._mode is Criticality.HI:
+                self._reset_to_lo()
+            return
+        self._ready.remove(job)
+        self._running = job
+        self._run_started = self._now
+        speed = self._processor.speed
+        dt_done = job.remaining / speed
+        dt_threshold = math.inf
+        if self._mode is Criticality.LO and job.task.is_hi and job.overruns:
+            budget = job.task.c_lo - job.executed
+            if budget > _EPS:
+                dt_threshold = budget / speed
+            else:
+                dt_threshold = 0.0
+        dt = min(dt_done, dt_threshold)
+        self._timer_entry = self._queue.push(self._now + dt, EventKind.TIMER)
+
+    # ------------------------------------------------------------------
+    # Wrap-up
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        end = self._now
+        self._processor.finish(end)
+        if self._episode_start is not None:
+            self._result.episodes.append(ModeEpisode(self._episode_start, None))
+        # Pending jobs whose deadline already expired count as misses.
+        for job in self._result.jobs:
+            if not job.done and job.abs_deadline < end - _EPS and not job.background:
+                self._result.misses.append(job)
+        self._result.energy = self._processor.energy()
+        self._result.boosted_time = self._processor.boosted_time
+        self._result.trace.horizon = end
+
+
+def simulate(
+    taskset: TaskSet,
+    config: SimConfig,
+    source: Optional[JobSource] = None,
+) -> SimResult:
+    """One-call convenience wrapper around :class:`MCEDFSimulator`."""
+    return MCEDFSimulator(taskset, config, source).run()

@@ -1,0 +1,107 @@
+"""Execution traces, mode timelines and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.model.task import Criticality
+
+
+@dataclass(frozen=True)
+class ExecutionSlice:
+    """A maximal interval in which one job ran at constant speed."""
+
+    start: float
+    end: float
+    task_name: str
+    job_id: int
+    speed: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def work(self) -> float:
+        """Nominal-speed work completed in this slice."""
+        return self.duration * self.speed
+
+
+@dataclass(frozen=True)
+class ModeEpisode:
+    """One HI-mode episode; ``end is None`` when still open at horizon."""
+
+    start: float
+    end: Optional[float]
+
+    @property
+    def length(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass
+class SimTrace:
+    """Raw simulation observables for rendering and validation."""
+
+    slices: List[ExecutionSlice] = field(default_factory=list)
+    mode_changes: List[Tuple[float, Criticality]] = field(default_factory=list)
+    horizon: float = 0.0
+
+    def busy_time(self) -> float:
+        """Total processor-busy wall time."""
+        return sum(s.duration for s in self.slices)
+
+    def utilization(self) -> float:
+        """Busy fraction of the horizon."""
+        return self.busy_time() / self.horizon if self.horizon > 0 else 0.0
+
+    def task_slices(self, task_name: str) -> List[ExecutionSlice]:
+        """All slices of one task in time order."""
+        return [s for s in self.slices if s.task_name == task_name]
+
+    def mode_at(self, time: float) -> Criticality:
+        """Operation mode at ``time`` (LO before the first change)."""
+        mode = Criticality.LO
+        for t, m in self.mode_changes:
+            if t <= time:
+                mode = m
+            else:
+                break
+        return mode
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def gantt(self, width: int = 80, start: float = 0.0, end: Optional[float] = None) -> str:
+        """ASCII Gantt chart: one row per task plus a mode row.
+
+        Each column covers ``(end - start) / width`` time units; a cell
+        shows the task that ran for the majority of the column ('#'),
+        partially ('+'), or idle ('.').
+        """
+        end = self.horizon if end is None else end
+        if end <= start:
+            return "(empty trace)"
+        names = sorted({s.task_name for s in self.slices})
+        col_dt = (end - start) / width
+        lines = []
+        for name in names:
+            cells = []
+            slices = self.task_slices(name)
+            for col in range(width):
+                lo = start + col * col_dt
+                hi = lo + col_dt
+                covered = sum(
+                    max(0.0, min(s.end, hi) - max(s.start, lo)) for s in slices
+                )
+                frac = covered / col_dt
+                cells.append("#" if frac > 0.5 else ("+" if frac > 0.0 else "."))
+            lines.append(f"{name:<14}|{''.join(cells)}|")
+        mode_cells = []
+        for col in range(width):
+            t = start + (col + 0.5) * col_dt
+            mode_cells.append("H" if self.mode_at(t) is Criticality.HI else "L")
+        lines.append(f"{'mode':<14}|{''.join(mode_cells)}|")
+        lines.append(f"{'':<14} t={start:g} .. {end:g}")
+        return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Cross-checks: do simulations respect the offline bounds?
+
+Three properties are validated (these mirror what Figures 1 and 3
+illustrate for the example task set):
+
+1. **Speedup sufficiency** — with ``s >= s_min`` (Theorem 2), no
+   deadline is missed even when every HI task overruns to its HI WCET
+   under the synchronous worst-case arrival pattern.
+2. **Resetting-time soundness** — every closed HI-mode episode is no
+   longer than ``Delta_R(s)`` (Corollary 5).
+3. **Necessity witness (best effort)** — running noticeably below
+   ``s_min`` under the same adversarial workload *may* produce a miss;
+   when it does, the witness is reported (absence of a miss is not a
+   counterexample, since the sporadic worst case need not be the
+   synchronous one).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.resetting import resetting_time
+from repro.analysis.speedup import min_speedup
+from repro.model.taskset import TaskSet
+from repro.sim.scheduler import SimConfig, SimResult, simulate
+from repro.sim.workload import OverrunModel, SynchronousWorstCaseSource
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of :func:`validate_bounds` for one task set.
+
+    Attributes
+    ----------
+    s_min:
+        Theorem-2 minimum speedup.
+    delta_r:
+        Corollary-5 resetting bound at the simulated speedup.
+    simulated_speedup:
+        The speedup used in the conforming run.
+    misses_at_s_min:
+        Deadline misses observed at ``s >= s_min`` (must be 0).
+    max_episode:
+        Longest observed HI-mode episode (must be ``<= delta_r``).
+    episodes:
+        Number of HI-mode episodes observed.
+    miss_below_s_min:
+        True when the stress run below ``s_min`` produced a miss
+        (a tightness witness; may legitimately be False).
+    """
+
+    s_min: float
+    delta_r: float
+    simulated_speedup: float
+    misses_at_s_min: int
+    max_episode: float
+    episodes: int
+    miss_below_s_min: Optional[bool]
+
+    @property
+    def bounds_hold(self) -> bool:
+        """Sufficiency + soundness (the hard guarantees)."""
+        return self.misses_at_s_min == 0 and self.max_episode <= self.delta_r + 1e-6
+
+
+def _worst_case_source() -> SynchronousWorstCaseSource:
+    return SynchronousWorstCaseSource(OverrunModel(first_job_overruns=True, probability=1.0))
+
+
+def validate_bounds(
+    taskset: TaskSet,
+    *,
+    speedup: Optional[float] = None,
+    horizon: Optional[float] = None,
+    check_below: bool = True,
+    slack: float = 1e-9,
+) -> ValidationReport:
+    """Run the conforming and stress simulations against the bounds.
+
+    Parameters
+    ----------
+    taskset:
+        Fully-configured task set (preparation/degradation applied).
+    speedup:
+        HI-mode speed for the conforming run; defaults to
+        ``max(s_min, 1)`` rounded up by ``slack``.
+    horizon:
+        Simulation span; defaults to 20 of the largest LO periods.
+    check_below:
+        Also run at ``0.9 * s_min`` hunting for a miss witness (skipped
+        when ``s_min <= 0`` or infinite).
+    """
+    s_res = min_speedup(taskset)
+    if not math.isfinite(s_res.s_min):
+        raise ValueError("task set needs infinite speedup; nothing to simulate")
+    s = speedup if speedup is not None else max(s_res.s_min * (1.0 + slack), 1e-6)
+    if s < s_res.s_min:
+        raise ValueError(f"speedup {s} below s_min {s_res.s_min}")
+    reset = resetting_time(taskset, s)
+    if horizon is None:
+        horizon = 20.0 * max(t.t_lo for t in taskset)
+
+    config = SimConfig(speedup=s, horizon=horizon)
+    result = simulate(taskset, config, _worst_case_source())
+
+    miss_below: Optional[bool] = None
+    if check_below and s_res.s_min > 0.05:
+        stress_s = 0.9 * s_res.s_min
+        stress = simulate(
+            taskset, SimConfig(speedup=stress_s, horizon=horizon), _worst_case_source()
+        )
+        miss_below = stress.miss_count > 0
+
+    return ValidationReport(
+        s_min=s_res.s_min,
+        delta_r=reset.delta_r,
+        simulated_speedup=s,
+        misses_at_s_min=result.miss_count,
+        max_episode=result.max_episode_length,
+        episodes=result.mode_switch_count,
+        miss_below_s_min=miss_below,
+    )
+
+
+def measure_resetting(taskset: TaskSet, s: float, horizon: Optional[float] = None) -> SimResult:
+    """Run the adversarial scenario and return the raw result.
+
+    The first HI-mode episode's length is the empirical counterpart of
+    ``Delta_R`` (Figure 3 overlays both).
+    """
+    if horizon is None:
+        horizon = 20.0 * max(t.t_lo for t in taskset)
+    config = SimConfig(speedup=s, horizon=horizon)
+    return simulate(taskset, config, _worst_case_source())

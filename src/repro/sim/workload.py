@@ -1,0 +1,196 @@
+"""Job sources: arrival processes and overrun injection.
+
+A :class:`JobSource` decides *when* each task releases jobs (subject to
+the mode-dependent minimum inter-arrival spacing enforced by the
+scheduler) and *how much* each job actually executes.  The
+:class:`OverrunModel` injects HI-task overruns — executions beyond
+``C(LO)`` — which trigger the mode switch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.model.task import MCTask
+
+
+@dataclass
+class OverrunModel:
+    """Controls actual execution times of released jobs.
+
+    Attributes
+    ----------
+    probability:
+        Chance that a HI job overruns its LO WCET (0 disables overruns;
+        1 makes every HI job overrun — the analysis worst case).
+    fraction:
+        How far into the overrun band an overrunning job executes:
+        ``exec = C(LO) + fraction * (C(HI) - C(LO))``; 1.0 is the HI
+        WCET.
+    normal_fraction:
+        Execution of non-overrunning jobs as a fraction of ``C(LO)``
+        (1.0 = worst case allowed in LO mode).
+    first_job_overruns:
+        Force the very first job of every HI task to overrun — handy for
+        deterministic validation scenarios.
+    rng:
+        NumPy generator for the random draws (unused when the model is
+        fully deterministic).
+    """
+
+    probability: float = 0.0
+    fraction: float = 1.0
+    normal_fraction: float = 1.0
+    first_job_overruns: bool = False
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+        if not 0.0 < self.normal_fraction <= 1.0:
+            raise ValueError(
+                f"normal_fraction must be in (0, 1], got {self.normal_fraction}"
+            )
+        if self.probability > 0.0 and self.rng is None:
+            self.rng = np.random.default_rng(0)
+
+    def exec_time(self, task: MCTask, job_index: int) -> float:
+        """Actual execution requirement of the ``job_index``-th job."""
+        base = self.normal_fraction * task.c_lo
+        if not task.is_hi:
+            return base
+        overruns = self.first_job_overruns and job_index == 0
+        if not overruns and self.probability > 0.0:
+            overruns = bool(self.rng.uniform() < self.probability)
+        if overruns:
+            return task.c_lo + self.fraction * (task.c_hi - task.c_lo)
+        return base
+
+
+class JobSource:
+    """Base arrival process; subclasses override the two hooks below."""
+
+    def __init__(self, overrun: Optional[OverrunModel] = None) -> None:
+        self.overrun = overrun or OverrunModel()
+
+    def initial_release(self, task: MCTask) -> Optional[float]:
+        """First release instant of ``task`` (``None``: never releases)."""
+        return 0.0
+
+    def next_release(self, task: MCTask, prev_release: float, min_gap: float) -> float:
+        """Next release given the minimum spacing ``min_gap`` = ``T(mode)``.
+
+        Must return a value ``>= prev_release + min_gap``.
+        """
+        return prev_release + min_gap
+
+    def exec_time(self, task: MCTask, job_index: int) -> float:
+        """Actual execution demand of the job (delegates to the model)."""
+        return self.overrun.exec_time(task, job_index)
+
+
+class SynchronousWorstCaseSource(JobSource):
+    """Every task releases at t = 0 and then as early as permitted.
+
+    This is the demand-bound critical-instant pattern: with
+    ``OverrunModel(first_job_overruns=True)`` it exercises the scenarios
+    the offline bounds are computed for.
+    """
+
+
+class PeriodicSource(JobSource):
+    """Strictly periodic releases with per-task offsets."""
+
+    def __init__(self, offsets: Optional[dict] = None, overrun: Optional[OverrunModel] = None):
+        super().__init__(overrun)
+        self.offsets = offsets or {}
+
+    def initial_release(self, task: MCTask) -> Optional[float]:
+        return float(self.offsets.get(task.name, 0.0))
+
+
+class BurstySource(JobSource):
+    """On/off arrival pattern: bursts of back-to-back releases, then gaps.
+
+    During a burst the task releases as early as legal (the worst-case
+    pattern); between bursts it stays silent for ``gap_factor`` periods.
+    Burst lengths are geometric with mean ``mean_burst_len``.  This is
+    the arrival shape behind the Section-IV remark: overrun *bursts*
+    separated by quiet intervals of at least ``T_O``.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_burst_len: float = 4.0,
+        gap_factor: float = 3.0,
+        overrun: Optional[OverrunModel] = None,
+    ) -> None:
+        super().__init__(overrun)
+        if mean_burst_len < 1.0:
+            raise ValueError(f"mean_burst_len must be >= 1, got {mean_burst_len}")
+        if gap_factor < 0.0:
+            raise ValueError(f"gap_factor must be >= 0, got {gap_factor}")
+        self.rng = rng
+        self.mean_burst_len = mean_burst_len
+        self.gap_factor = gap_factor
+        self._remaining: dict = {}
+
+    def _draw_burst(self) -> int:
+        p = 1.0 / self.mean_burst_len
+        return int(self.rng.geometric(p))
+
+    def next_release(self, task: MCTask, prev_release: float, min_gap: float) -> float:
+        if math.isinf(min_gap):
+            return math.inf
+        left = self._remaining.get(task.name)
+        if left is None or left <= 0:
+            self._remaining[task.name] = self._draw_burst()
+            left = self._remaining[task.name]
+        if left > 1:
+            self._remaining[task.name] = left - 1
+            return prev_release + min_gap
+        self._remaining[task.name] = 0
+        return prev_release + min_gap * (1.0 + self.gap_factor)
+
+
+class SporadicSource(JobSource):
+    """Sporadic releases: minimum spacing plus a random extra delay.
+
+    The extra delay is exponential with mean ``mean_slack_factor *
+    min_gap``, reproducing bursty-but-legal arrival patterns.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_slack_factor: float = 0.2,
+        overrun: Optional[OverrunModel] = None,
+        offsets: Optional[dict] = None,
+    ) -> None:
+        super().__init__(overrun)
+        if mean_slack_factor < 0.0:
+            raise ValueError(f"mean_slack_factor must be >= 0, got {mean_slack_factor}")
+        self.rng = rng
+        self.mean_slack_factor = mean_slack_factor
+        self.offsets = offsets or {}
+
+    def initial_release(self, task: MCTask) -> Optional[float]:
+        base = float(self.offsets.get(task.name, 0.0))
+        if self.mean_slack_factor == 0.0:
+            return base
+        return base + float(self.rng.exponential(self.mean_slack_factor * task.t_lo))
+
+    def next_release(self, task: MCTask, prev_release: float, min_gap: float) -> float:
+        if math.isinf(min_gap):
+            return math.inf
+        slack = 0.0
+        if self.mean_slack_factor > 0.0:
+            slack = float(self.rng.exponential(self.mean_slack_factor * min_gap))
+        return prev_release + min_gap + slack

@@ -1,0 +1,131 @@
+"""Unit tests for Lemmas 6 and 7 (closed-form bounds, Section V)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.closed_form import (
+    closed_form_resetting_time,
+    closed_form_speedup,
+    closed_form_vs_exact_gap,
+    hi_task_ratio_bound,
+    lo_task_ratio_bound,
+)
+from repro.analysis.resetting import resetting_time
+from repro.analysis.speedup import min_speedup
+from repro.model.task import MCTask, ModelError
+from repro.model.taskset import TaskSet
+from repro.model.transform import apply_uniform_scaling
+
+
+@pytest.fixture
+def implicit_pair():
+    """Implicit-deadline base set for the Section-V knobs."""
+    return TaskSet(
+        [
+            MCTask.hi("h", c_lo=1, c_hi=2, d_lo=10, d_hi=10, period=10),
+            MCTask.lo("l", c=2, d_lo=20, t_lo=20),
+        ]
+    )
+
+
+class TestPerTaskBounds:
+    def test_hi_task_terms(self):
+        t = MCTask.hi("h", c_lo=1, c_hi=2, d_lo=10, d_hi=10, period=10)
+        # U(LO)=0.1, U(HI)=0.2, x=0.5: max(0.1/0.5, 0.2/0.6)
+        assert hi_task_ratio_bound(t, 0.5) == pytest.approx(max(0.2, 0.2 / 0.6))
+
+    def test_lo_task_term(self):
+        t = MCTask.lo("l", c=2, d_lo=20, t_lo=20)
+        # U=0.1, y=2: 0.1/1.1
+        assert lo_task_ratio_bound(t, 2.0) == pytest.approx(0.1 / 1.1)
+
+    def test_lo_task_term_terminated(self):
+        t = MCTask.lo("l", c=2, d_lo=20, t_lo=20)
+        assert lo_task_ratio_bound(t, math.inf) == 0.0
+
+
+class TestLemma6:
+    def test_is_sum_of_per_task_bounds(self, implicit_pair):
+        expected = hi_task_ratio_bound(
+            implicit_pair.by_name("h"), 0.5
+        ) + lo_task_ratio_bound(implicit_pair.by_name("l"), 2.0)
+        assert closed_form_speedup(implicit_pair, 0.5, 2.0) == pytest.approx(expected)
+
+    def test_upper_bounds_theorem2(self, implicit_pair):
+        """sup of sum <= sum of sups: Lemma 6 dominates the exact value."""
+        for x in (0.3, 0.5, 0.7, 0.9):
+            for y in (1.1, 1.5, 2.0, 4.0, math.inf):
+                bound = closed_form_speedup(implicit_pair, x, y)
+                exact = min_speedup(apply_uniform_scaling(implicit_pair, x, y)).s_min
+                assert bound >= exact - 1e-9, f"x={x}, y={y}"
+
+    def test_upper_bounds_theorem2_random(self, rng):
+        from tests.conftest import random_implicit_taskset
+
+        for _ in range(10):
+            seed = int(rng.integers(1, 100000))
+            x = float(rng.uniform(0.3, 0.9))
+            y = float(rng.uniform(1.1, 4.0))
+            base = random_implicit_taskset(np.random.default_rng(seed), x=0.999999, y=1.0)
+            bound = closed_form_speedup(base, x, y)
+            exact = min_speedup(apply_uniform_scaling(base, x, y)).s_min
+            assert bound >= exact - 1e-9
+
+    def test_monotone_decreasing_in_preparation(self, implicit_pair):
+        values = [closed_form_speedup(implicit_pair, x, 2.0) for x in (0.8, 0.6, 0.4, 0.2)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_monotone_decreasing_in_degradation(self, implicit_pair):
+        values = [closed_form_speedup(implicit_pair, 0.5, y) for y in (1.0, 1.5, 2.0, 4.0)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_knobs(self, implicit_pair):
+        with pytest.raises(ModelError):
+            closed_form_speedup(implicit_pair, 1.0, 2.0)
+        with pytest.raises(ModelError):
+            closed_form_speedup(implicit_pair, 0.5, 0.9)
+
+    def test_gap_nonnegative(self, implicit_pair):
+        assert closed_form_vs_exact_gap(implicit_pair, 0.5, 2.0) >= -1e-9
+
+
+class TestLemma7:
+    def test_formula(self, implicit_pair):
+        s_bar = closed_form_speedup(implicit_pair, 0.5, 2.0)
+        total_c_hi = 2 + 2
+        expected = total_c_hi / (2.0 - s_bar)
+        assert closed_form_resetting_time(implicit_pair, 0.5, 2.0, 2.0) == pytest.approx(
+            expected
+        )
+
+    def test_infinite_at_minimum_speedup(self, implicit_pair):
+        """Example 4: Delta_R = +inf when s = s_min_bar."""
+        s_bar = closed_form_speedup(implicit_pair, 0.5, 2.0)
+        assert math.isinf(closed_form_resetting_time(implicit_pair, 0.5, 2.0, s_bar))
+        assert math.isinf(
+            closed_form_resetting_time(implicit_pair, 0.5, 2.0, 0.5 * s_bar)
+        )
+
+    def test_upper_bounds_corollary5(self, implicit_pair):
+        """Lemma 7 dominates the exact Corollary-5 value."""
+        for x in (0.4, 0.6):
+            for y in (1.5, 2.0, 3.0):
+                configured = apply_uniform_scaling(implicit_pair, x, y)
+                for s in (1.0, 1.5, 2.0, 3.0):
+                    bound = closed_form_resetting_time(implicit_pair, x, y, s)
+                    exact = resetting_time(configured, s).delta_r
+                    assert bound >= exact - 1e-9 or math.isinf(bound)
+
+    def test_decreasing_in_s(self, implicit_pair):
+        values = [
+            closed_form_resetting_time(implicit_pair, 0.5, 2.0, s)
+            for s in (1.0, 1.5, 2.0, 3.0, 4.0)
+        ]
+        finite = [v for v in values if math.isfinite(v)]
+        assert all(a >= b - 1e-12 for a, b in zip(finite, finite[1:]))
+
+    def test_rejects_nonpositive_speed(self, implicit_pair):
+        with pytest.raises(ModelError):
+            closed_form_resetting_time(implicit_pair, 0.5, 2.0, 0.0)

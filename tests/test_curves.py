@@ -1,0 +1,127 @@
+"""Tests for the piecewise-linear curve toolkit (independent path)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.curves import (
+    PiecewiseLinear,
+    adb_hi_curve,
+    dbf_hi_curve,
+    dbf_lo_curve,
+    total_curve,
+)
+from repro.analysis.dbf import adb_hi, dbf_hi, dbf_lo, total_adb_hi, total_dbf_hi
+from repro.analysis.resetting import resetting_time
+from repro.analysis.speedup import min_speedup
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def hi_task():
+    return MCTask.hi("h", c_lo=2, c_hi=4, d_lo=4, d_hi=8, period=8)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear(np.array([1.0]), np.array([0.0]), np.array([0.0]), 10.0)
+        with pytest.raises(ValueError):
+            PiecewiseLinear(
+                np.array([0.0, 0.0]), np.zeros(2), np.zeros(2), 10.0
+            )
+        with pytest.raises(ValueError):
+            PiecewiseLinear(np.array([0.0, 12.0]), np.zeros(2), np.zeros(2), 10.0)
+        with pytest.raises(ValueError):
+            PiecewiseLinear(np.array([0.0]), np.zeros(2), np.zeros(1), 10.0)
+
+    def test_out_of_horizon_evaluation(self, hi_task):
+        curve = dbf_hi_curve(hi_task, 20.0)
+        with pytest.raises(ValueError):
+            curve(25.0)
+
+
+class TestFidelity:
+    """Curves must agree pointwise with the direct dbf evaluation."""
+
+    def test_dbf_hi(self, hi_task):
+        curve = dbf_hi_curve(hi_task, 40.0)
+        xs = np.linspace(0.0, 40.0, 801)
+        assert curve(xs) == pytest.approx(np.asarray(dbf_hi(hi_task, xs)), abs=1e-7)
+
+    def test_adb_hi(self, hi_task):
+        curve = adb_hi_curve(hi_task, 40.0)
+        xs = np.linspace(0.0, 40.0, 801)
+        assert curve(xs) == pytest.approx(np.asarray(adb_hi(hi_task, xs)), abs=1e-7)
+
+    def test_dbf_lo(self):
+        task = MCTask.lo("l", c=2, d_lo=5, t_lo=7)
+        curve = dbf_lo_curve(task, 50.0)
+        xs = np.linspace(0.0, 50.0, 501)
+        assert curve(xs) == pytest.approx(np.asarray(dbf_lo(task, xs)), abs=1e-7)
+
+    def test_total(self, table1):
+        curve = total_curve(table1, 30.0)
+        xs = np.linspace(0.0, 30.0, 601)
+        assert curve(xs) == pytest.approx(
+            np.asarray(total_dbf_hi(table1, xs)), abs=1e-7
+        )
+
+    def test_empty_total(self):
+        curve = total_curve(TaskSet([]), 10.0)
+        assert curve(5.0) == 0.0
+
+
+class TestAlgebra:
+    def test_addition_matches_pointwise(self, hi_task, table1):
+        other = table1.by_name("tau2")
+        total = dbf_hi_curve(hi_task, 30.0) + dbf_hi_curve(other, 30.0)
+        xs = np.linspace(0.0, 30.0, 301)
+        expected = np.asarray(dbf_hi(hi_task, xs)) + np.asarray(dbf_hi(other, xs))
+        assert total(xs) == pytest.approx(expected, abs=1e-7)
+
+    def test_scale(self, hi_task):
+        curve = dbf_hi_curve(hi_task, 20.0)
+        doubled = curve.scale(2.0)
+        xs = np.linspace(0.0, 20.0, 101)
+        assert doubled(xs) == pytest.approx(2.0 * curve(xs))
+
+
+class TestCrossChecks:
+    """The independent PWL path agrees with the production algorithms."""
+
+    def test_sup_ratio_equals_theorem2(self, table1):
+        curve = total_curve(table1, 200.0)
+        ratio, x = curve.sup_ratio()
+        exact = min_speedup(table1)
+        assert ratio == pytest.approx(exact.s_min, rel=1e-9)
+        assert x == pytest.approx(exact.critical_delta)
+
+    def test_sup_ratio_on_random_sets(self, rng):
+        from tests.conftest import random_implicit_taskset
+
+        for _ in range(6):
+            ts = random_implicit_taskset(rng, n_hi=2, n_lo=2, x=0.5, y=2.0)
+            horizon = 30.0 * max(t.t_hi for t in ts)
+            ratio, _ = total_curve(ts, horizon).sup_ratio()
+            exact = min_speedup(ts).s_min
+            # The finite-horizon sup can only under-approximate, and
+            # within a generous horizon it matches to tolerance.
+            assert ratio <= exact + 1e-9
+            assert ratio == pytest.approx(exact, rel=1e-6)
+
+    def test_first_crossing_equals_corollary5(self, table1):
+        curve = total_curve(table1, 400.0, builder=adb_hi_curve)
+        for s in (1.5, 2.0, 3.0):
+            crossing = curve.first_crossing(s)
+            assert crossing == pytest.approx(
+                resetting_time(table1, s).delta_r, rel=1e-9
+            )
+
+    def test_first_crossing_none_below_rate(self, table1):
+        curve = total_curve(table1, 100.0, builder=adb_hi_curve)
+        assert curve.first_crossing(0.5) is None
+
+    def test_first_crossing_zero_for_empty(self):
+        curve = total_curve(TaskSet([]), 10.0, builder=adb_hi_curve)
+        assert curve.first_crossing(1.0) == 0.0

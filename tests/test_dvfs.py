@@ -1,0 +1,69 @@
+"""Tests for the discrete DVFS ladder extension."""
+
+import math
+
+import pytest
+
+from repro.analysis.dvfs import (
+    TURBO_LADDER,
+    DiscreteDesign,
+    FrequencyLadder,
+    discrete_design,
+    ladder_coverage,
+)
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+
+
+class TestLadder:
+    def test_sorted_on_construction(self):
+        ladder = FrequencyLadder((2.0, 1.0, 1.5))
+        assert ladder.levels == (1.0, 1.5, 2.0)
+        assert ladder.max_speedup == 2.0
+
+    def test_at_least(self):
+        ladder = FrequencyLadder((1.0, 1.5, 2.0))
+        assert ladder.at_least(0.5) == 1.0
+        assert ladder.at_least(1.0) == 1.0
+        assert ladder.at_least(1.2) == 1.5
+        assert ladder.at_least(1.5) == 1.5
+        assert ladder.at_least(2.5) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyLadder(())
+        with pytest.raises(ValueError):
+            FrequencyLadder((0.0, 1.0))
+        with pytest.raises(ValueError):
+            FrequencyLadder((0.5, 0.8))
+
+
+class TestDiscreteDesign:
+    def test_table1_rounds_up(self, table1):
+        design = discrete_design(table1, FrequencyLadder((1.0, 1.5, 2.0)))
+        assert design.deployable
+        assert design.level == 1.5, "s_min = 4/3 rounds up to 1.5"
+        assert design.quantization_loss == pytest.approx(1.5 - 4.0 / 3.0)
+        # Recovery at the rounded-up level is faster than at s_min.
+        assert design.resetting.delta_r < 50.0
+
+    def test_degraded_fits_nominal(self, table1_degraded):
+        design = discrete_design(table1_degraded, FrequencyLadder((1.0, 2.0)))
+        assert design.level == 1.0, "s_min = 0.875 is covered by nominal speed"
+
+    def test_undeployable_when_ladder_too_short(self, table1):
+        design = discrete_design(table1, FrequencyLadder((1.0, 1.25)))
+        assert not design.deployable
+        assert design.resetting is None
+
+    def test_infinite_requirement(self):
+        ts = TaskSet([MCTask.hi("h", c_lo=2, c_hi=4, d_lo=8, d_hi=8, period=8)])
+        design = discrete_design(ts, TURBO_LADDER)
+        assert not design.deployable
+        assert math.isinf(design.s_min.s_min)
+
+    def test_coverage(self, table1, table1_degraded):
+        short = FrequencyLadder((1.0, 1.25))
+        assert ladder_coverage([table1, table1_degraded], short) == 0.5
+        assert ladder_coverage([table1, table1_degraded], TURBO_LADDER) == 1.0
+        assert ladder_coverage([], TURBO_LADDER) == 0.0

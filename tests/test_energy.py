@@ -1,0 +1,76 @@
+"""Unit tests for the energy extension."""
+
+import math
+
+import pytest
+
+from repro.energy import (
+    EnergyModel,
+    episode_energy,
+    episode_energy_overhead,
+    long_run_power_overhead,
+    optimal_recovery_speed,
+)
+
+
+class TestEnergyModel:
+    def test_cubic_default(self):
+        model = EnergyModel()
+        assert model.power(1.0) == pytest.approx(1.0)
+        assert model.power(2.0) == pytest.approx(8.0)
+
+    def test_static_floor(self):
+        model = EnergyModel(static=0.5)
+        assert model.power(0.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(alpha=0.5)
+        with pytest.raises(ValueError):
+            EnergyModel(dynamic=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel(static=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel().power(-1.0)
+
+
+class TestEpisodeEnergy:
+    def test_table1_at_2x(self, table1):
+        # Delta_R(2) = 6, P(2) = 8: E = 48.
+        assert episode_energy(table1, 2.0) == pytest.approx(48.0)
+
+    def test_overhead(self, table1):
+        # (8 - 1) * 6 = 42.
+        assert episode_energy_overhead(table1, 2.0) == pytest.approx(42.0)
+
+    def test_infinite_below_rate(self, table1):
+        assert math.isinf(episode_energy(table1, 0.5))
+
+    def test_long_run_power(self, table1):
+        # overhead 42 spread over T_O = 100.
+        assert long_run_power_overhead(table1, 2.0, 100.0) == pytest.approx(0.42)
+
+    def test_long_run_power_overlapping_episodes(self, table1):
+        assert math.isinf(long_run_power_overhead(table1, 2.0, 1.0))
+
+    def test_long_run_power_validation(self, table1):
+        with pytest.raises(ValueError):
+            long_run_power_overhead(table1, 2.0, 0.0)
+
+
+class TestOptimalSpeed:
+    def test_interior_optimum(self, table1):
+        s_star, energy = optimal_recovery_speed(table1, s_max=6.0, points=400)
+        # The optimum balances power against duration: strictly between
+        # the minimum feasible speed and the maximum.
+        assert 1.34 < s_star < 6.0
+        assert energy <= episode_energy(table1, 2.0) + 1e-9
+        assert energy <= episode_energy(table1, 5.9) + 1e-9
+
+    def test_respects_hint(self, table1):
+        s_star, _ = optimal_recovery_speed(table1, s_min_hint=2.5, s_max=6.0)
+        assert s_star >= 2.5
+
+    def test_infeasible_range(self, table1):
+        with pytest.raises(ValueError):
+            optimal_recovery_speed(table1, s_min_hint=10.0, s_max=4.0)

@@ -1,0 +1,53 @@
+"""Unit tests for the FMS workload (Section VI-A structural facts)."""
+
+import pytest
+
+from repro.generator.fms import DEFAULT_GAMMA, fms_taskset, fms_utilizations
+
+
+class TestStructure:
+    def test_seven_hi_four_lo(self, fms):
+        assert len(fms.hi_tasks) == 7
+        assert len(fms.lo_tasks) == 4
+
+    def test_periods_in_stated_range(self, fms):
+        for t in fms:
+            assert 100.0 <= t.t_lo <= 5000.0
+
+    def test_implicit_deadlines(self, fms):
+        for t in fms:
+            assert t.d_hi == t.t_hi
+            assert t.d_lo == t.t_lo
+
+    def test_gamma_applied_to_hi_only(self):
+        ts = fms_taskset(gamma=3.0)
+        for t in ts.hi_tasks:
+            assert t.c_hi == pytest.approx(min(3.0 * t.c_lo, t.t_lo))
+        for t in ts.lo_tasks:
+            assert t.c_hi == t.c_lo
+
+    def test_default_gamma(self, fms):
+        assert fms.max_gamma == pytest.approx(DEFAULT_GAMMA)
+
+    def test_rejects_gamma_below_one(self):
+        with pytest.raises(ValueError):
+            fms_taskset(0.5)
+
+    def test_lo_mode_feasible(self, fms):
+        from repro.analysis.schedulability import lo_mode_schedulable
+
+        assert lo_mode_schedulable(fms)
+
+    def test_utilization_summary(self):
+        info = fms_utilizations(2.0)
+        assert info["u_hi_of_hi"] == pytest.approx(2 * info["u_lo_of_hi"])
+        assert 0.0 < info["u_lo_system"] < 1.0
+
+
+class TestHeadline:
+    def test_recovery_under_three_seconds_at_2x(self):
+        """Paper: 'FMS takes in the worst-case less than 3s to recover
+        with a speedup of 2'."""
+        from repro.experiments.fig5 import run_headline
+
+        assert run_headline(s=2.0) < 3000.0

@@ -1,0 +1,145 @@
+"""Unit tests for the synthetic task-set generator (Section VI)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.generator.taskgen import (
+    FIG7_CONFIG,
+    GeneratorConfig,
+    generate_taskset,
+    generate_taskset_with_targets,
+    population,
+    random_task,
+)
+from repro.model.task import Criticality, ModelError
+
+
+class TestConfig:
+    def test_defaults_match_caption(self):
+        cfg = GeneratorConfig()
+        assert cfg.period_range == (2.0, 2000.0)
+        assert cfg.u_lo_range == (0.01, 0.2)
+        assert cfg.gamma_range == (1.0, 3.0)
+        assert cfg.p_hi == 0.5
+
+    def test_fig7_config_pins_gamma(self):
+        assert FIG7_CONFIG.gamma_range == (10.0, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            GeneratorConfig(period_range=(0.0, 10.0))
+        with pytest.raises(ModelError):
+            GeneratorConfig(u_lo_range=(0.5, 0.1))
+        with pytest.raises(ModelError):
+            GeneratorConfig(gamma_range=(0.5, 2.0))
+        with pytest.raises(ModelError):
+            GeneratorConfig(p_hi=1.5)
+        with pytest.raises(ModelError):
+            GeneratorConfig(overshoot="explode")
+        with pytest.raises(ModelError):
+            GeneratorConfig(metric="bogus")
+        with pytest.raises(ModelError):
+            GeneratorConfig(cap_each_mode=0.0)
+
+
+class TestRandomTask:
+    def test_parameter_ranges(self, rng):
+        cfg = GeneratorConfig()
+        for i in range(200):
+            t = random_task(rng, cfg, name=f"t{i}")
+            assert 2.0 <= t.t_lo <= 2000.0
+            u = t.c_lo / t.t_lo
+            assert 0.01 - 1e-9 <= u <= 0.2 + 1e-9
+            assert t.d_lo == t.t_lo, "implicit deadlines"
+            if t.is_hi:
+                assert t.c_lo <= t.c_hi <= min(3.0 * t.c_lo, t.t_lo) + 1e-9
+
+    def test_forced_criticality(self, rng):
+        assert random_task(rng, crit=Criticality.HI).is_hi
+        assert random_task(rng, crit=Criticality.LO).is_lo
+
+    def test_hi_probability(self, rng):
+        cfg = GeneratorConfig(p_hi=1.0)
+        assert all(random_task(rng, cfg).is_hi for _ in range(20))
+        cfg = GeneratorConfig(p_hi=0.0)
+        assert all(random_task(rng, cfg).is_lo for _ in range(20))
+
+    def test_gamma_cap_at_period(self, rng):
+        cfg = GeneratorConfig(gamma_range=(10.0, 10.0), p_hi=1.0)
+        for _ in range(50):
+            t = random_task(rng, cfg)
+            assert t.c_hi <= t.t_lo + 1e-9
+
+
+class TestGenerateTaskset:
+    def test_hits_target_metric(self, rng):
+        cfg = GeneratorConfig()  # avg metric, scale overshoot
+        for u in (0.3, 0.6, 0.9):
+            ts = generate_taskset(u, rng, cfg)
+            metric = 0.5 * (ts.u_lo_system + ts.u_hi_system)
+            assert metric == pytest.approx(u, abs=1e-6)
+
+    def test_lo_metric(self, rng):
+        cfg = GeneratorConfig(metric="lo")
+        ts = generate_taskset(0.7, rng, cfg)
+        assert ts.u_lo_system == pytest.approx(0.7, abs=1e-6)
+
+    def test_drop_overshoot_stays_below(self, rng):
+        cfg = GeneratorConfig(overshoot="drop")
+        ts = generate_taskset(0.6, rng, cfg)
+        assert 0.5 * (ts.u_lo_system + ts.u_hi_system) <= 0.6 + 1e-9
+
+    def test_resample_overshoot(self, rng):
+        cfg = GeneratorConfig(overshoot="resample")
+        ts = generate_taskset(0.6, rng, cfg)
+        assert 0.5 * (ts.u_lo_system + ts.u_hi_system) <= 0.6 + 1e-6
+
+    def test_cap_each_mode(self, rng):
+        cfg = GeneratorConfig(cap_each_mode=1.0)
+        for _ in range(5):
+            ts = generate_taskset(0.9, rng, cfg)
+            assert ts.u_lo_system <= 1.0 + 1e-9
+            assert ts.u_hi_system <= 1.0 + 1e-9
+
+    def test_determinism_per_seed(self):
+        a = generate_taskset(0.5, np.random.default_rng(7))
+        b = generate_taskset(0.5, np.random.default_rng(7))
+        assert a == b
+
+    def test_rejects_bad_u_bound(self, rng):
+        with pytest.raises(ModelError):
+            generate_taskset(0.0, rng)
+        with pytest.raises(ModelError):
+            generate_taskset(1.5, rng)
+
+    def test_unique_names(self, rng):
+        ts = generate_taskset(0.8, rng)
+        names = [t.name for t in ts]
+        assert len(names) == len(set(names))
+
+
+class TestTargetsVariant:
+    def test_hits_both_targets(self, rng):
+        ts = generate_taskset_with_targets(0.6, 0.4, rng, FIG7_CONFIG)
+        assert ts.u_hi_of_hi == pytest.approx(0.6, abs=1e-6)
+        assert ts.u_lo_of_lo == pytest.approx(0.4, abs=1e-6)
+
+    def test_jitter_neighbourhood(self, rng):
+        ts = generate_taskset_with_targets(0.6, 0.4, rng, FIG7_CONFIG, jitter=0.025)
+        assert abs(ts.u_hi_of_hi - 0.6) <= 0.025 + 1e-6
+        assert abs(ts.u_lo_of_lo - 0.4) <= 0.025 + 1e-6
+
+    def test_rejects_negative_jitter(self, rng):
+        with pytest.raises(ModelError):
+            generate_taskset_with_targets(0.5, 0.5, rng, jitter=-0.1)
+
+
+class TestPopulation:
+    def test_count_and_reproducibility(self):
+        pop1 = population(0.5, count=5, seed=3)
+        pop2 = population(0.5, count=5, seed=3)
+        assert len(pop1) == 5
+        assert pop1 == pop2
+        assert population(0.5, count=5, seed=4) != pop1

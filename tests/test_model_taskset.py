@@ -1,0 +1,121 @@
+"""Unit tests for the TaskSet container and utilization aggregates."""
+
+import math
+
+import pytest
+
+from repro.model.task import Criticality, MCTask, ModelError
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def ts():
+    return TaskSet(
+        [
+            MCTask.hi("h1", c_lo=1, c_hi=2, d_lo=5, d_hi=10, period=10),
+            MCTask.hi("h2", c_lo=2, c_hi=6, d_lo=10, d_hi=20, period=20),
+            MCTask.lo("l1", c=2, d_lo=10, t_lo=10, d_hi=20, t_hi=20),
+            MCTask.lo("l2", c=5, d_lo=50, t_lo=50),
+        ],
+        name="mix",
+    )
+
+
+class TestContainer:
+    def test_len_iter_getitem(self, ts):
+        assert len(ts) == 4
+        assert [t.name for t in ts] == ["h1", "h2", "l1", "l2"]
+        assert ts[1].name == "h2"
+
+    def test_contains(self, ts):
+        assert ts[0] in ts
+
+    def test_by_name(self, ts):
+        assert ts.by_name("l1").c_lo == 2
+        with pytest.raises(KeyError):
+            ts.by_name("nope")
+
+    def test_duplicate_names_rejected(self):
+        t = MCTask.lo("x", c=1, d_lo=5, t_lo=5)
+        with pytest.raises(ModelError, match="duplicate"):
+            TaskSet([t, t])
+
+    def test_equality_and_hash(self, ts):
+        clone = TaskSet(list(ts), name="other-name")
+        assert ts == clone
+        assert hash(ts) == hash(clone)
+        assert ts != TaskSet(list(ts)[:2])
+        assert (ts == 42) is False
+
+    def test_subsets(self, ts):
+        assert [t.name for t in ts.hi_tasks] == ["h1", "h2"]
+        assert [t.name for t in ts.lo_tasks] == ["l1", "l2"]
+
+    def test_filter_map_extended(self, ts):
+        small = ts.filter(lambda t: t.c_lo <= 2)
+        assert len(small) == 3
+        doubled = ts.map(lambda t: t.scaled(2.0))
+        assert doubled.by_name("h1").t_lo == 20
+        extra = MCTask.lo("l3", c=1, d_lo=5, t_lo=5)
+        assert len(ts.extended([extra])) == 5
+
+
+class TestUtilizations:
+    def test_mode_system_utilizations(self, ts):
+        # LO: 1/10 + 2/20 + 2/10 + 5/50 = 0.1+0.1+0.2+0.1 = 0.5
+        assert ts.u_lo_system == pytest.approx(0.5)
+        # HI: 2/10 + 6/20 + 2/20 + 5/50 = 0.2+0.3+0.1+0.1 = 0.7
+        assert ts.u_hi_system == pytest.approx(0.7)
+
+    def test_figure7_utilizations(self, ts):
+        assert ts.u_hi_of_hi == pytest.approx(0.5)
+        assert ts.u_lo_of_hi == pytest.approx(0.2)
+        assert ts.u_lo_of_lo == pytest.approx(0.3)
+
+    def test_u_bound_metric(self, ts):
+        assert ts.u_bound == pytest.approx(0.7)
+
+    def test_terminated_lo_contributes_zero_hi(self, ts):
+        from repro.model.transform import terminate_lo_tasks
+
+        term = terminate_lo_tasks(ts)
+        assert term.u_hi_system == pytest.approx(0.5)
+
+    def test_max_gamma(self, ts):
+        assert ts.max_gamma == pytest.approx(3.0)
+        assert TaskSet(ts.lo_tasks).max_gamma == 1.0
+
+    def test_total_c_hi(self, ts):
+        assert ts.total_c_hi == pytest.approx(2 + 6 + 2 + 5)
+
+    def test_utilization_with_crit_filter(self, ts):
+        assert ts.utilization(Criticality.HI, Criticality.LO) == pytest.approx(0.2)
+
+
+class TestPresentation:
+    def test_table_contains_all_tasks(self, ts):
+        text = ts.table()
+        for name in ("h1", "h2", "l1", "l2"):
+            assert name in text
+        assert "C(LO)" in text
+
+    def test_repr(self, ts):
+        assert "mix" in repr(ts) and "n=4" in repr(ts)
+
+    def test_hyperperiod_integral(self, ts):
+        assert ts.hyperperiod_lo == pytest.approx(100.0)
+
+    def test_hyperperiod_nonintegral_falls_back_to_product(self):
+        ts = TaskSet(
+            [
+                MCTask.lo("a", c=1, d_lo=2.5, t_lo=2.5),
+                MCTask.lo("b", c=1, d_lo=4.0, t_lo=4.0),
+            ]
+        )
+        assert ts.hyperperiod_lo == pytest.approx(10.0)
+
+    def test_empty_taskset(self):
+        empty = TaskSet([])
+        assert len(empty) == 0
+        assert empty.u_lo_system == 0.0
+        assert empty.max_gamma == 1.0

@@ -1,0 +1,109 @@
+"""Unit tests for the Section-V transforms (Eqs. 13, 14, 3)."""
+
+import math
+
+import pytest
+
+from repro.model.task import Criticality, MCTask, ModelError
+from repro.model.taskset import TaskSet
+from repro.model.transform import (
+    apply_uniform_scaling,
+    degrade_lo_tasks,
+    restrict_to,
+    scale_wcet_uncertainty,
+    shorten_hi_deadlines,
+    terminate_lo_tasks,
+)
+
+
+@pytest.fixture
+def implicit():
+    return TaskSet(
+        [
+            MCTask.hi("h", c_lo=1, c_hi=2, d_lo=10, d_hi=10, period=10),
+            MCTask.lo("l", c=2, d_lo=20, t_lo=20),
+        ]
+    )
+
+
+class TestShorten:
+    def test_eq13(self, implicit):
+        out = shorten_hi_deadlines(implicit, 0.5)
+        assert out.by_name("h").d_lo == 5
+        assert out.by_name("h").d_hi == 10
+        assert out.by_name("l").d_lo == 20, "LO tasks untouched"
+
+    def test_x_one_is_identity_on_deadline(self, implicit):
+        out = shorten_hi_deadlines(implicit, 1.0)
+        assert out.by_name("h").d_lo == 10
+
+    def test_clamps_at_wcet(self, implicit):
+        out = shorten_hi_deadlines(implicit, 0.05)
+        assert out.by_name("h").d_lo == pytest.approx(1.0), "clamped at C(LO)"
+
+    def test_rejects_bad_x(self, implicit):
+        with pytest.raises(ModelError):
+            shorten_hi_deadlines(implicit, 0.0)
+        with pytest.raises(ModelError):
+            shorten_hi_deadlines(implicit, 1.5)
+
+    def test_original_unchanged(self, implicit):
+        shorten_hi_deadlines(implicit, 0.5)
+        assert implicit.by_name("h").d_lo == 10
+
+
+class TestDegrade:
+    def test_eq14(self, implicit):
+        out = degrade_lo_tasks(implicit, 2.0)
+        lo = out.by_name("l")
+        assert lo.d_hi == 40 and lo.t_hi == 40
+        assert out.by_name("h").d_hi == 10, "HI tasks untouched"
+
+    def test_y_one_is_identity(self, implicit):
+        out = degrade_lo_tasks(implicit, 1.0)
+        assert out.by_name("l").d_hi == 20
+
+    def test_rejects_y_below_one(self, implicit):
+        with pytest.raises(ModelError):
+            degrade_lo_tasks(implicit, 0.9)
+
+
+class TestTerminate:
+    def test_eq3(self, implicit):
+        out = terminate_lo_tasks(implicit)
+        lo = out.by_name("l")
+        assert lo.terminated_in_hi
+        assert math.isinf(lo.d_hi) and math.isinf(lo.t_hi)
+        assert not out.by_name("h").terminated_in_hi
+
+    def test_hi_demand_vanishes(self, implicit):
+        from repro.analysis.dbf import dbf_hi
+
+        out = terminate_lo_tasks(implicit)
+        assert dbf_hi(out.by_name("l"), 1000.0) == 0.0
+
+
+class TestCombined:
+    def test_apply_uniform_scaling(self, implicit):
+        out = apply_uniform_scaling(implicit, 0.5, 2.0)
+        assert out.by_name("h").d_lo == 5
+        assert out.by_name("l").t_hi == 40
+
+    def test_apply_with_infinite_y_terminates(self, implicit):
+        out = apply_uniform_scaling(implicit, 0.5, math.inf)
+        assert out.by_name("l").terminated_in_hi
+
+    def test_scale_wcet_uncertainty(self, implicit):
+        out = scale_wcet_uncertainty(implicit, 3.0)
+        assert out.by_name("h").c_hi == 3
+        assert out.by_name("l").c_hi == 2, "LO tasks keep their WCET"
+
+    def test_scale_wcet_uncertainty_infeasible(self, implicit):
+        with pytest.raises(ModelError):
+            scale_wcet_uncertainty(implicit, 11.0)  # C(HI) > D(HI)
+        with pytest.raises(ModelError):
+            scale_wcet_uncertainty(implicit, 0.5)
+
+    def test_restrict_to(self, implicit):
+        assert len(restrict_to(implicit, Criticality.HI)) == 1
+        assert len(restrict_to(implicit, Criticality.LO)) == 1

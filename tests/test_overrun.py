@@ -1,0 +1,76 @@
+"""Unit tests for the Section-IV remark helpers (overrun frequency)."""
+
+import math
+
+import pytest
+
+from repro.analysis.overrun import (
+    BoostEnvelope,
+    fallback_deadline,
+    max_overrun_frequency,
+    speedup_duty_cycle,
+)
+
+
+class TestFrequency:
+    def test_bounded_when_resetting_fits(self):
+        assert max_overrun_frequency(delta_r=2.0, t_o=10.0) == pytest.approx(0.1)
+
+    def test_unbounded_when_episodes_overlap(self):
+        assert math.isinf(max_overrun_frequency(delta_r=12.0, t_o=10.0))
+
+    def test_boundary(self):
+        assert max_overrun_frequency(delta_r=10.0, t_o=10.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_overrun_frequency(1.0, 0.0)
+        with pytest.raises(ValueError):
+            max_overrun_frequency(-1.0, 1.0)
+
+
+class TestDutyCycle:
+    def test_fraction(self):
+        assert speedup_duty_cycle(2.0, 10.0) == pytest.approx(0.2)
+
+    def test_clamped_at_one(self):
+        assert speedup_duty_cycle(20.0, 10.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup_duty_cycle(1.0, -1.0)
+        with pytest.raises(ValueError):
+            speedup_duty_cycle(-0.1, 1.0)
+
+
+class TestBoostEnvelope:
+    def test_turbo_boost_defaults(self):
+        env = BoostEnvelope()
+        assert env.max_speedup == 2.0 and env.max_duration == 30.0
+
+    def test_admits_within_envelope(self):
+        env = BoostEnvelope(max_speedup=2.0, max_duration=30.0)
+        assert env.admits(s=2.0, delta_r=3.0)
+        assert not env.admits(s=2.5, delta_r=3.0)
+        assert not env.admits(s=2.0, delta_r=31.0)
+
+    def test_cooldown_constrains_burst_separation(self):
+        env = BoostEnvelope(max_speedup=2.0, max_duration=30.0, cooldown=5.0)
+        assert env.admits(s=2.0, delta_r=3.0, t_o=10.0)
+        assert not env.admits(s=2.0, delta_r=7.0, t_o=10.0)
+
+    def test_infinite_burst_separation_ignores_cooldown(self):
+        env = BoostEnvelope(cooldown=100.0)
+        assert env.admits(s=2.0, delta_r=3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoostEnvelope(max_speedup=0.5)
+        with pytest.raises(ValueError):
+            BoostEnvelope(max_duration=0.0)
+        with pytest.raises(ValueError):
+            BoostEnvelope(cooldown=-1.0)
+
+    def test_fallback_deadline(self):
+        env = BoostEnvelope(max_duration=30.0)
+        assert fallback_deadline(env) == 30.0

@@ -1,0 +1,90 @@
+"""Tests for the greedy per-task deadline tuning extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.per_task_tuning import tune_per_task_deadlines
+from repro.analysis.schedulability import lo_mode_schedulable
+from repro.analysis.speedup import min_speedup
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def two_hi_mix():
+    """Two HI tasks of very different shape plus a LO task: the uniform
+    factor is a compromise, so per-task shaping has room to win."""
+    return TaskSet(
+        [
+            MCTask.hi("big", c_lo=2, c_hi=8, d_lo=20, d_hi=20, period=20),
+            MCTask.hi("small", c_lo=1, c_hi=2, d_lo=5, d_hi=5, period=5),
+            MCTask.lo("lo", c=3, d_lo=15, t_lo=15, d_hi=30, t_hi=30),
+        ]
+    )
+
+
+class TestTuning:
+    def test_never_worse_than_uniform(self, two_hi_mix):
+        result = tune_per_task_deadlines(two_hi_mix)
+        assert result is not None
+        assert result.s_min <= result.uniform_s_min + 1e-9
+        assert result.improvement >= -1e-9
+
+    def test_history_strictly_decreasing(self, two_hi_mix):
+        result = tune_per_task_deadlines(two_hi_mix)
+        assert all(a > b for a, b in zip(result.history, result.history[1:]))
+
+    def test_lo_mode_stays_feasible(self, two_hi_mix):
+        result = tune_per_task_deadlines(two_hi_mix)
+        assert lo_mode_schedulable(result.taskset)
+
+    def test_reported_s_min_matches_taskset(self, two_hi_mix):
+        result = tune_per_task_deadlines(two_hi_mix)
+        assert min_speedup(result.taskset).s_min == pytest.approx(result.s_min)
+
+    def test_moves_recorded(self, two_hi_mix):
+        result = tune_per_task_deadlines(two_hi_mix)
+        assert len(result.moves) == len(result.history) - 1
+        for name, d_lo in result.moves:
+            assert name in ("big", "small")
+            assert d_lo > 0
+
+    def test_infeasible_returns_none(self):
+        ts = TaskSet(
+            [
+                MCTask.hi("h", c_lo=6, c_hi=8, d_lo=10, d_hi=10, period=10),
+                MCTask.lo("l", c=5, d_lo=10, t_lo=10),
+            ]
+        )
+        assert tune_per_task_deadlines(ts) is None
+
+    def test_no_hi_tasks(self):
+        ts = TaskSet([MCTask.lo("l", c=3, d_lo=15, t_lo=15)])
+        result = tune_per_task_deadlines(ts)
+        assert result is not None
+        assert result.s_min == result.uniform_s_min
+
+    def test_shrink_validation(self, two_hi_mix):
+        with pytest.raises(ValueError):
+            tune_per_task_deadlines(two_hi_mix, shrink=1.0)
+        with pytest.raises(ValueError):
+            tune_per_task_deadlines(two_hi_mix, shrink=0.0)
+
+    def test_gains_on_random_population(self):
+        """Across a small population the tuner helps at least sometimes
+        and never hurts."""
+        from repro.generator.taskgen import GeneratorConfig, generate_taskset
+
+        rng = np.random.default_rng(31)
+        improvements = []
+        for i in range(12):
+            ts = generate_taskset(0.7, rng, GeneratorConfig())
+            result = tune_per_task_deadlines(ts, max_moves=25)
+            if result is None or math.isinf(result.uniform_s_min):
+                continue
+            assert result.improvement >= -1e-9
+            improvements.append(result.improvement)
+        assert improvements
+        assert max(improvements) >= 0.0

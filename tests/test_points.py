@@ -1,0 +1,105 @@
+"""Unit tests for candidate-point enumeration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import points as pts
+from repro.analysis.dbf import total_adb_hi, total_dbf_hi
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def hi_task():
+    return MCTask.hi("h", c_lo=2, c_hi=4, d_lo=4, d_hi=8, period=8)
+
+
+class TestOffsets:
+    def test_dbf_offsets(self, hi_task):
+        # gap = 4, gap + C(LO) = 6, period boundary = 8
+        assert pts.dbf_hi_offsets(hi_task) == [4.0, 6.0, 8.0]
+
+    def test_adb_offsets(self, hi_task):
+        # T - D(LO) = 4, + C(LO) = 6, plus 0 and period
+        assert pts.adb_hi_offsets(hi_task) == [0.0, 4.0, 6.0, 8.0]
+
+    def test_terminated_task_has_none(self):
+        t = MCTask.lo("l", c=2, d_lo=6, t_lo=6, d_hi=math.inf, t_hi=math.inf)
+        assert pts.dbf_hi_offsets(t) == []
+        assert pts.adb_hi_offsets(t) == []
+
+    def test_lo_task_offsets(self):
+        t = MCTask.lo("l", c=2, d_lo=6, t_lo=6)
+        # gap = 0 for a non-degraded LO task: offsets {0, 2, 6}
+        assert pts.dbf_hi_offsets(t) == [0.0, 2.0, 6.0]
+
+
+class TestWindows:
+    def test_breakpoints_in_window(self, hi_task):
+        ts = TaskSet([hi_task])
+        got = pts.breakpoints_in(ts, 0.0, 16.0, kind="dbf")
+        assert list(got) == [4.0, 6.0, 8.0, 12.0, 14.0, 16.0]
+
+    def test_window_is_half_open(self, hi_task):
+        ts = TaskSet([hi_task])
+        got = pts.breakpoints_in(ts, 4.0, 8.0, kind="dbf")
+        assert list(got) == [6.0, 8.0], "lower bound excluded, upper included"
+
+    def test_union_over_tasks_sorted_unique(self, hi_task):
+        ts = TaskSet([hi_task, MCTask.lo("l", c=2, d_lo=6, t_lo=6)])
+        got = pts.breakpoints_in(ts, 0.0, 12.0, kind="dbf")
+        assert np.all(np.diff(got) > 0)
+        assert 6.0 in got  # shared by both tasks, appears once
+        assert np.count_nonzero(np.isclose(got, 6.0)) == 1
+
+    def test_unknown_kind_rejected(self, hi_task):
+        with pytest.raises(ValueError):
+            pts.breakpoints_in(TaskSet([hi_task]), 0, 10, kind="bogus")
+
+    def test_all_discontinuities_are_candidates(self, hi_task):
+        """Scanning densely finds no jump outside the candidate set."""
+        ts = TaskSet([hi_task, MCTask.lo("l", c=3, d_lo=7, t_lo=9, d_hi=11, t_hi=13)])
+        for kind, fn in (("dbf", total_dbf_hi), ("adb", total_adb_hi)):
+            candidates = set(np.round(pts.breakpoints_in(ts, 0.0, 50.0, kind=kind), 9))
+            deltas = np.arange(0.0, 50.0, 0.001)
+            values = np.asarray(fn(ts, deltas))
+            jumps = np.where(np.diff(values) > 1e-9)[0]
+            for j in jumps:
+                # the jump lies within (deltas[j], deltas[j+1]]; a candidate
+                # must exist nearby (allow one grid step of float slack)
+                window = [
+                    c
+                    for c in candidates
+                    if deltas[j] - 0.0015 < c <= deltas[j + 1] + 0.0015
+                ]
+                # overlapping ramps give aggregate slope up to len(ts)
+                slope_only = values[j + 1] - values[j] <= len(ts) * 0.001 + 1e-4
+                assert window or slope_only, f"jump at ~{deltas[j]} has no candidate"
+
+    def test_dbf_lo_breakpoints(self):
+        ts = TaskSet([MCTask.lo("l", c=1, d_lo=3, t_lo=5)])
+        got = pts.dbf_lo_breakpoints_in(ts, 0.0, 14.0)
+        assert list(got) == [3.0, 8.0, 13.0]
+
+
+class TestHelpers:
+    def test_max_finite_period(self, hi_task):
+        ts = TaskSet(
+            [hi_task, MCTask.lo("l", c=1, d_lo=3, t_lo=3, d_hi=math.inf, t_hi=math.inf)]
+        )
+        assert pts.max_finite_period(ts) == 8.0
+
+    def test_max_finite_period_all_terminated(self):
+        ts = TaskSet(
+            [MCTask.lo("l", c=1, d_lo=3, t_lo=3, d_hi=math.inf, t_hi=math.inf)]
+        )
+        assert pts.max_finite_period(ts) == 0.0
+
+    def test_initial_window(self, hi_task):
+        assert pts.initial_window(TaskSet([hi_task])) == 16.0
+
+    def test_windows_generator(self):
+        gen = pts.windows(4.0)
+        assert [next(gen) for _ in range(3)] == [4.0, 8.0, 16.0]

@@ -1,0 +1,46 @@
+"""Tests for the design-report generator."""
+
+import pytest
+
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+from repro.report import build_report
+
+
+class TestReport:
+    def test_schedulable_design(self, table1):
+        text = build_report(table1, s=2.0, reset_budget=6.0)
+        assert "# Design report" in text
+        assert "Theorem 2 minimum speedup: **1.33333**" in text
+        assert "resetting time at s = 2: **6**" in text
+        assert "Within recovery budget 6: **True**" in text
+        assert "Validation verdict: **PASS**" in text
+        assert "First overrun episode" in text
+
+    def test_sensitivity_section(self, table1):
+        text = build_report(table1, s=2.0)
+        assert "Speedup headroom" in text
+        assert "Max tolerable WCET ratio" in text
+
+    def test_unschedulable_design_skips_simulation(self, table1):
+        text = build_report(table1, s=1.2)
+        assert "HI mode feasible at s = 1.2: **False**" in text
+        assert "Skipped" in text
+        assert "Validation verdict" not in text
+
+    def test_infeasible_requirement(self):
+        ts = TaskSet([MCTask.hi("h", c_lo=2, c_hi=4, d_lo=8, d_hi=8, period=8)])
+        text = build_report(ts, s=3.0)
+        assert "inf" in text
+        assert "Skipped" in text
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.experiments.table1 import table1_taskset
+        from repro.io import save_taskset
+
+        path = tmp_path / "set.json"
+        save_taskset(table1_taskset(), path)
+        assert main(["analyze", "--taskset", str(path), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Validation verdict" in out

@@ -1,0 +1,121 @@
+"""Unit tests for Corollary 5 (service resetting time)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.dbf import total_adb_hi
+from repro.analysis.resetting import resetting_time, resetting_curve
+from repro.analysis.speedup import min_speedup
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+from repro.model.transform import terminate_lo_tasks
+
+
+class TestPaperOracles:
+    def test_example2_at_2x(self, table1):
+        assert resetting_time(table1, 2.0).delta_r == pytest.approx(6.0)
+
+    def test_example2_at_s_min(self, table1):
+        """At s = 4/3 the example still drains (rate < 4/3), slowly."""
+        result = resetting_time(table1, 4.0 / 3.0)
+        assert result.delta_r == pytest.approx(42.75)
+
+    def test_degradation_shrinks_resetting(self, table1, table1_degraded):
+        plain = resetting_time(table1, 2.0).delta_r
+        degraded = resetting_time(table1_degraded, 2.0).delta_r
+        assert degraded < plain
+
+
+class TestComputation:
+    def test_crossing_satisfies_condition(self, simple_pair):
+        for s in (1.5, 2.0, 3.0):
+            result = resetting_time(simple_pair, s)
+            demand = total_adb_hi(simple_pair, result.delta_r)
+            assert demand <= s * result.delta_r + 1e-6
+
+    def test_first_crossing_minimality(self, simple_pair):
+        """No earlier Delta satisfies the idle condition."""
+        for s in (1.5, 2.0, 2.5):
+            result = resetting_time(simple_pair, s)
+            deltas = np.linspace(1e-6, result.delta_r * (1 - 1e-6), 5000)
+            demand = np.asarray(total_adb_hi(simple_pair, deltas))
+            assert np.all(demand > s * deltas - 1e-6)
+
+    def test_known_values_simple_pair(self, simple_pair):
+        assert resetting_time(simple_pair, 2.0).delta_r == pytest.approx(6.0)
+        assert resetting_time(simple_pair, 4.0).delta_r == pytest.approx(2.0)
+
+    def test_interior_crossing_value(self, simple_pair):
+        """s = 3 crosses inside a segment: 8/3 with demand exactly 8."""
+        result = resetting_time(simple_pair, 3.0)
+        assert result.delta_r == pytest.approx(8.0 / 3.0)
+        assert not result.at_breakpoint
+        assert result.demand_at_crossing == pytest.approx(8.0)
+
+    def test_infinite_when_rate_too_high(self, table1):
+        """s below the long-run HI demand rate cannot drain the backlog."""
+        result = resetting_time(table1, 0.5)
+        assert math.isinf(result.delta_r)
+        assert not result.finite
+
+    def test_empty_taskset(self):
+        assert resetting_time(TaskSet([]), 1.0).delta_r == 0.0
+
+    def test_rejects_nonpositive_speed(self, table1):
+        with pytest.raises(ValueError):
+            resetting_time(table1, 0.0)
+
+    def test_float_conversion(self, table1):
+        assert float(resetting_time(table1, 2.0)) == pytest.approx(6.0)
+
+
+class TestMonotonicity:
+    def test_decreasing_in_s(self, table1):
+        speeds = np.linspace(1.4, 5.0, 20)
+        results = resetting_curve(table1, speeds)
+        values = [r.delta_r for r in results]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_diverges_towards_rate(self, simple_pair):
+        """Delta_R grows without bound as s approaches the demand rate."""
+        from repro.analysis.dbf import hi_mode_rate
+
+        rate = hi_mode_rate(simple_pair)
+        close = resetting_time(simple_pair, rate * 1.001).delta_r
+        far = resetting_time(simple_pair, rate * 2.0).delta_r
+        assert close > 10 * far
+
+    def test_degradation_only_helps(self, rng):
+        from tests.conftest import random_implicit_taskset
+
+        for _ in range(5):
+            seed = int(rng.integers(1, 10_000))
+            local = np.random.default_rng(seed)
+            mild = random_implicit_taskset(local, x=0.5, y=1.5)
+            local = np.random.default_rng(seed)
+            strong = random_implicit_taskset(local, x=0.5, y=3.0)
+            s = max(min_speedup(mild).s_min, min_speedup(strong).s_min) + 0.5
+            assert (
+                resetting_time(strong, s).delta_r
+                <= resetting_time(mild, s).delta_r + 1e-9
+            )
+
+
+class TestTermination:
+    def test_terminated_carryover_counts_by_default(self, table1):
+        terminated = terminate_lo_tasks(table1)
+        with_carry = resetting_time(terminated, 2.0).delta_r
+        without = resetting_time(
+            terminated, 2.0, drop_terminated_carryover=True
+        ).delta_r
+        assert with_carry >= without
+
+    def test_only_terminated_tasks(self):
+        ts = terminate_lo_tasks(TaskSet([MCTask.lo("l", c=2, d_lo=6, t_lo=6)]))
+        result = resetting_time(ts, 1.0)
+        # The killed job's carry-over still occupies the processor for C.
+        assert result.delta_r == pytest.approx(2.0)
+        dropped = resetting_time(ts, 1.0, drop_terminated_carryover=True)
+        assert dropped.delta_r == 0.0

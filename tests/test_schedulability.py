@@ -1,0 +1,110 @@
+"""Unit tests for the dual-mode schedulability tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.schedulability import (
+    SchedulabilityReport,
+    hi_mode_schedulable,
+    lo_mode_schedulable,
+    system_schedulable,
+)
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+
+
+class TestLoMode:
+    def test_feasible_set(self, table1):
+        assert lo_mode_schedulable(table1)
+
+    def test_overloaded_set(self):
+        ts = TaskSet(
+            [
+                MCTask.lo("a", c=5, d_lo=8, t_lo=8),
+                MCTask.lo("b", c=5, d_lo=10, t_lo=10),
+            ]
+        )
+        assert not lo_mode_schedulable(ts)  # utilization 1.125
+
+    def test_deadline_constrained_infeasible_despite_low_utilization(self):
+        """Demand criterion catches short deadlines the utilization misses."""
+        ts = TaskSet(
+            [
+                MCTask.lo("a", c=2, d_lo=2, t_lo=10),
+                MCTask.lo("b", c=2, d_lo=2, t_lo=10),
+            ]
+        )
+        # Utilization is only 0.4, but both jobs demand 4 units by t=2.
+        assert not lo_mode_schedulable(ts)
+
+    def test_exact_boundary(self):
+        ts = TaskSet([MCTask.lo("a", c=5, d_lo=5, t_lo=5)])
+        assert lo_mode_schedulable(ts), "utilization exactly 1 with D=T"
+
+    def test_speed_parameter(self):
+        ts = TaskSet(
+            [
+                MCTask.lo("a", c=2, d_lo=2, t_lo=10),
+                MCTask.lo("b", c=2, d_lo=2, t_lo=10),
+            ]
+        )
+        assert lo_mode_schedulable(ts, speed=2.0)
+
+    def test_empty(self):
+        assert lo_mode_schedulable(TaskSet([]))
+        assert not lo_mode_schedulable(
+            TaskSet([MCTask.lo("a", c=1, d_lo=2, t_lo=2)]), speed=0.0
+        )
+
+    def test_hi_tasks_use_shortened_deadlines(self):
+        """The LO-mode test sees HI tasks' D(LO), not D(HI)."""
+        tight = TaskSet(
+            [
+                MCTask.hi("h", c_lo=4, c_hi=8, d_lo=4, d_hi=20, period=20),
+                MCTask.lo("l", c=4, d_lo=4, t_lo=8),
+            ]
+        )
+        # At Delta = 4 the demand is 8 > 4.
+        assert not lo_mode_schedulable(tight)
+
+
+class TestHiMode:
+    def test_matches_speedup_result(self, table1):
+        assert hi_mode_schedulable(table1, 4.0 / 3.0)
+        assert not hi_mode_schedulable(table1, 1.2)
+
+
+class TestSystemReport:
+    def test_without_target_speedup(self, table1):
+        report = system_schedulable(table1)
+        assert isinstance(report, SchedulabilityReport)
+        assert report.lo_ok
+        assert report.s_min.s_min == pytest.approx(4.0 / 3.0)
+        assert report.hi_ok_at is None
+        assert report.resetting is None
+        assert report.hi_ok  # finite s_min exists
+
+    def test_with_target_speedup(self, table1):
+        report = system_schedulable(table1, s=2.0)
+        assert report.schedulable
+        assert report.resetting.delta_r == pytest.approx(6.0)
+        assert report.within_reset_budget(6.0)
+        assert not report.within_reset_budget(5.9)
+
+    def test_insufficient_speedup(self, table1):
+        report = system_schedulable(table1, s=1.2)
+        assert not report.hi_ok
+        assert not report.schedulable
+        assert report.resetting is None
+        assert not report.within_reset_budget(100.0)
+
+    def test_budget_without_target(self, table1):
+        report = system_schedulable(table1)
+        assert not report.within_reset_budget(100.0), "no resetting info"
+
+    def test_infinite_s_min_reported(self):
+        ts = TaskSet([MCTask.hi("h", c_lo=2, c_hi=4, d_lo=8, d_hi=8, period=8)])
+        report = system_schedulable(ts)
+        assert math.isinf(report.s_min.s_min)
+        assert not report.hi_ok

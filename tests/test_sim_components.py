@@ -1,0 +1,220 @@
+"""Unit tests for jobs, the processor model and workload sources."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.task import MCTask
+from repro.sim.job import Job
+from repro.sim.processor import Processor
+from repro.sim.workload import (
+    OverrunModel,
+    PeriodicSource,
+    SporadicSource,
+    SynchronousWorstCaseSource,
+)
+
+
+@pytest.fixture
+def hi_task():
+    return MCTask.hi("h", c_lo=2, c_hi=4, d_lo=4, d_hi=8, period=8)
+
+
+@pytest.fixture
+def lo_task():
+    return MCTask.lo("l", c=2, d_lo=6, t_lo=6)
+
+
+class TestJob:
+    def test_remaining_and_done(self, hi_task):
+        job = Job(task=hi_task, release=0.0, exec_time=3.0, abs_deadline=8.0)
+        assert job.remaining == 3.0 and not job.done
+        job.executed = 3.0
+        assert job.remaining == 0.0
+        job.finish = 5.0
+        assert job.done and job.response_time() == 5.0
+
+    def test_overrun_detection(self, hi_task):
+        overrunning = Job(task=hi_task, release=0.0, exec_time=3.0, abs_deadline=8.0)
+        normal = Job(task=hi_task, release=0.0, exec_time=2.0, abs_deadline=8.0)
+        assert overrunning.overruns and not normal.overruns
+
+    def test_lo_budget_left(self, hi_task):
+        job = Job(task=hi_task, release=0.0, exec_time=4.0, abs_deadline=8.0)
+        assert job.lo_budget_left == 2.0
+        job.executed = 2.0
+        assert math.isinf(job.lo_budget_left)
+
+    def test_miss_detection(self, hi_task):
+        job = Job(task=hi_task, release=0.0, exec_time=2.0, abs_deadline=4.0)
+        job.finish = 4.5
+        assert job.missed()
+        job.finish = 4.0
+        assert not job.missed()
+
+    def test_background_jobs_never_miss(self, hi_task):
+        job = Job(
+            task=hi_task, release=0.0, exec_time=2.0, abs_deadline=1.0, background=True
+        )
+        job.finish = 100.0
+        assert not job.missed()
+
+    def test_exec_time_validation(self, hi_task):
+        with pytest.raises(ValueError):
+            Job(task=hi_task, release=0.0, exec_time=0.0, abs_deadline=8.0)
+        with pytest.raises(ValueError):
+            Job(task=hi_task, release=0.0, exec_time=5.0, abs_deadline=8.0)
+
+
+class TestProcessor:
+    def test_segments_and_energy(self):
+        p = Processor(alpha=3.0)
+        p.set_speed(2.0, 2.0)   # nominal until t=2, then 2x
+        p.reset_speed(5.0)      # back to 1x at t=5
+        p.finish(10.0)
+        segs = p.segments
+        assert [(s.start, s.end, s.speed) for s in segs] == [
+            (0.0, 2.0, 1.0),
+            (2.0, 5.0, 2.0),
+            (5.0, 10.0, 1.0),
+        ]
+        assert p.boosted_time == pytest.approx(3.0)
+        assert p.energy() == pytest.approx(2 * 1 + 3 * 8 + 5 * 1)
+        assert p.energy_overhead_vs_nominal() == pytest.approx(3 * (8 - 1))
+
+    def test_redundant_set_speed_is_noop(self):
+        p = Processor()
+        p.set_speed(1.0, 1.0)
+        p.finish(2.0)
+        assert len(p.segments) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Processor(nominal_speed=0.0)
+        with pytest.raises(ValueError):
+            Processor(alpha=0.5)
+        p = Processor()
+        with pytest.raises(ValueError):
+            p.set_speed(1.0, -2.0)
+
+    def test_idle_power_floor(self):
+        p = Processor()
+        p.finish(10.0)
+        assert p.energy(idle_power=0.5) == pytest.approx(10 * 1 + 10 * 0.5)
+
+
+class TestOverrunModel:
+    def test_deterministic_no_overrun(self, hi_task, lo_task):
+        model = OverrunModel()
+        assert model.exec_time(hi_task, 0) == pytest.approx(2.0)
+        assert model.exec_time(lo_task, 0) == pytest.approx(2.0)
+
+    def test_first_job_overruns(self, hi_task):
+        model = OverrunModel(first_job_overruns=True)
+        assert model.exec_time(hi_task, 0) == pytest.approx(4.0)
+        assert model.exec_time(hi_task, 1) == pytest.approx(2.0)
+
+    def test_lo_tasks_never_overrun(self, lo_task):
+        model = OverrunModel(probability=1.0, rng=np.random.default_rng(0))
+        assert model.exec_time(lo_task, 0) == pytest.approx(2.0)
+
+    def test_probability_one_always_overruns(self, hi_task):
+        model = OverrunModel(probability=1.0, rng=np.random.default_rng(0))
+        for idx in range(5):
+            assert model.exec_time(hi_task, idx) == pytest.approx(4.0)
+
+    def test_partial_fraction(self, hi_task):
+        model = OverrunModel(first_job_overruns=True, fraction=0.5)
+        assert model.exec_time(hi_task, 0) == pytest.approx(3.0)
+
+    def test_normal_fraction(self, hi_task):
+        model = OverrunModel(normal_fraction=0.5)
+        assert model.exec_time(hi_task, 3) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverrunModel(probability=1.5)
+        with pytest.raises(ValueError):
+            OverrunModel(fraction=-0.1)
+        with pytest.raises(ValueError):
+            OverrunModel(normal_fraction=0.0)
+
+
+class TestSources:
+    def test_synchronous_source(self, hi_task):
+        src = SynchronousWorstCaseSource()
+        assert src.initial_release(hi_task) == 0.0
+        assert src.next_release(hi_task, 10.0, 8.0) == 18.0
+
+    def test_periodic_offsets(self, hi_task):
+        src = PeriodicSource(offsets={"h": 3.0})
+        assert src.initial_release(hi_task) == 3.0
+
+    def test_sporadic_respects_min_gap(self, hi_task):
+        src = SporadicSource(np.random.default_rng(1), mean_slack_factor=0.3)
+        for _ in range(20):
+            nxt = src.next_release(hi_task, 100.0, 8.0)
+            assert nxt >= 108.0
+
+    def test_sporadic_zero_slack_is_periodic(self, hi_task):
+        src = SporadicSource(np.random.default_rng(1), mean_slack_factor=0.0)
+        assert src.next_release(hi_task, 100.0, 8.0) == 108.0
+
+    def test_sporadic_infinite_gap(self, hi_task):
+        src = SporadicSource(np.random.default_rng(1))
+        assert math.isinf(src.next_release(hi_task, 100.0, math.inf))
+
+    def test_sporadic_validation(self):
+        with pytest.raises(ValueError):
+            SporadicSource(np.random.default_rng(1), mean_slack_factor=-1.0)
+
+
+class TestBurstySource:
+    def test_burst_then_gap(self, hi_task):
+        from repro.sim.workload import BurstySource
+
+        src = BurstySource(np.random.default_rng(2), mean_burst_len=3.0, gap_factor=2.0)
+        gaps = []
+        t = 0.0
+        for _ in range(60):
+            nxt = src.next_release(hi_task, t, 8.0)
+            gaps.append(nxt - t)
+            t = nxt
+        assert all(g >= 8.0 - 1e-9 for g in gaps), "min spacing always honoured"
+        assert any(g == pytest.approx(8.0) for g in gaps), "bursts are back-to-back"
+        assert any(g == pytest.approx(24.0) for g in gaps), "gaps are 1+gap_factor periods"
+
+    def test_infinite_gap(self, hi_task):
+        from repro.sim.workload import BurstySource
+
+        src = BurstySource(np.random.default_rng(2))
+        assert math.isinf(src.next_release(hi_task, 0.0, math.inf))
+
+    def test_validation(self):
+        from repro.sim.workload import BurstySource
+
+        with pytest.raises(ValueError):
+            BurstySource(np.random.default_rng(0), mean_burst_len=0.5)
+        with pytest.raises(ValueError):
+            BurstySource(np.random.default_rng(0), gap_factor=-1.0)
+
+    def test_simulation_respects_bounds(self, hi_task, lo_task):
+        """Bursty overruns still never violate the offline bounds."""
+        from repro.analysis.resetting import resetting_time
+        from repro.analysis.speedup import min_speedup
+        from repro.model.taskset import TaskSet
+        from repro.sim.scheduler import SimConfig, simulate
+        from repro.sim.workload import BurstySource
+
+        ts = TaskSet([hi_task, lo_task])
+        s = max(min_speedup(ts).s_min, 1.0) * 1.01
+        src = BurstySource(
+            np.random.default_rng(4),
+            overrun=OverrunModel(probability=0.5, rng=np.random.default_rng(5)),
+        )
+        result = simulate(ts, SimConfig(speedup=s, horizon=2000.0), src)
+        assert result.miss_count == 0
+        closed = [e.length for e in result.episodes if e.end is not None]
+        if closed:
+            assert max(closed) <= resetting_time(ts, s).delta_r + 1e-6

@@ -1,0 +1,74 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.engine import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(3.0, EventKind.RELEASE, "c")
+        q.push(1.0, EventKind.RELEASE, "a")
+        q.push(2.0, EventKind.RELEASE, "b")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_timer_before_release_at_same_instant(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.RELEASE, "release")
+        q.push(5.0, EventKind.TIMER, "timer")
+        assert q.pop().payload == "timer"
+        assert q.pop().payload == "release"
+
+    def test_insertion_order_breaks_ties(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.RELEASE, "first")
+        q.push(5.0, EventKind.RELEASE, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_explicit_priority_overrides(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.RELEASE, "normal")
+        q.push(5.0, EventKind.RELEASE, "urgent", priority=-1)
+        assert q.pop().payload == "urgent"
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        entry = q.push(1.0, EventKind.TIMER, "dead")
+        q.push(2.0, EventKind.TIMER, "alive")
+        q.cancel(entry)
+        assert q.pop().payload == "alive"
+        assert q.pop() is None
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        entry = q.push(1.0, EventKind.TIMER)
+        q.push(2.0, EventKind.TIMER)
+        assert len(q) == 2
+        q.cancel(entry)
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        entry = q.push(1.0, EventKind.TIMER)
+        q.push(2.0, EventKind.TIMER)
+        q.cancel(entry)
+        assert q.peek_time() == 2.0
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, EventKind.TIMER)
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert not q
+        q.push(1.0, EventKind.TIMER)
+        assert q

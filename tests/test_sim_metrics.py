@@ -1,0 +1,88 @@
+"""Tests for the per-task metrics module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.task import Criticality
+from repro.sim.metrics import all_task_stats, lo_service_ratio, summarize, task_stats
+from repro.sim.scheduler import SimConfig, simulate
+from repro.sim.workload import OverrunModel, SynchronousWorstCaseSource
+
+
+@pytest.fixture
+def run(table1):
+    source = SynchronousWorstCaseSource(OverrunModel(first_job_overruns=True))
+    return simulate(table1, SimConfig(speedup=2.0, horizon=100.0), source)
+
+
+class TestTaskStats:
+    def test_counts(self, run):
+        stats = task_stats(run, "tau1")
+        # tau1 has period 4 over horizon 100: releases at 0, 4, ..., 100
+        # (the boundary release happens but cannot finish).
+        assert stats.released == 26
+        assert stats.finished == 25
+        assert stats.misses == 0
+        assert stats.killed == 0
+        assert stats.criticality is Criticality.HI
+
+    def test_response_statistics(self, run):
+        stats = task_stats(run, "tau1")
+        assert 0 < stats.response_mean <= stats.response_max
+        assert stats.response_p99 <= stats.response_max + 1e-9
+
+    def test_lateness_negative_when_no_miss(self, run):
+        stats = task_stats(run, "tau1")
+        assert stats.worst_lateness <= 0.0
+
+    def test_throughput(self, run):
+        stats = task_stats(run, "tau2")
+        assert stats.throughput == pytest.approx(stats.finished / 100.0)
+
+    def test_miss_ratio(self, run):
+        assert task_stats(run, "tau1").miss_ratio == 0.0
+
+    def test_unknown_task(self, run):
+        with pytest.raises(KeyError):
+            task_stats(run, "ghost")
+
+    def test_all_tasks(self, run):
+        stats = all_task_stats(run)
+        assert set(stats) == {"tau1", "tau2"}
+
+
+class TestServiceRatio:
+    def test_full_service_with_speedup(self, run, table1):
+        # tau2 keeps its full (non-degraded) parameters in this set and
+        # 2x speedup clears the overruns quickly.
+        assert lo_service_ratio(run, table1) > 0.9
+
+    def test_termination_reduces_service(self, table1):
+        from repro.model.transform import terminate_lo_tasks
+
+        terminated = terminate_lo_tasks(table1)
+        source = SynchronousWorstCaseSource(
+            OverrunModel(first_job_overruns=True, probability=0.8,
+                         rng=np.random.default_rng(3))
+        )
+        result = simulate(terminated, SimConfig(speedup=2.0, horizon=200.0), source)
+        ratio = lo_service_ratio(result, terminated)
+        assert ratio < 1.0
+
+    def test_no_lo_tasks(self, table1):
+        hi_only = table1.filter(lambda t: t.is_hi)
+        source = SynchronousWorstCaseSource(OverrunModel(first_job_overruns=True))
+        result = simulate(hi_only, SimConfig(speedup=2.0, horizon=50.0), source)
+        assert lo_service_ratio(result, hi_only) == 1.0
+
+
+class TestSummary:
+    def test_summary_renders(self, run, table1):
+        text = summarize(run, table1)
+        assert "tau1" in text and "mode switches" in text
+        assert "LO service ratio" in text
+
+    def test_summary_without_taskset(self, run):
+        assert "LO service ratio" not in summarize(run)

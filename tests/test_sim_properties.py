@@ -1,0 +1,121 @@
+"""Property-style invariants of the simulator (randomized scenarios)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.task import Criticality
+from repro.sim.scheduler import SimConfig, simulate
+from repro.sim.workload import OverrunModel, SporadicSource, SynchronousWorstCaseSource
+from tests.conftest import random_implicit_taskset
+
+
+def _random_scenario(seed: int):
+    rng = np.random.default_rng(seed)
+    ts = random_implicit_taskset(rng, n_hi=2, n_lo=2, x=0.6, y=2.0)
+    source = SporadicSource(
+        np.random.default_rng(seed + 1),
+        mean_slack_factor=0.2,
+        overrun=OverrunModel(probability=0.3, rng=np.random.default_rng(seed + 2)),
+    )
+    horizon = 10.0 * max(t.t_lo for t in ts)
+    result = simulate(ts, SimConfig(speedup=2.5, horizon=horizon), source)
+    return ts, result, horizon
+
+
+SEEDS = [3, 7, 11, 19, 23]
+
+
+class TestWorkConservation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_executed_work_matches_slices(self, seed):
+        """Work accounted on jobs equals work delivered by the slices."""
+        _, result, _ = _random_scenario(seed)
+        slice_work = sum(s.work for s in result.trace.slices)
+        job_work = sum(j.executed for j in result.jobs)
+        assert slice_work == pytest.approx(job_work, rel=1e-9, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_job_exceeds_its_execution_time(self, seed):
+        _, result, _ = _random_scenario(seed)
+        for job in result.jobs:
+            assert job.executed <= job.exec_time + 1e-9
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_finished_jobs_ran_to_completion(self, seed):
+        _, result, _ = _random_scenario(seed)
+        for job in result.jobs:
+            if job.finish is not None:
+                assert job.executed == pytest.approx(job.exec_time, abs=1e-9)
+
+
+class TestSporadicity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_min_interarrival_respected(self, seed):
+        """Consecutive releases of a task are at least T(LO) apart (the
+        degraded spacing is even larger, so T(LO) lower-bounds both)."""
+        ts, result, _ = _random_scenario(seed)
+        for task in ts:
+            releases = sorted(
+                j.release for j in result.jobs if j.task.name == task.name
+            )
+            for a, b in zip(releases, releases[1:]):
+                assert b - a >= task.t_lo - 1e-6
+
+
+class TestModeProtocol:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_episodes_disjoint_and_ordered(self, seed):
+        _, result, _ = _random_scenario(seed)
+        previous_end = -math.inf
+        for episode in result.episodes:
+            assert episode.start >= previous_end - 1e-9
+            if episode.end is not None:
+                assert episode.end >= episode.start
+                previous_end = episode.end
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_boost_only_inside_episodes(self, seed):
+        """Every boosted slice lies inside some HI-mode episode."""
+        _, result, horizon = _random_scenario(seed)
+        episodes = [
+            (e.start, e.end if e.end is not None else horizon)
+            for e in result.episodes
+        ]
+        for s in result.trace.slices:
+            if s.speed > 1.0 + 1e-9:
+                assert any(
+                    lo - 1e-9 <= s.start and s.end <= hi + 1e-9
+                    for lo, hi in episodes
+                ), f"boosted slice {s} outside episodes {episodes}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_switch_implies_overrun(self, seed):
+        """A HI episode only starts when some HI job truly overran."""
+        _, result, _ = _random_scenario(seed)
+        if result.episodes:
+            overruns = [j for j in result.jobs if j.task.is_hi and j.overruns]
+            assert overruns
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mode_timeline_alternates(self, seed):
+        _, result, _ = _random_scenario(seed)
+        changes = result.trace.mode_changes
+        for (t1, m1), (t2, m2) in zip(changes, changes[1:]):
+            assert t2 >= t1 - 1e-9
+            assert m1 is not m2, "consecutive changes alternate LO/HI"
+
+
+class TestUniprocessor:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_slices_never_overlap(self, seed):
+        _, result, _ = _random_scenario(seed)
+        ordered = sorted(result.trace.slices, key=lambda s: (s.start, s.end))
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end <= b.start + 1e-9
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_busy_time_within_horizon(self, seed):
+        _, result, horizon = _random_scenario(seed)
+        assert result.trace.busy_time() <= horizon + 1e-6

@@ -1,0 +1,219 @@
+"""Integration-level tests for the MC-EDF simulator."""
+
+import math
+
+import pytest
+
+from repro.model.task import Criticality, MCTask
+from repro.model.taskset import TaskSet
+from repro.model.transform import terminate_lo_tasks
+from repro.sim.scheduler import MCEDFSimulator, SimConfig, simulate
+from repro.sim.workload import OverrunModel, SynchronousWorstCaseSource
+
+
+def worst_case_source():
+    return SynchronousWorstCaseSource(OverrunModel(first_job_overruns=True))
+
+
+def quiet_source():
+    return SynchronousWorstCaseSource(OverrunModel())
+
+
+class TestPlainEdf:
+    def test_no_overrun_stays_in_lo_mode(self, simple_pair):
+        result = simulate(simple_pair, SimConfig(horizon=100.0), quiet_source())
+        assert result.mode_switch_count == 0
+        assert result.miss_count == 0
+
+    def test_edf_order(self):
+        """The earlier-deadline job runs first."""
+        ts = TaskSet(
+            [
+                MCTask.lo("short", c=1, d_lo=3, t_lo=100),
+                MCTask.lo("long", c=2, d_lo=10, t_lo=100),
+            ]
+        )
+        result = simulate(ts, SimConfig(horizon=20.0), quiet_source())
+        slices = sorted(result.trace.slices, key=lambda s: s.start)
+        assert slices[0].task_name == "short"
+        assert result.response_times("short") == [pytest.approx(1.0)]
+        assert result.response_times("long") == [pytest.approx(3.0)]
+
+    def test_preemption(self):
+        """A later-arriving tighter job preempts the running one."""
+        ts = TaskSet(
+            [
+                MCTask.lo("bulk", c=5, d_lo=20, t_lo=100),
+                MCTask.lo("urgent", c=1, d_lo=2, t_lo=100),
+            ]
+        )
+        src = SynchronousWorstCaseSource()
+        src.offsets = {}
+
+        class Offset(SynchronousWorstCaseSource):
+            def initial_release(self, task):
+                return 2.0 if task.name == "urgent" else 0.0
+
+        result = simulate(ts, SimConfig(horizon=20.0), Offset())
+        urgent = [s for s in result.trace.slices if s.task_name == "urgent"]
+        assert urgent[0].start == pytest.approx(2.0), "preempts bulk on arrival"
+        assert result.miss_count == 0
+
+    def test_overloaded_system_misses(self):
+        ts = TaskSet(
+            [
+                MCTask.lo("a", c=4, d_lo=5, t_lo=5),
+                MCTask.lo("b", c=4, d_lo=5, t_lo=5),
+            ]
+        )
+        result = simulate(ts, SimConfig(horizon=30.0), quiet_source())
+        assert result.miss_count > 0
+
+
+class TestModeSwitch:
+    def test_switch_at_lo_wcet_crossing(self, table1):
+        """tau1 overruns: switch exactly when C(LO) is exhausted."""
+        result = simulate(table1, SimConfig(speedup=2.0, horizon=50.0), worst_case_source())
+        assert result.mode_switch_count >= 1
+        first = result.episodes[0]
+        # tau1 (C_LO = 1) starts at t=0 and crosses its LO WCET at t=1.
+        assert first.start == pytest.approx(1.0)
+
+    def test_speed_applied_during_episode(self, table1):
+        result = simulate(table1, SimConfig(speedup=2.0, horizon=50.0), worst_case_source())
+        episode = result.episodes[0]
+        inside = [
+            s
+            for s in result.trace.slices
+            if s.start >= episode.start - 1e-9 and s.end <= episode.end + 1e-9
+        ]
+        assert inside and all(s.speed == pytest.approx(2.0) for s in inside)
+        outside = [s for s in result.trace.slices if s.end <= episode.start + 1e-9]
+        assert all(s.speed == pytest.approx(1.0) for s in outside)
+
+    def test_reset_at_idle(self, table1):
+        result = simulate(table1, SimConfig(speedup=2.0, horizon=50.0), worst_case_source())
+        episode = result.episodes[0]
+        assert episode.end is not None
+        # Recovery implies the mode timeline returns to LO.
+        assert result.trace.mode_at(episode.end + 1e-6) is Criticality.LO
+
+    def test_carry_over_hi_job_gets_real_deadline(self):
+        """A HI job pending at the switch may legally finish past D(LO)."""
+        ts = TaskSet(
+            [MCTask.hi("h", c_lo=2, c_hi=6, d_lo=4, d_hi=10, period=10)]
+        )
+        result = simulate(ts, SimConfig(speedup=1.0, horizon=40.0), worst_case_source())
+        job = result.jobs[0]
+        assert job.finish == pytest.approx(6.0), "ran 6 units at speed 1"
+        assert job.finish > 4.0, "past D(LO)..."
+        assert result.miss_count == 0, "...but D(HI) = 10 honoured"
+
+    def test_stop_after_first_reset(self, table1):
+        config = SimConfig(speedup=2.0, horizon=1000.0, stop_after_first_reset=True)
+        result = simulate(table1, config, worst_case_source())
+        assert result.mode_switch_count == 1
+
+    def test_energy_accounting(self, table1):
+        result = simulate(table1, SimConfig(speedup=2.0, horizon=50.0), worst_case_source())
+        assert result.boosted_time > 0.0
+        assert result.energy > 50.0  # above the all-nominal floor
+
+
+class TestDegradedService:
+    def test_lo_releases_respaced_in_hi_mode(self):
+        """In HI mode the degraded T(HI) spacing applies to LO tasks."""
+        ts = TaskSet(
+            [
+                MCTask.hi("h", c_lo=1, c_hi=8, d_lo=2, d_hi=20, period=20),
+                MCTask.lo("l", c=1, d_lo=4, t_lo=4, d_hi=8, t_hi=8),
+            ]
+        )
+        result = simulate(ts, SimConfig(speedup=1.0, horizon=18.0), worst_case_source())
+        releases = sorted(j.release for j in result.jobs if j.task.name == "l")
+        # Switch happens at t=1; in HI mode spacing is 8.
+        gaps = [b - a for a, b in zip(releases, releases[1:])]
+        assert all(g >= 4.0 - 1e-9 for g in gaps)
+        assert any(g >= 8.0 - 1e-9 for g in gaps), "degraded spacing enforced"
+
+    def test_carry_over_lo_deadline_extended(self):
+        ts = TaskSet(
+            [
+                MCTask.hi("h", c_lo=2, c_hi=8, d_lo=3, d_hi=20, period=20),
+                MCTask.lo("l", c=3, d_lo=6, t_lo=6, d_hi=12, t_hi=12),
+            ]
+        )
+        result = simulate(ts, SimConfig(speedup=1.0, horizon=40.0), worst_case_source())
+        lo_first = [j for j in result.jobs if j.task.name == "l"][0]
+        assert lo_first.abs_deadline == pytest.approx(12.0), "extended at switch"
+        assert result.miss_count == 0
+
+
+class TestTermination:
+    @pytest.fixture
+    def terminated(self, table1):
+        return terminate_lo_tasks(table1)
+
+    def test_no_lo_releases_during_hi_mode(self, terminated):
+        result = simulate(
+            terminated, SimConfig(speedup=2.0, horizon=50.0), worst_case_source()
+        )
+        for episode in result.episodes:
+            end = episode.end if episode.end is not None else math.inf
+            for job in result.jobs:
+                if job.task.is_lo and not job.background:
+                    assert not (episode.start < job.release < end)
+
+    def test_carryover_runs_in_background(self, terminated):
+        result = simulate(
+            terminated, SimConfig(speedup=2.0, horizon=50.0), worst_case_source()
+        )
+        background = [j for j in result.jobs if j.background]
+        assert background, "the in-flight LO job became background work"
+        assert all(j.killed is False for j in background)
+
+    def test_drop_carryover_kills_job(self, terminated):
+        config = SimConfig(speedup=2.0, horizon=50.0, drop_terminated_carryover=True)
+        result = simulate(terminated, config, worst_case_source())
+        killed = [j for j in result.jobs if j.killed]
+        assert killed
+        assert all(j.finish is None for j in killed)
+
+    def test_lo_releases_resume_after_reset(self, terminated):
+        result = simulate(
+            terminated, SimConfig(speedup=2.0, horizon=50.0), worst_case_source()
+        )
+        first_end = result.episodes[0].end
+        later_lo = [
+            j for j in result.jobs if j.task.is_lo and j.release >= first_end - 1e-9
+        ]
+        assert later_lo, "terminated task releases again after recovery"
+
+
+class TestConfigValidation:
+    def test_bad_speedup(self):
+        with pytest.raises(ValueError):
+            SimConfig(speedup=0.0)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            SimConfig(horizon=-1.0)
+
+
+class TestTrace:
+    def test_gantt_renders(self, table1):
+        result = simulate(table1, SimConfig(speedup=2.0, horizon=20.0), worst_case_source())
+        text = result.trace.gantt(width=40)
+        assert "tau1" in text and "mode" in text
+        assert "H" in text.splitlines()[-2], "HI episode visible"
+
+    def test_busy_time_le_horizon(self, table1):
+        result = simulate(table1, SimConfig(speedup=2.0, horizon=20.0), worst_case_source())
+        assert result.trace.busy_time() <= 20.0 + 1e-9
+        assert 0.0 < result.trace.utilization() <= 1.0
+
+    def test_no_overlapping_slices(self, table1):
+        result = simulate(table1, SimConfig(speedup=2.0, horizon=30.0), worst_case_source())
+        slices = sorted(result.trace.slices, key=lambda s: s.start)
+        for a, b in zip(slices, slices[1:]):
+            assert a.end <= b.start + 1e-9, "uniprocessor: one job at a time"

@@ -1,0 +1,67 @@
+"""Focused tests for trace records and rendering."""
+
+import pytest
+
+from repro.model.task import Criticality
+from repro.sim.trace import ExecutionSlice, ModeEpisode, SimTrace
+
+
+@pytest.fixture
+def trace():
+    t = SimTrace(horizon=10.0)
+    t.slices.extend(
+        [
+            ExecutionSlice(0.0, 2.0, "a", 1, 1.0),
+            ExecutionSlice(2.0, 3.0, "b", 2, 2.0),
+            ExecutionSlice(5.0, 6.0, "a", 3, 1.0),
+        ]
+    )
+    t.mode_changes.extend([(2.0, Criticality.HI), (3.0, Criticality.LO)])
+    return t
+
+
+class TestSlices:
+    def test_duration_and_work(self):
+        s = ExecutionSlice(2.0, 3.0, "b", 2, 2.0)
+        assert s.duration == 1.0
+        assert s.work == 2.0, "speed 2 for one time unit"
+
+    def test_busy_time(self, trace):
+        assert trace.busy_time() == pytest.approx(4.0)
+
+    def test_utilization(self, trace):
+        assert trace.utilization() == pytest.approx(0.4)
+
+    def test_utilization_zero_horizon(self):
+        assert SimTrace().utilization() == 0.0
+
+    def test_task_slices(self, trace):
+        assert [s.job_id for s in trace.task_slices("a")] == [1, 3]
+
+
+class TestModeTimeline:
+    def test_mode_at(self, trace):
+        assert trace.mode_at(0.0) is Criticality.LO
+        assert trace.mode_at(2.5) is Criticality.HI
+        assert trace.mode_at(3.0) is Criticality.LO
+        assert trace.mode_at(9.0) is Criticality.LO
+
+    def test_episode_length(self):
+        assert ModeEpisode(2.0, 5.0).length == 3.0
+        assert ModeEpisode(2.0, None).length is None
+
+
+class TestGantt:
+    def test_rows_and_mode_line(self, trace):
+        text = trace.gantt(width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("b")
+        assert "H" in lines[2] and "L" in lines[2]
+
+    def test_window_selection(self, trace):
+        text = trace.gantt(width=10, start=4.0, end=8.0)
+        assert "t=4 .. 8" in text
+
+    def test_empty_window(self, trace):
+        assert trace.gantt(width=10, start=5.0, end=5.0) == "(empty trace)"

@@ -1,0 +1,78 @@
+"""Analysis-vs-simulation cross-checks (the repo's core soundness tests)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.speedup import min_speedup
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+from repro.model.transform import terminate_lo_tasks
+from repro.sim.validate import measure_resetting, validate_bounds
+from tests.conftest import random_implicit_taskset
+
+
+class TestTable1:
+    def test_bounds_hold_at_2x(self, table1):
+        report = validate_bounds(table1, speedup=2.0, horizon=400.0)
+        assert report.bounds_hold
+        assert report.misses_at_s_min == 0
+        assert report.max_episode <= report.delta_r + 1e-9
+        assert report.episodes > 0
+
+    def test_bounds_hold_at_exact_s_min(self, table1):
+        report = validate_bounds(table1, horizon=400.0)
+        assert report.misses_at_s_min == 0
+
+    def test_degraded_variant(self, table1_degraded):
+        report = validate_bounds(table1_degraded, speedup=2.0, horizon=400.0)
+        assert report.bounds_hold
+
+    def test_miss_witness_below_s_min(self, table1):
+        """The crafted example does miss below s_min (tightness witness)."""
+        report = validate_bounds(table1, speedup=2.0, horizon=400.0, check_below=True)
+        assert report.miss_below_s_min is True
+
+    def test_rejects_insufficient_speedup(self, table1):
+        with pytest.raises(ValueError):
+            validate_bounds(table1, speedup=1.0)
+
+    def test_rejects_infinite_s_min(self):
+        ts = TaskSet([MCTask.hi("h", c_lo=2, c_hi=4, d_lo=8, d_hi=8, period=8)])
+        with pytest.raises(ValueError):
+            validate_bounds(ts)
+
+
+class TestRandomSets:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_bounds_hold_on_random_sets(self, seed):
+        rng = np.random.default_rng(seed)
+        ts = random_implicit_taskset(rng, n_hi=2, n_lo=2, x=0.5, y=2.0)
+        s = max(min_speedup(ts).s_min, 1.0) * 1.01
+        report = validate_bounds(ts, speedup=s, horizon=None, check_below=False)
+        assert report.bounds_hold, f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_bounds_hold_with_termination(self, seed):
+        rng = np.random.default_rng(seed)
+        ts = terminate_lo_tasks(
+            random_implicit_taskset(rng, n_hi=2, n_lo=2, x=0.5, y=1.0)
+        )
+        s = max(min_speedup(ts).s_min, 1.0) * 1.01
+        report = validate_bounds(ts, speedup=s, check_below=False)
+        assert report.bounds_hold, f"seed {seed}"
+
+
+class TestMeasure:
+    def test_empirical_resetting_below_bound(self, table1):
+        from repro.analysis.resetting import resetting_time
+
+        result = measure_resetting(table1, 2.0, horizon=200.0)
+        bound = resetting_time(table1, 2.0).delta_r
+        closed = [e for e in result.episodes if e.end is not None]
+        assert closed
+        assert max(e.length for e in closed) <= bound + 1e-9
+
+    def test_higher_speed_recovers_faster(self, table1):
+        slow = measure_resetting(table1, 1.5, horizon=200.0).max_episode_length
+        fast = measure_resetting(table1, 3.0, horizon=200.0).max_episode_length
+        assert fast <= slow + 1e-9

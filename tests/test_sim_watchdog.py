@@ -1,0 +1,101 @@
+"""Tests for the Section-I boost-budget fallback (runtime watchdog)."""
+
+import math
+
+import pytest
+
+from repro.model.task import Criticality, MCTask
+from repro.model.taskset import TaskSet
+from repro.sim.scheduler import SimConfig, simulate
+from repro.sim.workload import OverrunModel, SynchronousWorstCaseSource
+
+
+def overloaded_set() -> TaskSet:
+    """A set whose HI episode runs long at modest speed: the HI task's
+    overrun plus a heavy LO task keep the processor saturated."""
+    return TaskSet(
+        [
+            MCTask.hi("h", c_lo=2, c_hi=10, d_lo=3, d_hi=20, period=20),
+            MCTask.lo("l", c=4, d_lo=8, t_lo=8, d_hi=16, t_hi=16),
+        ]
+    )
+
+
+def adversarial():
+    return SynchronousWorstCaseSource(OverrunModel(first_job_overruns=True))
+
+
+class TestWatchdog:
+    def test_fires_when_budget_exceeded(self):
+        config = SimConfig(speedup=1.1, horizon=100.0, boost_budget=4.0)
+        result = simulate(overloaded_set(), config, adversarial())
+        assert result.fallback_count >= 1
+        # The watchdog fires exactly one budget after the switch (t = 2).
+        assert result.fallback_times[0] == pytest.approx(
+            result.episodes[0].start + 4.0
+        )
+
+    def test_speed_restored_at_fallback(self):
+        config = SimConfig(speedup=2.0, horizon=100.0, boost_budget=3.0)
+        result = simulate(overloaded_set(), config, adversarial())
+        t_fallback = result.fallback_times[0]
+        after = [s for s in result.trace.slices if s.start >= t_fallback - 1e-9]
+        assert after and all(s.speed == pytest.approx(1.0) for s in after)
+
+    def test_lo_tasks_terminated_after_fallback(self):
+        config = SimConfig(speedup=1.1, horizon=60.0, boost_budget=4.0)
+        result = simulate(overloaded_set(), config, adversarial())
+        t_fallback = result.fallback_times[0]
+        episode = result.episodes[0]
+        end = episode.end if episode.end is not None else math.inf
+        for job in result.jobs:
+            if job.task.is_lo and not job.background:
+                assert not (t_fallback < job.release < end), (
+                    "no foreground LO release between fallback and reset"
+                )
+
+    def test_no_fallback_within_budget(self, table1):
+        """A generous budget never fires: the bound Delta_R(2) = 6 holds."""
+        config = SimConfig(speedup=2.0, horizon=200.0, boost_budget=6.5)
+        result = simulate(table1, config, adversarial())
+        assert result.fallback_count == 0
+
+    def test_boosted_time_capped_by_budget(self):
+        config = SimConfig(speedup=2.0, horizon=100.0, boost_budget=3.0)
+        result = simulate(overloaded_set(), config, adversarial())
+        per_episode = result.boosted_time / max(result.mode_switch_count, 1)
+        assert per_episode <= 3.0 + 1e-9
+
+    def test_hi_guarantees_survive_fallback(self):
+        """With enough preparation the HI task still meets D(HI) even
+        though the watchdog dropped back to nominal speed."""
+        config = SimConfig(speedup=2.0, horizon=100.0, boost_budget=3.0)
+        result = simulate(overloaded_set(), config, adversarial())
+        hi_misses = [j for j in result.misses if j.task.is_hi]
+        assert not hi_misses
+
+    def test_watchdog_cancelled_on_reset(self, table1):
+        """The budget timer of a finished episode must not fire later."""
+        config = SimConfig(speedup=3.0, horizon=200.0, boost_budget=5.0)
+        result = simulate(table1, config, adversarial())
+        # Episodes at 3x are well under 5 time units; no fallback ever.
+        assert result.fallback_count == 0
+        assert result.mode_switch_count >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(boost_budget=0.0)
+
+    def test_mode_resets_after_fallback_drain(self):
+        """After the fallback the system still recovers at the next idle
+        instant and LO service resumes."""
+        config = SimConfig(speedup=1.1, horizon=200.0, boost_budget=4.0)
+        result = simulate(overloaded_set(), config, adversarial())
+        first = result.episodes[0]
+        assert first.end is not None
+        resumed = [
+            j
+            for j in result.jobs
+            if j.task.is_lo and not j.background and j.release >= first.end - 1e-9
+        ]
+        assert resumed, "LO service resumes after the reset"
