@@ -16,6 +16,7 @@ Implements the paper's analytical machinery:
   frequency and speedup duty cycle.
 """
 
+from repro.analysis.budget import AnalysisBudgetExceeded, CandidateBudget
 from repro.analysis.dbf import (
     adb_hi,
     dbf_hi,
@@ -45,6 +46,8 @@ from repro.analysis.sensitivity import (
 )
 
 __all__ = [
+    "AnalysisBudgetExceeded",
+    "CandidateBudget",
     "adb_hi",
     "dbf_hi",
     "dbf_lo",

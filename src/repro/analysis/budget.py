@@ -1,0 +1,80 @@
+"""Candidate budgets for the pseudo-polynomial breakpoint scans.
+
+The Theorem-2 and Corollary-5 procedures enumerate demand-function
+breakpoints in growing windows.  For well-formed inputs the envelope
+bounds terminate the scans quickly, but near-degenerate parameters
+(speedup barely above the HI-mode demand rate, huge period spreads) can
+push the candidate count into the millions.  A :class:`CandidateBudget`
+caps the enumeration; exhausting it raises
+:class:`AnalysisBudgetExceeded` carrying enough diagnostics to tell
+*why* the scan blew up rather than silently hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class AnalysisBudgetExceeded(RuntimeError):
+    """A breakpoint scan exhausted its candidate budget.
+
+    Attributes
+    ----------
+    operation:
+        The analysis routine that gave up (e.g. ``"resetting_time"``).
+    examined:
+        Candidates evaluated before the budget ran out.
+    budget:
+        The configured cap.
+    context:
+        Routine-specific progress snapshot (scan window, target
+        horizon, rates) explaining how far the scan got.
+    """
+
+    def __init__(self, operation: str, examined: int, budget: int, context: str = ""):
+        self.operation = operation
+        self.examined = examined
+        self.budget = budget
+        self.context = context
+        message = (
+            f"{operation}: candidate budget exhausted after {examined} "
+            f"breakpoints (budget {budget})"
+        )
+        if context:
+            message += f"; {context}"
+        message += (
+            ". The task set's demand envelope converges too slowly for this "
+            "budget — raise max_candidates, or check for a speedup barely "
+            "above the HI-mode demand rate / extreme period spreads."
+        )
+        super().__init__(message)
+
+
+@dataclass
+class CandidateBudget:
+    """Mutable counter shared across the windows of one scan.
+
+    ``context`` may be refreshed by the caller before each charge so a
+    raised :class:`AnalysisBudgetExceeded` reports current progress.
+    """
+
+    limit: int
+    operation: str = "analysis"
+    examined: int = field(default=0)
+    context: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.limit <= 0:
+            raise ValueError(f"budget limit must be positive, got {self.limit}")
+
+    @property
+    def remaining(self) -> int:
+        return max(self.limit - self.examined, 0)
+
+    def charge(self, count: int) -> None:
+        """Consume ``count`` candidates; raise when the cap is crossed."""
+        self.examined += int(count)
+        if self.examined > self.limit:
+            raise AnalysisBudgetExceeded(
+                self.operation, self.examined, self.limit, self.context
+            )

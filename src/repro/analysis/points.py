@@ -20,10 +20,11 @@ efficiency" paragraphs of Sections III and IV).
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.budget import CandidateBudget
 from repro.model.task import MCTask
 from repro.model.taskset import TaskSet
 
@@ -76,11 +77,15 @@ def breakpoints_in(
     hi: float,
     *,
     kind: str = "dbf",
+    budget: Optional[CandidateBudget] = None,
 ) -> np.ndarray:
     """Sorted, de-duplicated system breakpoints in the window ``(lo, hi]``.
 
     ``kind`` selects the demand function: ``"dbf"`` for ``DBF_HI`` or
-    ``"adb"`` for ``ADB_HI``.
+    ``"adb"`` for ``ADB_HI``.  When a ``budget`` is given, the returned
+    candidates are charged against it (raising
+    :class:`~repro.analysis.budget.AnalysisBudgetExceeded` when the scan
+    has materialised more points than the budget allows).
     """
     if kind not in ("dbf", "adb"):
         raise ValueError(f"unknown kind: {kind!r}")
@@ -101,6 +106,8 @@ def breakpoints_in(
         keep[0] = True
         keep[1:] = np.diff(points) > 1e-12 * np.maximum(1.0, points[1:])
         points = points[keep]
+    if budget is not None:
+        budget.charge(points.size)
     return points
 
 

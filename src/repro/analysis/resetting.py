@@ -28,8 +28,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis import points as pts
+from repro.analysis.budget import CandidateBudget
 from repro.analysis.dbf import adb_hi_excess_bound, hi_mode_rate, total_adb_hi
 from repro.model.taskset import TaskSet
+
+#: Default cap on the number of breakpoints examined by the scan.
+DEFAULT_MAX_CANDIDATES = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -77,6 +81,7 @@ def resetting_time(
     s: float,
     *,
     drop_terminated_carryover: bool = False,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
 ) -> ResettingResult:
     """Compute Corollary 5's resetting-time bound at speedup ``s``.
 
@@ -90,6 +95,13 @@ def resetting_time(
     drop_terminated_carryover:
         Ablation switch: assume terminated LO tasks' in-flight jobs are
         killed at the switch instead of finishing (DESIGN.md Section 5).
+    max_candidates:
+        Cap on examined breakpoints.  Unlike Theorem 2's supremum, the
+        first-crossing search cannot return a certified partial answer,
+        so exceeding the cap raises
+        :class:`~repro.analysis.budget.AnalysisBudgetExceeded` (with
+        scan-progress diagnostics) instead of hanging on degenerate
+        inputs where ``s`` barely exceeds the demand rate.
     """
     if s <= 0.0:
         raise ValueError(f"speedup must be positive, got {s}")
@@ -126,6 +138,7 @@ def resetting_time(
     # has been processed (the interior-crossing logic then locates it); a
     # breakpoint is guaranteed within two periods past the horizon.
     scan_end = horizon + 2.0 * pts.max_finite_period(taskset) + 1e-9
+    budget = CandidateBudget(max_candidates, operation="resetting_time")
 
     while window_lo <= scan_end:
         window_hi = pts.clamp_window(
@@ -134,7 +147,13 @@ def resetting_time(
             min(window_lo + step, scan_end * (1.0 + 1e-9) + 1e-12),
             kind="adb",
         )
-        breaks = pts.breakpoints_in(taskset, window_lo, window_hi, kind="adb")
+        budget.context = (
+            f"s={s:.6g}, demand rate={rate:.6g}, crossing horizon={horizon:.6g}, "
+            f"scan reached Delta={window_lo:.6g} of {scan_end:.6g}"
+        )
+        breaks = pts.breakpoints_in(
+            taskset, window_lo, window_hi, kind="adb", budget=budget
+        )
         if breaks.size:
             values = np.asarray(demand(breaks), dtype=float)
             prevs = np.concatenate(([prev_delta], breaks[:-1]))

@@ -36,6 +36,7 @@ from typing import Optional
 import numpy as np
 
 from repro.analysis import points as pts
+from repro.analysis.budget import AnalysisBudgetExceeded
 from repro.analysis.dbf import dbf_hi_excess_bound, hi_mode_rate, total_dbf_hi
 from repro.model.taskset import TaskSet
 
@@ -96,6 +97,7 @@ def min_speedup(
     *,
     rtol: float = DEFAULT_RTOL,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    on_budget: str = "inexact",
 ) -> SpeedupResult:
     """Compute Theorem 2's minimum HI-mode speedup for ``taskset``.
 
@@ -109,8 +111,14 @@ def min_speedup(
         asymptotic demand rate.
     max_candidates:
         Budget on examined breakpoints; exceeding it returns an inexact
-        result with a certified ``upper_bound``.
+        result with a certified ``upper_bound`` (default), or raises
+        :class:`~repro.analysis.budget.AnalysisBudgetExceeded` with
+        ``on_budget="raise"``.
+    on_budget:
+        ``"inexact"`` or ``"raise"``.
     """
+    if on_budget not in ("inexact", "raise"):
+        raise ValueError(f"on_budget must be 'inexact' or 'raise', got {on_budget!r}")
     if len(taskset) == 0:
         return SpeedupResult(0.0, None, True, 0.0, 0)
     if _zero_interval_demand(taskset):
@@ -148,6 +156,15 @@ def min_speedup(
             # The supremum is the (possibly unattained) asymptotic rate.
             return SpeedupResult(rate, best_delta, True, rate, examined)
         if examined >= max_candidates:
+            if on_budget == "raise":
+                raise AnalysisBudgetExceeded(
+                    "min_speedup",
+                    examined,
+                    max_candidates,
+                    f"best ratio so far {max(best_ratio, rate):.6g} "
+                    f"(certified upper bound {max(best_ratio, future_cap):.6g}), "
+                    f"demand rate {rate:.6g}, scan reached Delta={window_hi:.6g}",
+                )
             upper = max(best_ratio, future_cap)
             return SpeedupResult(max(best_ratio, rate), best_delta, False, upper, examined)
 
@@ -169,14 +186,20 @@ def speedup_schedulable(
     *,
     rtol: float = DEFAULT_RTOL,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    on_budget: str = "inexact",
 ) -> bool:
     """HI-mode schedulability test at a *given* speedup ``s``.
 
     Checks ``sum DBF_HI(Delta) <= s * Delta`` for all ``Delta >= 0``
     (Theorem 2 rearranged), using a direct bounded scan: beyond
     ``Delta > B / (s - rate)`` the envelope guarantees satisfaction.
-    Returns False when ``s < rate`` (long-run overload).
+    Returns False when ``s < rate`` (long-run overload).  On budget
+    exhaustion, ``on_budget`` selects between delegating to
+    :func:`min_speedup`'s certified verdict (``"inexact"``) and raising
+    :class:`~repro.analysis.budget.AnalysisBudgetExceeded` (``"raise"``).
     """
+    if on_budget not in ("inexact", "raise"):
+        raise ValueError(f"on_budget must be 'inexact' or 'raise', got {on_budget!r}")
     if len(taskset) == 0:
         return True
     if _zero_interval_demand(taskset):
@@ -204,6 +227,14 @@ def speedup_schedulable(
                 return False
             examined += int(candidates.size)
             if examined >= max_candidates:
+                if on_budget == "raise":
+                    raise AnalysisBudgetExceeded(
+                        "speedup_schedulable",
+                        examined,
+                        max_candidates,
+                        f"s={s:.6g}, demand rate {rate:.6g}, "
+                        f"scan reached Delta={window_hi:.6g} of {horizon:.6g}",
+                    )
                 # Fall back to the exact computation's verdict.
                 return min_speedup(taskset, rtol=rtol, max_candidates=max_candidates).s_min <= s * (
                     1.0 + rtol

@@ -5,6 +5,7 @@ Usage::
     repro-mc table1
     repro-mc fig1 | fig3 | fig4 | fig5 | fig6 | fig7
     repro-mc validate            # simulator-vs-analysis cross-check
+    repro-mc resilience [--quick] [--csv out.csv]   # fault sweeps
     repro-mc all [--quick]
     repro-mc analyze --taskset my_tasks.json [--speedup 2] [--budget 5000]
 
@@ -108,6 +109,22 @@ def _run_validate() -> str:
     return "\n".join(out)
 
 
+def _make_resilience(quick: bool, csv_path) -> Callable[[], str]:
+    def run() -> str:
+        from repro.io import write_records_csv
+        from repro.sim.resilience import render, run_suite
+
+        verdicts = run_suite(quick=quick)
+        if csv_path:
+            write_records_csv(csv_path, [v.to_record() for v in verdicts])
+        out = render(verdicts)
+        if csv_path:
+            out += f"\nverdicts written to {csv_path}"
+        return out
+
+    return run
+
+
 def _run_analyze(path: str, speedup, budget) -> str:
     """Dual-mode analysis report for a user-supplied JSON task set."""
     import math
@@ -156,7 +173,7 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "validate", "all", "analyze",
+            "validate", "resilience", "all", "analyze",
         ],
         help="which artefact to regenerate (or 'analyze' a task-set file)",
     )
@@ -180,6 +197,10 @@ def main(argv=None) -> int:
         type=float,
         default=None,
         help="recovery-time budget checked by 'analyze' (same unit as the task set)",
+    )
+    parser.add_argument(
+        "--csv",
+        help="write resilience verdict records to this CSV file",
     )
     parser.add_argument(
         "--report",
@@ -216,6 +237,7 @@ def main(argv=None) -> int:
         "fig6": _make_fig6(args.quick),
         "fig7": _make_fig7(args.quick),
         "validate": _run_validate,
+        "resilience": _make_resilience(args.quick, args.csv),
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     for name in names:

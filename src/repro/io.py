@@ -119,6 +119,43 @@ def write_series_csv(
             writer.writerow([x, *(values[i] for values in columns.values())])
 
 
+def write_records_csv(path: PathLike, records: Sequence[Dict]) -> None:
+    """Write heterogeneous result records (e.g. resilience verdicts).
+
+    The header is the union of keys over all records, in first-seen
+    order; missing fields are left empty.  Values are written with
+    ``str`` (so ``inf``, booleans and enum names round-trip as text).
+    """
+    if not records:
+        raise ValueError("no records to write")
+    fields: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in fields:
+                fields.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields, restval="")
+        writer.writeheader()
+        for record in records:
+            writer.writerow({key: _render_cell(record.get(key)) for key in fields})
+
+
+def _render_cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def read_records_csv(path: PathLike) -> List[Dict[str, str]]:
+    """Inverse of :func:`write_records_csv` (values come back as strings)."""
+    with open(path, newline="") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]
+
+
 def read_series_csv(path: PathLike):
     """Inverse of :func:`write_series_csv`: ``(x_label, xs, columns)``."""
     with open(path, newline="") as handle:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import enum
 import math
+import numbers
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -83,7 +84,46 @@ class MCTask:
     t_lo: float
     t_hi: float
 
+    #: Timing fields in declaration order, paired with their paper notation.
+    _TIMING_FIELDS = (
+        ("c_lo", "C(LO)"),
+        ("c_hi", "C(HI)"),
+        ("d_lo", "D(LO)"),
+        ("d_hi", "D(HI)"),
+        ("t_lo", "T(LO)"),
+        ("t_hi", "T(HI)"),
+    )
+
     def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ModelError(
+                f"task name must be a non-empty string, got {self.name!r}"
+            )
+        if not isinstance(self.crit, Criticality):
+            raise ModelError(
+                f"{self.name}: crit must be a Criticality "
+                f"(Criticality.LO or Criticality.HI), got {self.crit!r}"
+            )
+        for attr, label in self._TIMING_FIELDS:
+            value = getattr(self, attr)
+            if isinstance(value, bool) or not isinstance(value, numbers.Real):
+                raise ModelError(
+                    f"{self.name}: {label} must be a real number, got "
+                    f"{value!r} ({type(value).__name__}); pass a float "
+                    "(math.inf is only legal for D(HI)/T(HI) of LO tasks)"
+                )
+            value = float(value)
+            if math.isnan(value):
+                raise ModelError(
+                    f"{self.name}: {label} is NaN — timing parameters must "
+                    "be well-defined numbers; check the upstream computation "
+                    "or input file for a 0/0 or missing value"
+                )
+            if value < 0:
+                raise ModelError(
+                    f"{self.name}: {label} must be non-negative, got {value}"
+                )
+            object.__setattr__(self, attr, value)
         _check(self.c_lo > 0, f"{self.name}: C(LO) must be positive")
         _check(self.c_hi > 0, f"{self.name}: C(HI) must be positive")
         _check(self.d_lo > 0, f"{self.name}: D(LO) must be positive")

@@ -18,9 +18,17 @@ class TaskSet:
 
     def __init__(self, tasks: Iterable[MCTask], name: str = "taskset") -> None:
         self._tasks: List[MCTask] = list(tasks)
+        if not isinstance(name, str):
+            raise ModelError(f"task-set name must be a string, got {name!r}")
         self.name = name
         seen = set()
         for task in self._tasks:
+            if not isinstance(task, MCTask):
+                raise ModelError(
+                    f"task set {name!r} may only contain MCTask instances, "
+                    f"got {task!r} ({type(task).__name__}); build tasks via "
+                    "MCTask.hi/MCTask.lo or repro.io.task_from_dict"
+                )
             if task.name in seen:
                 raise ModelError(f"duplicate task name: {task.name}")
             seen.add(task.name)

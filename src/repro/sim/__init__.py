@@ -13,27 +13,65 @@ bounds (Figures 1 and 3 juxtapose analysis with schedules):
   on top of preemptive EDF, with temporary speedup.
 * :mod:`repro.sim.trace` — traces, metrics, ASCII Gantt rendering.
 * :mod:`repro.sim.validate` — analysis-vs-simulation cross-checks.
+* :mod:`repro.sim.faults` — composable platform/workload fault models.
+* :mod:`repro.sim.degradation` — graceful-degradation fallback ladder.
+* :mod:`repro.sim.resilience` — scenario-based fault sweeps vs bounds.
 """
 
+from repro.sim.degradation import DegradationEvent, DegradationPolicy, Rung
+from repro.sim.faults import FaultConfig, FaultEvent, FaultInjector
+from repro.sim.resilience import (
+    FaultScenario,
+    ResilienceVerdict,
+    ladder_scenarios,
+    min_safe_speedup,
+    run_scenario,
+    run_suite,
+    scenario_suite,
+    standard_workloads,
+)
 from repro.sim.scheduler import MCEDFSimulator, SimConfig, SimResult
 from repro.sim.workload import (
     BurstySource,
+    FaultyJobSource,
     OverrunModel,
     PeriodicSource,
     SporadicSource,
     SynchronousWorstCaseSource,
 )
-from repro.sim.validate import ValidationReport, validate_bounds
+from repro.sim.validate import (
+    FaultValidationReport,
+    ValidationReport,
+    validate_bounds,
+    validate_under_faults,
+)
 
 __all__ = [
     "MCEDFSimulator",
     "SimConfig",
     "SimResult",
     "BurstySource",
+    "FaultyJobSource",
     "OverrunModel",
     "PeriodicSource",
     "SporadicSource",
     "SynchronousWorstCaseSource",
     "ValidationReport",
     "validate_bounds",
+    "FaultValidationReport",
+    "validate_under_faults",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "DegradationEvent",
+    "DegradationPolicy",
+    "Rung",
+    "FaultScenario",
+    "ResilienceVerdict",
+    "ladder_scenarios",
+    "min_safe_speedup",
+    "run_scenario",
+    "run_suite",
+    "scenario_suite",
+    "standard_workloads",
 ]

@@ -1,0 +1,122 @@
+"""Graceful degradation: the paper's own fallback ladder as a runtime policy.
+
+When the platform misbehaves (see :mod:`repro.sim.faults`) a HI-mode
+episode can outlive the offline resetting bound ``Delta_R`` — the boost
+never fully arrives, throttling cuts it short, or the workload demands
+more than ``C(HI)``.  The paper sketches the remedies itself: extend
+the boost (Section I's turbo watchdog discussion), degrade LO service by
+a factor ``y`` (Eq. 14), terminate LO tasks (Eq. 3), and as a last
+resort return to nominal speed and drop all LO work (the Section-I
+watchdog fallback).  :class:`DegradationPolicy` arranges those remedies
+into an escalation ladder the scheduler climbs *at runtime*, one rung
+per expired patience interval, recording which rung was finally needed.
+
+Rungs (cumulative — each keeps the previous rungs' measures active):
+
+====  ===========  ====================================================
+rung  name         action at escalation
+====  ===========  ====================================================
+0     ``NONE``     protocol as designed (boost + offline degradation)
+1     ``EXTEND``   re-request the boost and re-arm the thermal
+                   residency budget (fight throttling/caps with more
+                   turbo time)
+2     ``DEGRADE``  degrade LO service *further* at runtime: in-flight
+                   and future LO jobs move to ``runtime_y`` times their
+                   LO-mode deadline/period
+3     ``TERMINATE``  LO tasks lose service for the rest of the episode
+                   (pending jobs become background work)
+4     ``KILL``     watchdog kill: nominal speed + LO termination — the
+                   thermal envelope wins, HI tasks keep only the
+                   termination-configuration guarantees
+====  ===========  ====================================================
+
+The ladder is evaluated lazily: a rung is climbed only while the episode
+is still open when its patience expires, so a healthy run records rung
+``NONE`` and never pays any overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Rung(enum.IntEnum):
+    """Escalation rungs of the degradation ladder (ordered by severity)."""
+
+    NONE = 0
+    EXTEND = 1
+    DEGRADE = 2
+    TERMINATE = 3
+    KILL = 4
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Escalation schedule for the runtime degradation ladder.
+
+    Attributes
+    ----------
+    reference_delta:
+        Expected episode length — normally the offline ``Delta_R`` of
+        the configured speedup.  ``None`` lets the scheduler derive a
+        workload-based default (the largest finite HI-mode deadline).
+    patience:
+        Multiplier on ``reference_delta``: the first escalation check
+        fires ``patience * reference_delta`` after the mode switch, and
+        every further rung one more interval later.  An episode that
+        closes before the first check records rung ``NONE``.
+    runtime_y:
+        Additional LO service degradation applied at rung ``DEGRADE``
+        (relative to the tasks' LO-mode parameters, like Eq. 14).
+    max_rung:
+        Ladder ceiling; escalation stops there (e.g. ``Rung.DEGRADE``
+        forbids terminating LO tasks no matter what).
+    """
+
+    reference_delta: Optional[float] = None
+    patience: float = 1.5
+    runtime_y: float = 2.0
+    max_rung: Rung = Rung.KILL
+
+    def __post_init__(self) -> None:
+        if self.reference_delta is not None and (
+            self.reference_delta <= 0.0 or math.isnan(self.reference_delta)
+        ):
+            raise ValueError(
+                f"reference_delta must be positive, got {self.reference_delta}"
+            )
+        if self.patience <= 0.0 or math.isnan(self.patience):
+            raise ValueError(f"patience must be positive, got {self.patience}")
+        if self.runtime_y < 1.0 or math.isnan(self.runtime_y):
+            raise ValueError(f"runtime_y must be >= 1, got {self.runtime_y}")
+        if not isinstance(self.max_rung, Rung) or self.max_rung < Rung.EXTEND:
+            raise ValueError(f"max_rung must be a Rung >= EXTEND, got {self.max_rung}")
+
+    def check_interval(self, fallback_reference: float) -> float:
+        """Time between escalation checks given a workload-derived fallback."""
+        reference = (
+            self.reference_delta
+            if self.reference_delta is not None
+            else fallback_reference
+        )
+        if not math.isfinite(reference) or reference <= 0.0:
+            reference = max(fallback_reference, 1.0)
+        return self.patience * reference
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One climbed rung, recorded into the simulation result."""
+
+    time: float
+    rung: Rung
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"t={self.time:g}: {self.rung.name} ({self.reason})"

@@ -20,18 +20,27 @@ class EventKind(enum.Enum):
 
     RELEASE = "release"          # a job becomes ready
     TIMER = "timer"              # re-dispatch point (completion/threshold)
+    DETECT = "detect"            # delayed mode-switch detection (fault layer)
+    SPEED = "speed"              # DVFS actuation step (ramp/jitter/throttle)
     WATCHDOG = "watchdog"        # boost-budget fallback (Section I)
+    ESCALATE = "escalate"        # degradation-ladder patience check
     HORIZON = "horizon"          # end of simulation
 
     def default_priority(self) -> int:
         # Completions/timers fire before releases at the same instant so a
         # finishing job frees the processor before new arrivals queue up;
-        # the watchdog fires after both (budget measured inclusively).
+        # a late-detected mode switch lands before simultaneous releases
+        # (matching the immediate-detection semantics); actuation steps
+        # follow releases; the watchdog and the degradation ladder fire
+        # after all of those (budgets measured inclusively).
         order = {
             EventKind.TIMER: 0,
-            EventKind.RELEASE: 1,
-            EventKind.WATCHDOG: 2,
-            EventKind.HORIZON: 3,
+            EventKind.DETECT: 1,
+            EventKind.RELEASE: 2,
+            EventKind.SPEED: 3,
+            EventKind.WATCHDOG: 4,
+            EventKind.ESCALATE: 5,
+            EventKind.HORIZON: 6,
         }
         return order[self]
 

@@ -1,0 +1,341 @@
+"""Composable fault models: what a real platform does to the protocol.
+
+The offline guarantees (Theorem 2's ``s_min``, Corollary 5's ``Delta_R``)
+assume the processor delivers the requested speed ``s`` *instantly* at
+the mode switch, keeps it for the whole episode, detects every overrun
+the moment it happens, and that the workload honours its declared WCETs
+and the ``T_O`` overrun separation of Section IV.  Real DVFS hardware
+violates all of these: voltage/frequency ramps take time, turbo
+residency is thermally budgeted, boost levels are capped, and WCETs are
+estimates.  This module expresses those violations so the simulator can
+measure which guarantees survive them.
+
+Two fault families are modelled:
+
+**Actuation faults** (consumed by the scheduler through
+:class:`FaultInjector`):
+
+* *ramp latency* — the speed reaches the requested ``s`` only after
+  ``ramp_latency`` time units, as a staircase of ``ramp_steps`` steps;
+* *speed capping* — the platform never delivers more than ``speed_cap``
+  (requests are silently clamped, as a capped turbo bin would);
+* *thermal throttling* — after ``throttle_budget`` time units of boost
+  residency within one episode the platform forces the speed down to
+  ``throttle_speed``;
+* *speed jitter* — the delivered speed wobbles multiplicatively around
+  the target, resampled every ``jitter_period``;
+* *detection faults* — the LO-WCET overrun threshold crossing is
+  noticed only ``detection_latency`` late, and with probability
+  ``detection_miss_probability`` it is missed outright (the switch then
+  happens only when the overrunning job completes).
+
+**Workload faults** (consumed via
+:class:`~repro.sim.workload.FaultyJobSource`):
+
+* *WCET misestimation* — actual demand is ``wcet_error_factor`` times
+  the drawn execution time, possibly exceeding ``C(HI)``;
+* *release jitter* — releases are delayed by a random amount up to
+  ``release_jitter``;
+* *overrun bursts* — every HI task overruns for ``overrun_burst_len``
+  back-to-back jobs (violating the ``T_O`` separation assumed by
+  :mod:`repro.analysis.overrun`), then stays quiet for
+  ``overrun_gap_jobs`` jobs.
+
+A default-constructed :class:`FaultConfig` is a *strict no-op*: the
+scheduler takes the exact seed code paths and produces bit-identical
+results (validated by the resilience test-suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+_EPS = 1e-12
+
+#: Delivered speeds are clamped to this floor so a pathological jitter or
+#: throttle configuration can never stall the processor entirely.
+MIN_SPEED = 1e-3
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative description of every injected fault (all off by default).
+
+    Attributes
+    ----------
+    ramp_latency:
+        Time for the DVFS actuator to move from the current speed to a
+        newly requested one (0 = instantaneous, the paper's model).
+    ramp_steps:
+        Staircase resolution of the ramp (the actuator steps through
+        this many intermediate operating points).
+    speed_cap:
+        Maximum speed the platform can deliver; requests above it are
+        clamped (``inf`` disables the cap).
+    throttle_budget:
+        Boost residency allowed per HI-mode episode before thermal
+        throttling forces a down-shift (``inf`` disables throttling).
+    throttle_speed:
+        Speed enforced once the residency budget is exhausted
+        (``None`` = nominal speed).
+    jitter_amplitude:
+        Relative amplitude of multiplicative speed jitter: delivered
+        speed is ``target * (1 + U(-a, +a))`` (0 disables jitter).
+    jitter_period:
+        How often the jitter is resampled while boosted.
+    detection_latency:
+        Delay between a HI job crossing its LO WCET and the scheduler
+        noticing (0 = instantaneous detection, the paper's model).
+    detection_miss_probability:
+        Chance that a threshold crossing goes entirely unnoticed; the
+        mode switch then happens only at the overrunning job's
+        completion.
+    wcet_error_factor:
+        Multiplier on every job's actual execution demand (> 1 models
+        systematic WCET underestimation; demand may exceed ``C(HI)``).
+    release_jitter:
+        Upper bound of the uniform random delay added to every
+        non-initial release (sporadic releases stay legal: jitter only
+        ever delays).
+    overrun_burst_len:
+        Number of back-to-back overrunning jobs per HI-task burst
+        (values >= 2 violate the ``T_O`` separation of Section IV;
+        0 leaves the base overrun model in charge).
+    overrun_gap_jobs:
+        Quiet (non-overrunning) jobs between bursts.
+    seed:
+        Seed for the injector's private RNG (jitter, detection misses,
+        release jitter) — two simulations with equal configs and seeds
+        are identical.
+    """
+
+    ramp_latency: float = 0.0
+    ramp_steps: int = 4
+    speed_cap: float = math.inf
+    throttle_budget: float = math.inf
+    throttle_speed: Optional[float] = None
+    jitter_amplitude: float = 0.0
+    jitter_period: float = 1.0
+    detection_latency: float = 0.0
+    detection_miss_probability: float = 0.0
+    wcet_error_factor: float = 1.0
+    release_jitter: float = 0.0
+    overrun_burst_len: int = 0
+    overrun_gap_jobs: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ramp_latency < 0.0 or math.isnan(self.ramp_latency):
+            raise ValueError(f"ramp_latency must be >= 0, got {self.ramp_latency}")
+        if self.ramp_steps < 1:
+            raise ValueError(f"ramp_steps must be >= 1, got {self.ramp_steps}")
+        if self.speed_cap <= 0.0 or math.isnan(self.speed_cap):
+            raise ValueError(f"speed_cap must be positive, got {self.speed_cap}")
+        if self.throttle_budget <= 0.0 or math.isnan(self.throttle_budget):
+            raise ValueError(
+                f"throttle_budget must be positive, got {self.throttle_budget}"
+            )
+        if self.throttle_speed is not None and self.throttle_speed <= 0.0:
+            raise ValueError(
+                f"throttle_speed must be positive, got {self.throttle_speed}"
+            )
+        if not 0.0 <= self.jitter_amplitude < 1.0:
+            raise ValueError(
+                f"jitter_amplitude must be in [0, 1), got {self.jitter_amplitude}"
+            )
+        if self.jitter_period <= 0.0:
+            raise ValueError(f"jitter_period must be positive, got {self.jitter_period}")
+        if self.detection_latency < 0.0 or math.isnan(self.detection_latency):
+            raise ValueError(
+                f"detection_latency must be >= 0, got {self.detection_latency}"
+            )
+        if not 0.0 <= self.detection_miss_probability <= 1.0:
+            raise ValueError(
+                "detection_miss_probability must be in [0, 1], "
+                f"got {self.detection_miss_probability}"
+            )
+        if self.wcet_error_factor < 1.0 or math.isnan(self.wcet_error_factor):
+            raise ValueError(
+                f"wcet_error_factor must be >= 1, got {self.wcet_error_factor}"
+            )
+        if self.release_jitter < 0.0 or math.isnan(self.release_jitter):
+            raise ValueError(f"release_jitter must be >= 0, got {self.release_jitter}")
+        if self.overrun_burst_len < 0:
+            raise ValueError(
+                f"overrun_burst_len must be >= 0, got {self.overrun_burst_len}"
+            )
+        if self.overrun_gap_jobs < 0:
+            raise ValueError(
+                f"overrun_gap_jobs must be >= 0, got {self.overrun_gap_jobs}"
+            )
+
+    # ------------------------------------------------------------------
+    # Which subsystems does this configuration touch?
+    # ------------------------------------------------------------------
+    @property
+    def affects_actuation(self) -> bool:
+        """True when the delivered speed can differ from the requested one."""
+        return (
+            self.ramp_latency > 0.0
+            or math.isfinite(self.speed_cap)
+            or math.isfinite(self.throttle_budget)
+            or self.jitter_amplitude > 0.0
+        )
+
+    @property
+    def affects_detection(self) -> bool:
+        """True when mode-switch detection is delayed or lossy."""
+        return self.detection_latency > 0.0 or self.detection_miss_probability > 0.0
+
+    @property
+    def affects_workload(self) -> bool:
+        """True when job releases or demands deviate from the declared model."""
+        return (
+            self.wcet_error_factor > 1.0
+            or self.release_jitter > 0.0
+            or self.overrun_burst_len > 0
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """False exactly for the no-op configuration."""
+        return self.affects_actuation or self.affects_detection or self.affects_workload
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observed fault occurrence, recorded into the simulation result.
+
+    ``kind`` is one of ``"ramp_step"``, ``"speed_cap"``, ``"throttle"``,
+    ``"jitter"``, ``"detection_delay"``, ``"detection_miss"``.
+    """
+
+    time: float
+    kind: str
+    detail: str = ""
+
+
+class FaultInjector:
+    """Runtime state of the actuation/detection faults for one simulation.
+
+    The scheduler consults the injector at every speed request and every
+    overrun-threshold crossing; the injector owns a private seeded RNG so
+    identical configurations replay identically.
+    """
+
+    def __init__(self, config: FaultConfig, nominal_speed: float = 1.0) -> None:
+        self.config = config
+        self.nominal_speed = nominal_speed
+        self.rng = np.random.default_rng(config.seed)
+        self.events: List[FaultEvent] = []
+        # Residual boost budget of the current episode (refreshed at every
+        # mode switch and by the EXTEND degradation rung).
+        self._episode_budget = config.throttle_budget
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+    def deliverable(self, requested: float, time: Optional[float] = None) -> float:
+        """Clamp a speed request to what the platform can deliver."""
+        capped = min(requested, self.config.speed_cap)
+        if time is not None and capped < requested - _EPS:
+            self.events.append(
+                FaultEvent(time, "speed_cap", f"requested {requested:g}, cap {capped:g}")
+            )
+        return max(capped, MIN_SPEED)
+
+    def jittered(self, target: float, time: Optional[float] = None) -> float:
+        """One jitter sample around ``target`` (identity when disabled)."""
+        amp = self.config.jitter_amplitude
+        if amp <= 0.0:
+            return target
+        factor = 1.0 + float(self.rng.uniform(-amp, amp))
+        actual = max(target * factor, MIN_SPEED)
+        if time is not None:
+            self.events.append(
+                FaultEvent(time, "jitter", f"target {target:g}, delivered {actual:g}")
+            )
+        return actual
+
+    def ramp_profile(
+        self, time: float, current: float, target: float
+    ) -> List[Tuple[float, float]]:
+        """Speed staircase from ``current`` to ``target`` starting at ``time``.
+
+        Returns ``[(t_1, v_1), ..., (t_N, v_N = target)]`` with
+        ``t_1 > time``; an empty list means the change is instantaneous
+        (the caller applies ``target`` directly at ``time``).
+        """
+        latency = self.config.ramp_latency
+        if latency <= 0.0 or abs(target - current) <= _EPS:
+            return []
+        steps = max(1, self.config.ramp_steps)
+        profile = []
+        for k in range(1, steps + 1):
+            t_k = time + latency * k / steps
+            v_k = current + (target - current) * k / steps
+            profile.append((t_k, max(v_k, MIN_SPEED)))
+        self.events.append(
+            FaultEvent(time, "ramp_step", f"{current:g} -> {target:g} over {latency:g}")
+        )
+        return profile
+
+    # ------------------------------------------------------------------
+    # Thermal residency
+    # ------------------------------------------------------------------
+    def begin_episode(self) -> None:
+        """Refresh the per-episode boost residency budget."""
+        self._episode_budget = self.config.throttle_budget
+
+    def regrant_budget(self) -> None:
+        """EXTEND rung: the policy re-arms the residency budget."""
+        self._episode_budget = self.config.throttle_budget
+
+    def throttle_deadline(self, boost_start: float) -> Optional[float]:
+        """Instant the current residency budget exhausts (None = never)."""
+        if not math.isfinite(self._episode_budget):
+            return None
+        return boost_start + self._episode_budget
+
+    def throttled_speed(self, time: float) -> float:
+        """Speed enforced at a throttle event (recorded as a fault)."""
+        speed = (
+            self.nominal_speed
+            if self.config.throttle_speed is None
+            else self.config.throttle_speed
+        )
+        speed = max(speed, MIN_SPEED)
+        self.events.append(
+            FaultEvent(time, "throttle", f"boost residency exhausted, forced to {speed:g}")
+        )
+        return speed
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def detection_outcome(self, time: float) -> Tuple[bool, float]:
+        """Fate of one threshold crossing: ``(missed, delay)``.
+
+        ``missed`` means the crossing goes unnoticed (switch only at the
+        job's completion); otherwise the switch is scheduled ``delay``
+        after the crossing.
+        """
+        cfg = self.config
+        if cfg.detection_miss_probability > 0.0 and bool(
+            self.rng.uniform() < cfg.detection_miss_probability
+        ):
+            self.events.append(
+                FaultEvent(time, "detection_miss", "overrun threshold unnoticed")
+            )
+            return True, 0.0
+        if cfg.detection_latency > 0.0:
+            self.events.append(
+                FaultEvent(
+                    time, "detection_delay", f"switch delayed by {cfg.detection_latency:g}"
+                )
+            )
+        return False, cfg.detection_latency

@@ -39,6 +39,13 @@ class Job:
         True for carry-over jobs of terminated LO tasks: they keep the
         processor busy (matching the ``ADB`` accounting) but carry no
         deadline and never preempt deadline-bearing work.
+    wcet_faulty:
+        True when the workload fault layer deliberately exceeds the
+        declared ``C(HI)`` (WCET misestimation); suspends the
+        construction-time demand validation for this job only.
+    detection_missed:
+        True when the fault layer missed this job's overrun-threshold
+        crossing; the mode switch then triggers at its completion.
     """
 
     task: MCTask
@@ -49,12 +56,14 @@ class Job:
     finish: Optional[float] = None
     background: bool = False
     killed: bool = False
+    wcet_faulty: bool = False
+    detection_missed: bool = False
     job_id: int = field(default_factory=lambda: next(_job_ids))
 
     def __post_init__(self) -> None:
         if self.exec_time <= 0.0:
             raise ValueError(f"job of {self.task.name}: exec_time must be positive")
-        if self.exec_time > self.task.c_hi + 1e-9:
+        if not self.wcet_faulty and self.exec_time > self.task.c_hi + 1e-9:
             raise ValueError(
                 f"job of {self.task.name}: exec_time {self.exec_time} exceeds C(HI)"
             )

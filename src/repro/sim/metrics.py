@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.model.task import Criticality
 from repro.model.taskset import TaskSet
+from repro.sim.degradation import Rung
 from repro.sim.scheduler import SimResult
 
 
@@ -115,6 +116,62 @@ def lo_service_ratio(result: SimResult, taskset: TaskSet) -> float:
     return min(delivered / expected, 1.0)
 
 
+@dataclass(frozen=True)
+class FaultStats:
+    """Aggregate view of the fault layer's activity during one run.
+
+    Attributes
+    ----------
+    fault_event_counts:
+        Recorded :class:`~repro.sim.faults.FaultEvent` occurrences by
+        kind (empty on a fault-free run).
+    speed_deficit:
+        Integral of requested-minus-delivered speed (work units the
+        boost protocol was promised but never received).
+    highest_rung:
+        Deepest degradation-ladder rung reached across all episodes.
+    rung_times:
+        First time each rung was entered (by rung name).
+    hi_misses / lo_misses:
+        Deadline misses split by criticality — the paper's guarantees
+        concern HI misses; LO misses measure collateral degradation.
+    detection_misses:
+        Jobs whose overrun-threshold crossing the (faulty) detector
+        missed entirely (mode switch deferred to job completion).
+    wcet_faulty_jobs:
+        Jobs whose actual demand exceeded the declared ``C(HI)``.
+    """
+
+    fault_event_counts: Dict[str, int]
+    speed_deficit: float
+    highest_rung: Rung
+    rung_times: Dict[str, float]
+    hi_misses: int
+    lo_misses: int
+    detection_misses: int
+    wcet_faulty_jobs: int
+
+
+def fault_stats(result: SimResult) -> FaultStats:
+    """Distil the fault/degradation telemetry out of a finished run."""
+    counts: Dict[str, int] = {}
+    for ev in result.fault_events:
+        counts[ev.kind] = counts.get(ev.kind, 0) + 1
+    rung_times: Dict[str, float] = {}
+    for dev in result.degradations:
+        rung_times.setdefault(dev.rung.name, dev.time)
+    return FaultStats(
+        fault_event_counts=counts,
+        speed_deficit=result.speed_deficit,
+        highest_rung=result.highest_rung,
+        rung_times=rung_times,
+        hi_misses=result.hi_miss_count,
+        lo_misses=result.lo_miss_count,
+        detection_misses=sum(1 for j in result.jobs if j.detection_missed),
+        wcet_faulty_jobs=sum(1 for j in result.jobs if j.wcet_faulty),
+    )
+
+
 def summarize(result: SimResult, taskset: Optional[TaskSet] = None) -> str:
     """Compact text report of a simulation run."""
     stats = all_task_stats(result)
@@ -137,4 +194,12 @@ def summarize(result: SimResult, taskset: Optional[TaskSet] = None) -> str:
     )
     if taskset is not None:
         lines.append(f"LO service ratio: {lo_service_ratio(result, taskset):.3f}")
+    if result.fault_events or result.degradations or result.speed_deficit > 0.0:
+        fs = fault_stats(result)
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(fs.fault_event_counts.items()))
+        lines.append(
+            f"faults: [{kinds or 'none'}], speed deficit: {fs.speed_deficit:.4g}, "
+            f"ladder rung: {fs.highest_rung.name}, "
+            f"detection misses: {fs.detection_misses}"
+        )
     return "\n".join(lines)

@@ -28,7 +28,15 @@ class SpeedSegment:
 
 
 class Processor:
-    """Tracks speed changes over time and integrates work and energy."""
+    """Tracks speed changes over time and integrates work and energy.
+
+    Two speed timelines are kept: the *actual* delivered speed (what the
+    running job progresses at — the existing segment record) and the
+    *requested* operating point (what the scheduler asked for).  Without
+    faults the two coincide; with an actuation fault layer the gap
+    between them is the platform's boost deficit, exposed via
+    :meth:`speed_deficit`.
+    """
 
     def __init__(self, nominal_speed: float = 1.0, alpha: float = 3.0) -> None:
         if nominal_speed <= 0.0:
@@ -40,14 +48,22 @@ class Processor:
         self._speed = nominal_speed
         self._segments: List[SpeedSegment] = []
         self._segment_start = 0.0
+        self._requested = nominal_speed
+        self._req_segments: List[SpeedSegment] = []
+        self._req_start = 0.0
 
     @property
     def speed(self) -> float:
         """Current execution rate (work per time unit)."""
         return self._speed
 
+    @property
+    def requested_speed(self) -> float:
+        """Operating point most recently requested by the scheduler."""
+        return self._requested
+
     def set_speed(self, time: float, speed: float) -> None:
-        """Change the speed at ``time`` (closes the current segment)."""
+        """Change the actual speed at ``time`` (closes the current segment)."""
         if speed <= 0.0:
             raise ValueError(f"speed must be positive, got {speed}")
         if speed == self._speed:
@@ -55,8 +71,27 @@ class Processor:
         self._close_segment(time)
         self._speed = speed
 
+    def request_speed(self, time: float, speed: float) -> None:
+        """Record the *requested* operating point changing at ``time``.
+
+        Callers pair this with :meth:`set_speed` (possibly at later
+        instants, via a fault layer) so that requested-vs-actual
+        accounting stays meaningful.
+        """
+        if speed <= 0.0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        if speed == self._requested:
+            return
+        if time > self._req_start:
+            self._req_segments.append(
+                SpeedSegment(self._req_start, time, self._requested)
+            )
+        self._req_start = max(self._req_start, time)
+        self._requested = speed
+
     def reset_speed(self, time: float) -> None:
-        """Return to nominal speed at ``time``."""
+        """Return to nominal speed at ``time`` (actual and requested)."""
+        self.request_speed(time, self.nominal_speed)
         self.set_speed(time, self.nominal_speed)
 
     def _close_segment(self, time: float) -> None:
@@ -65,8 +100,11 @@ class Processor:
         self._segment_start = time
 
     def finish(self, time: float) -> None:
-        """Close the trailing segment at the simulation horizon."""
+        """Close the trailing segments at the simulation horizon."""
         self._close_segment(time)
+        if time > self._req_start:
+            self._req_segments.append(SpeedSegment(self._req_start, time, self._requested))
+            self._req_start = time
 
     # ------------------------------------------------------------------
     # Accounting
@@ -84,6 +122,37 @@ class Processor:
     def boosted_time(self) -> float:
         """Total time spent above nominal speed."""
         return self.time_at_speed(lambda s: s > self.nominal_speed + 1e-12)
+
+    @property
+    def requested_segments(self) -> List[SpeedSegment]:
+        """Completed requested-speed segments (call :meth:`finish` first)."""
+        return list(self._req_segments)
+
+    def speed_deficit(self) -> float:
+        """Integral of ``max(0, requested - actual)`` over closed segments.
+
+        Zero on a fault-free run; positive when the platform under-
+        delivered the boost (ramp latency, capping, throttling, negative
+        jitter).  Units: work (speed x time) the protocol was promised
+        but never received.
+        """
+        deficit = 0.0
+        actual = iter(self._segments)
+        seg = next(actual, None)
+        for req in self._req_segments:
+            t = req.start
+            while seg is not None and t < req.end - 1e-15:
+                if seg.end <= t + 1e-15:
+                    seg = next(actual, None)
+                    continue
+                lo = max(t, seg.start)
+                hi = min(req.end, seg.end)
+                if hi > lo:
+                    deficit += max(0.0, req.speed - seg.speed) * (hi - lo)
+                t = hi
+                if seg.end <= req.end + 1e-15 and seg.end <= hi + 1e-15:
+                    seg = next(actual, None)
+        return deficit
 
     def energy(self, idle_power: float = 0.0, busy_fraction_of: str = "wall") -> float:
         """Cubic-proxy energy over all closed segments.

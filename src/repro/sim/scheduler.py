@@ -21,17 +21,20 @@ miss occurs when ``s >= s_min`` under worst-case workloads.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.model.task import Criticality, MCTask
 from repro.model.taskset import TaskSet
+from repro.sim.degradation import DegradationEvent, DegradationPolicy, Rung
 from repro.sim.engine import EventKind, EventQueue
+from repro.sim.faults import FaultConfig, FaultEvent, FaultInjector
 from repro.sim.job import Job
 from repro.sim.processor import Processor
 from repro.sim.trace import ExecutionSlice, ModeEpisode, SimTrace
-from repro.sim.workload import JobSource, SynchronousWorstCaseSource
+from repro.sim.workload import FaultyJobSource, JobSource, SynchronousWorstCaseSource
 
 _EPS = 1e-9
 
@@ -64,6 +67,16 @@ class SimConfig:
         rest of the episode (their pending jobs move to the background)
         and the processor returns to nominal speed, trading service for
         staying inside the thermal envelope.  ``inf`` disables it.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultConfig` injecting DVFS
+        actuation, detection and workload faults.  ``None`` (and the
+        default no-op config) leaves the simulator on the exact
+        fault-free code paths.
+    degradation:
+        Optional :class:`~repro.sim.degradation.DegradationPolicy`
+        climbing the runtime fallback ladder while an episode refuses to
+        close.  ``None`` disables the ladder (the static protocol and
+        the ``boost_budget`` watchdog still apply).
     """
 
     speedup: float = 1.0
@@ -72,6 +85,8 @@ class SimConfig:
     alpha: float = 3.0
     stop_after_first_reset: bool = False
     boost_budget: float = math.inf
+    faults: Optional[FaultConfig] = None
+    degradation: Optional[DegradationPolicy] = None
 
     def __post_init__(self) -> None:
         if self.speedup <= 0.0:
@@ -80,6 +95,14 @@ class SimConfig:
             raise ValueError(f"horizon must be positive, got {self.horizon}")
         if self.boost_budget <= 0.0:
             raise ValueError(f"boost budget must be positive, got {self.boost_budget}")
+        if self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise TypeError(f"faults must be a FaultConfig, got {type(self.faults)!r}")
+        if self.degradation is not None and not isinstance(
+            self.degradation, DegradationPolicy
+        ):
+            raise TypeError(
+                f"degradation must be a DegradationPolicy, got {type(self.degradation)!r}"
+            )
 
 
 @dataclass
@@ -102,6 +125,13 @@ class SimResult:
         Cubic-proxy energy consumed over the horizon.
     boosted_time:
         Total time spent above nominal speed.
+    fault_events:
+        Fault occurrences observed by the injector (empty without one).
+    degradations:
+        Rungs climbed by the degradation ladder, in time order.
+    speed_deficit:
+        Integral of requested-minus-delivered speed (0 when the
+        platform actuated every request faithfully).
     """
 
     config: SimConfig
@@ -112,10 +142,30 @@ class SimResult:
     energy: float = 0.0
     boosted_time: float = 0.0
     fallback_times: List[float] = field(default_factory=list)
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    degradations: List[DegradationEvent] = field(default_factory=list)
+    speed_deficit: float = 0.0
 
     @property
     def miss_count(self) -> int:
         return len(self.misses)
+
+    @property
+    def hi_miss_count(self) -> int:
+        """Deadline misses of HI-criticality jobs (the hard guarantee)."""
+        return sum(1 for j in self.misses if j.task.is_hi)
+
+    @property
+    def lo_miss_count(self) -> int:
+        """Deadline misses of LO-criticality (foreground) jobs."""
+        return sum(1 for j in self.misses if j.task.is_lo)
+
+    @property
+    def highest_rung(self) -> Rung:
+        """Worst degradation rung the ladder had to climb."""
+        if not self.degradations:
+            return Rung.NONE
+        return max(event.rung for event in self.degradations)
 
     @property
     def max_episode_length(self) -> float:
@@ -153,6 +203,13 @@ class MCEDFSimulator:
         self.taskset = taskset
         self.config = config
         self.source = source or SynchronousWorstCaseSource()
+        self._injector: Optional[FaultInjector] = None
+        if config.faults is not None and config.faults.enabled:
+            self._injector = FaultInjector(config.faults)
+            if config.faults.affects_workload and not isinstance(
+                self.source, FaultyJobSource
+            ):
+                self.source = FaultyJobSource(self.source, config.faults)
         self._queue = EventQueue()
         self._processor = Processor(alpha=config.alpha)
         self._mode = Criticality.LO
@@ -163,10 +220,25 @@ class MCEDFSimulator:
         self._timer_entry = None
         self._last_release: Dict[str, float] = {}
         self._job_counts: Dict[str, int] = {t.name: 0 for t in taskset}
+        self._job_seq = itertools.count()
         self._pending_release: Dict[str, object] = {}
         self._deferred: Dict[str, float] = {}  # task -> earliest legal release
         self._episode_start: Optional[float] = None
         self._watchdog_entry = None
+        # Fault/degradation machinery (inert on the fault-free path).
+        self._pending_switch_entry = None
+        self._speed_entries: List[object] = []
+        self._throttle_entry = None
+        self._jitter_entry = None
+        self._boost_target = config.speedup
+        self._escalate_entry = None
+        self._rung = Rung.NONE
+        self._runtime_y: Optional[float] = None
+        self._escalate_interval = 0.0
+        if config.degradation is not None:
+            finite_dhi = [t.d_hi for t in taskset if math.isfinite(t.d_hi)]
+            fallback = max(finite_dhi) if finite_dhi else 1.0
+            self._escalate_interval = config.degradation.check_interval(fallback)
         self._result = SimResult(config=config)
         self._stopped = False
 
@@ -193,8 +265,14 @@ class MCEDFSimulator:
                 self._on_release(entry.payload)
             elif entry.kind is EventKind.TIMER:
                 self._on_timer()
+            elif entry.kind is EventKind.DETECT:
+                self._on_detect()
+            elif entry.kind is EventKind.SPEED:
+                self._on_speed(entry.payload)
             elif entry.kind is EventKind.WATCHDOG:
                 self._on_watchdog()
+            elif entry.kind is EventKind.ESCALATE:
+                self._on_escalate()
             self._dispatch()
 
         self._finalize()
@@ -234,19 +312,50 @@ class MCEDFSimulator:
         self._job_counts[task.name] = index + 1
         self._last_release[task.name] = self._now
         exec_time = self.source.exec_time(task, index)
-        deadline = self._now + task.deadline(self._mode)
+        deadline = self._now + self._deadline_of(task)
+        wcet_faulty = (
+            self._injector is not None
+            and self.config.faults.wcet_error_factor > 1.0
+            and exec_time > task.c_hi + _EPS
+        )
         job = Job(
             task=task,
             release=self._now,
             exec_time=exec_time,
             abs_deadline=deadline,
+            wcet_faulty=wcet_faulty,
+            job_id=next(self._job_seq),
         )
         self._ready.append(job)
         self._result.jobs.append(job)
         self._schedule_next_release(task, self._now)
 
+    def _deadline_of(self, task: MCTask) -> float:
+        """Relative deadline in the current mode, honouring runtime degradation."""
+        deadline = task.deadline(self._mode)
+        if (
+            self._runtime_y is not None
+            and self._mode is Criticality.HI
+            and task.is_lo
+            and not task.terminated_in_hi
+        ):
+            deadline = max(deadline, self._runtime_y * task.d_lo)
+        return deadline
+
+    def _period_of(self, task: MCTask) -> float:
+        """Minimum spacing in the current mode, honouring runtime degradation."""
+        period = task.period(self._mode)
+        if (
+            self._runtime_y is not None
+            and self._mode is Criticality.HI
+            and task.is_lo
+            and not task.terminated_in_hi
+        ):
+            period = max(period, self._runtime_y * task.t_lo)
+        return period
+
     def _schedule_next_release(self, task: MCTask, prev_release: float) -> None:
-        min_gap = task.period(self._mode)
+        min_gap = self._period_of(task)
         nxt = self.source.next_release(task, prev_release, min_gap)
         if math.isfinite(nxt) and nxt <= self.config.horizon:
             entry = self._queue.push(nxt, EventKind.RELEASE, task)
@@ -263,6 +372,15 @@ class MCEDFSimulator:
             if job.missed():
                 self._result.misses.append(job)
             self._running = None
+            if (
+                self._mode is Criticality.LO
+                and job.task.is_hi
+                and job.detection_missed
+                and job.overruns
+            ):
+                # The missed threshold crossing surfaces at completion
+                # accounting: switch now, better late than never.
+                self._switch_to_hi()
             return
         # Not finished: the timer must be the overrun threshold.
         if (
@@ -270,6 +388,30 @@ class MCEDFSimulator:
             and job.task.is_hi
             and job.executed >= job.task.c_lo - _EPS
         ):
+            self._detect_overrun(job)
+
+    def _detect_overrun(self, job: Job) -> None:
+        """React to a LO-WCET threshold crossing, possibly imperfectly."""
+        injector = self._injector
+        if injector is None or not injector.config.affects_detection:
+            self._switch_to_hi()
+            return
+        if self._pending_switch_entry is not None or job.detection_missed:
+            return  # a switch is already underway / this crossing is lost
+        missed, delay = injector.detection_outcome(self._now)
+        if missed:
+            job.detection_missed = True
+        elif delay <= 0.0:
+            self._switch_to_hi()
+        else:
+            self._pending_switch_entry = self._queue.push(
+                self._now + delay, EventKind.DETECT
+            )
+
+    def _on_detect(self) -> None:
+        """A delayed overrun detection finally fires."""
+        self._pending_switch_entry = None
+        if self._mode is Criticality.LO:
             self._switch_to_hi()
 
     # ------------------------------------------------------------------
@@ -278,10 +420,16 @@ class MCEDFSimulator:
     def _switch_to_hi(self) -> None:
         self._mode = Criticality.HI
         self._episode_start = self._now
-        self._processor.set_speed(self._now, self.config.speedup)
+        self._rung = Rung.NONE
+        self._runtime_y = None
+        self._apply_boost(fresh_episode=True)
         if math.isfinite(self.config.boost_budget):
             self._watchdog_entry = self._queue.push(
                 self._now + self.config.boost_budget, EventKind.WATCHDOG
+            )
+        if self.config.degradation is not None:
+            self._escalate_entry = self._queue.push(
+                self._now + self._escalate_interval, EventKind.ESCALATE
             )
         self._result.trace.mode_changes.append((self._now, Criticality.HI))
         # Carry-over jobs adopt their HI-mode deadlines (HI tasks regain
@@ -323,6 +471,163 @@ class MCEDFSimulator:
                 else:
                     self._pending_release.pop(task.name, None)
 
+    # ------------------------------------------------------------------
+    # Boost actuation (fault-aware)
+    # ------------------------------------------------------------------
+    def _apply_boost(self, fresh_episode: bool) -> None:
+        """Request the HI-mode speed; the fault layer decides what arrives."""
+        s_req = self.config.speedup
+        self._processor.request_speed(self._now, s_req)
+        injector = self._injector
+        if injector is None or not injector.config.affects_actuation:
+            self._processor.set_speed(self._now, s_req)
+            return
+        if fresh_episode:
+            injector.begin_episode()
+        else:
+            injector.regrant_budget()
+        target = injector.deliverable(s_req, self._now)
+        self._boost_target = target
+        actual = injector.jittered(target)
+        ramp = injector.ramp_profile(self._now, self._processor.speed, actual)
+        self._cancel_speed_events()
+        if not ramp:
+            self._processor.set_speed(self._now, actual)
+        else:
+            for t_step, v_step in ramp:
+                if t_step <= self.config.horizon:
+                    self._speed_entries.append(
+                        self._queue.push(t_step, EventKind.SPEED, ("ramp", v_step))
+                    )
+        throttle_at = injector.throttle_deadline(self._now)
+        if throttle_at is not None and throttle_at <= self.config.horizon:
+            self._throttle_entry = self._queue.push(
+                throttle_at, EventKind.SPEED, ("throttle", None)
+            )
+        if injector.config.jitter_amplitude > 0.0:
+            t_jitter = self._now + injector.config.jitter_period
+            if t_jitter <= self.config.horizon:
+                self._jitter_entry = self._queue.push(
+                    t_jitter, EventKind.SPEED, ("jitter", None)
+                )
+
+    def _on_speed(self, payload) -> None:
+        """One DVFS actuation step: ramp stair, throttle, or jitter sample."""
+        cause, value = payload
+        if self._mode is not Criticality.HI or self._injector is None:
+            return  # stale event from a closed episode
+        if cause == "ramp":
+            self._processor.set_speed(self._now, value)
+        elif cause == "throttle":
+            self._throttle_entry = None
+            speed = self._injector.throttled_speed(self._now)
+            self._boost_target = speed
+            self._cancel_ramp_events()
+            self._processor.set_speed(self._now, speed)
+        elif cause == "jitter":
+            self._jitter_entry = None
+            self._processor.set_speed(
+                self._now, self._injector.jittered(self._boost_target, self._now)
+            )
+            t_next = self._now + self._injector.config.jitter_period
+            if t_next <= self.config.horizon:
+                self._jitter_entry = self._queue.push(
+                    t_next, EventKind.SPEED, ("jitter", None)
+                )
+
+    def _cancel_ramp_events(self) -> None:
+        for entry in self._speed_entries:
+            self._queue.cancel(entry)
+        self._speed_entries = []
+
+    def _cancel_speed_events(self) -> None:
+        self._cancel_ramp_events()
+        if self._throttle_entry is not None:
+            self._queue.cancel(self._throttle_entry)
+            self._throttle_entry = None
+        if self._jitter_entry is not None:
+            self._queue.cancel(self._jitter_entry)
+            self._jitter_entry = None
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+    def _on_escalate(self) -> None:
+        """Patience expired with the episode still open: climb one rung."""
+        self._escalate_entry = None
+        policy = self.config.degradation
+        if policy is None or self._mode is not Criticality.HI:
+            return
+        if self._rung >= policy.max_rung:
+            return
+        self._rung = Rung(self._rung + 1)
+        open_for = self._now - (self._episode_start or self._now)
+        self._result.degradations.append(
+            DegradationEvent(
+                self._now, self._rung, f"episode open for {open_for:.6g}"
+            )
+        )
+        if self._rung is Rung.EXTEND:
+            self._apply_boost(fresh_episode=False)
+        elif self._rung is Rung.DEGRADE:
+            self._apply_runtime_degradation()
+        elif self._rung is Rung.TERMINATE:
+            self._terminate_lo_service()
+        elif self._rung is Rung.KILL:
+            self._cancel_speed_events()
+            self._processor.reset_speed(self._now)
+            self._terminate_lo_service()
+        if self._rung < policy.max_rung:
+            self._escalate_entry = self._queue.push(
+                self._now + self._escalate_interval, EventKind.ESCALATE
+            )
+
+    def _apply_runtime_degradation(self) -> None:
+        """DEGRADE rung: stretch LO service to ``runtime_y`` at runtime."""
+        self._runtime_y = self.config.degradation.runtime_y
+        for job in self._ready + ([self._running] if self._running else []):
+            if (
+                job is None
+                or job.done
+                or job.background
+                or not job.task.is_lo
+                or job.task.terminated_in_hi
+            ):
+                continue
+            relaxed = job.release + self._deadline_of(job.task)
+            if relaxed > job.abs_deadline:
+                job.abs_deadline = relaxed
+        for task in self.taskset.lo_tasks:
+            if task.terminated_in_hi:
+                continue
+            entry = self._pending_release.get(task.name)
+            last = self._last_release.get(task.name)
+            if entry is None or last is None:
+                continue
+            earliest = last + self._period_of(task)
+            if entry.time < earliest - _EPS:
+                self._queue.cancel(entry)
+                if earliest <= self.config.horizon:
+                    self._pending_release[task.name] = self._queue.push(
+                        earliest, EventKind.RELEASE, task
+                    )
+                else:
+                    self._pending_release.pop(task.name, None)
+
+    def _terminate_lo_service(self) -> None:
+        """Drop LO service for the rest of the episode (Eq. 3 at runtime)."""
+        for job in self._ready + ([self._running] if self._running else []):
+            if job is None or job.done or not job.task.is_lo:
+                continue
+            job.background = True
+            job.abs_deadline = math.inf
+        for task in self.taskset.lo_tasks:
+            entry = self._pending_release.get(task.name)
+            if entry is not None:
+                self._queue.cancel(entry)
+                self._pending_release.pop(task.name, None)
+            self._deferred[task.name] = self._now
+
     def _on_watchdog(self) -> None:
         """Boost-budget exhausted: fall back to termination (Section I).
 
@@ -337,24 +642,20 @@ class MCEDFSimulator:
         if self._mode is not Criticality.HI:
             return
         self._result.fallback_times.append(self._now)
+        self._cancel_speed_events()
         self._processor.reset_speed(self._now)
-        for job in self._ready + ([self._running] if self._running else []):
-            if job is None or job.done or not job.task.is_lo:
-                continue
-            job.background = True
-            job.abs_deadline = math.inf
-        for task in self.taskset.lo_tasks:
-            entry = self._pending_release.get(task.name)
-            if entry is not None:
-                self._queue.cancel(entry)
-                self._pending_release.pop(task.name, None)
-            self._deferred[task.name] = self._now
+        self._terminate_lo_service()
 
     def _reset_to_lo(self) -> None:
         self._mode = Criticality.LO
         if self._watchdog_entry is not None:
             self._queue.cancel(self._watchdog_entry)
             self._watchdog_entry = None
+        if self._escalate_entry is not None:
+            self._queue.cancel(self._escalate_entry)
+            self._escalate_entry = None
+        self._cancel_speed_events()
+        self._runtime_y = None
         self._processor.reset_speed(self._now)
         self._result.trace.mode_changes.append((self._now, Criticality.LO))
         if self._episode_start is not None:
@@ -406,7 +707,13 @@ class MCEDFSimulator:
         speed = self._processor.speed
         dt_done = job.remaining / speed
         dt_threshold = math.inf
-        if self._mode is Criticality.LO and job.task.is_hi and job.overruns:
+        if (
+            self._mode is Criticality.LO
+            and job.task.is_hi
+            and job.overruns
+            and self._pending_switch_entry is None
+            and not job.detection_missed
+        ):
             budget = job.task.c_lo - job.executed
             if budget > _EPS:
                 dt_threshold = budget / speed
@@ -429,6 +736,9 @@ class MCEDFSimulator:
                 self._result.misses.append(job)
         self._result.energy = self._processor.energy()
         self._result.boosted_time = self._processor.boosted_time
+        self._result.speed_deficit = self._processor.speed_deficit()
+        if self._injector is not None:
+            self._result.fault_events = list(self._injector.events)
         self._result.trace.horizon = end
 
 

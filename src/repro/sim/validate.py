@@ -24,6 +24,8 @@ from typing import Optional
 from repro.analysis.resetting import resetting_time
 from repro.analysis.speedup import min_speedup
 from repro.model.taskset import TaskSet
+from repro.sim.degradation import DegradationPolicy, Rung
+from repro.sim.faults import FaultConfig
 from repro.sim.scheduler import SimConfig, SimResult, simulate
 from repro.sim.workload import OverrunModel, SynchronousWorstCaseSource
 
@@ -121,6 +123,104 @@ def validate_bounds(
         max_episode=result.max_episode_length,
         episodes=result.mode_switch_count,
         miss_below_s_min=miss_below,
+    )
+
+
+@dataclass(frozen=True)
+class FaultValidationReport:
+    """Outcome of :func:`validate_under_faults` for one configuration.
+
+    The analytic bounds (``s_min``, ``delta_r``) are computed for the
+    *fault-free* platform; the simulation runs the same adversarial
+    workload through the fault layer, so comparing the two answers
+    "which guarantees survive this fault class?".
+
+    Attributes
+    ----------
+    s_min / delta_r / simulated_speedup:
+        As in :class:`ValidationReport` (fault-free analysis values).
+    hi_misses / lo_misses:
+        Observed deadline misses split by criticality.
+    max_episode:
+        Longest observed HI-mode episode (compare against ``delta_r``).
+    episodes:
+        Number of HI-mode episodes observed.
+    highest_rung:
+        Deepest degradation-ladder rung the policy manager needed.
+    speed_deficit:
+        Requested-minus-delivered boost work (0 on a healthy platform).
+    fault_event_count:
+        Actuation/detection fault occurrences recorded by the injector.
+    """
+
+    s_min: float
+    delta_r: float
+    simulated_speedup: float
+    hi_misses: int
+    lo_misses: int
+    max_episode: float
+    episodes: int
+    highest_rung: Rung
+    speed_deficit: float
+    fault_event_count: int
+
+    @property
+    def hi_guarantee_holds(self) -> bool:
+        """No HI deadline missed despite the faults."""
+        return self.hi_misses == 0
+
+    @property
+    def resetting_holds(self) -> bool:
+        """Every episode closed within the fault-free ``Delta_R``."""
+        return self.max_episode <= self.delta_r + 1e-6
+
+    @property
+    def bounds_hold(self) -> bool:
+        """Both paper guarantees survived the injected faults."""
+        return self.hi_guarantee_holds and self.resetting_holds
+
+
+def validate_under_faults(
+    taskset: TaskSet,
+    *,
+    fault: Optional[FaultConfig] = None,
+    degradation: Optional[DegradationPolicy] = None,
+    speedup: Optional[float] = None,
+    horizon: Optional[float] = None,
+    slack: float = 1e-9,
+) -> FaultValidationReport:
+    """Adversarial-workload run through the fault layer vs the bounds.
+
+    Defaults mirror :func:`validate_bounds` exactly, so with ``fault``
+    and ``degradation`` both ``None`` (or an all-zero
+    :class:`~repro.sim.faults.FaultConfig`) the verdict fields reproduce
+    the fault-free validator verbatim — the fault layer is a strict
+    no-op when disabled.
+    """
+    s_res = min_speedup(taskset)
+    if not math.isfinite(s_res.s_min):
+        raise ValueError("task set needs infinite speedup; nothing to simulate")
+    s = speedup if speedup is not None else max(s_res.s_min * (1.0 + slack), 1e-6)
+    reset = resetting_time(taskset, s)
+    if horizon is None:
+        horizon = 20.0 * max(t.t_lo for t in taskset)
+
+    config = SimConfig(
+        speedup=s, horizon=horizon, faults=fault, degradation=degradation
+    )
+    result = simulate(taskset, config, _worst_case_source())
+
+    return FaultValidationReport(
+        s_min=s_res.s_min,
+        delta_r=reset.delta_r,
+        simulated_speedup=s,
+        hi_misses=result.hi_miss_count,
+        lo_misses=result.lo_miss_count,
+        max_episode=result.max_episode_length,
+        episodes=result.mode_switch_count,
+        highest_rung=result.highest_rung,
+        speed_deficit=result.speed_deficit,
+        fault_event_count=len(result.fault_events),
     )
 
 

@@ -11,11 +11,28 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.model.task import MCTask
+from repro.sim.faults import FaultConfig
+
+RNGLike = Union[np.random.Generator, int]
+
+
+def as_rng(rng: Optional[RNGLike], default_seed: int = 0) -> np.random.Generator:
+    """Coerce an RNG-or-seed argument into a private seeded generator.
+
+    Every stochastic source takes its randomness through this helper, so
+    no source ever touches module-level random state: two sources built
+    from equal seeds replay identical traces.
+    """
+    if rng is None:
+        return np.random.default_rng(default_seed)
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(int(rng))
 
 
 @dataclass
@@ -38,15 +55,16 @@ class OverrunModel:
         Force the very first job of every HI task to overrun — handy for
         deterministic validation scenarios.
     rng:
-        NumPy generator for the random draws (unused when the model is
-        fully deterministic).
+        NumPy generator *or integer seed* for the random draws (unused
+        when the model is fully deterministic); a private seeded
+        generator is always materialised, never module-level state.
     """
 
     probability: float = 0.0
     fraction: float = 1.0
     normal_fraction: float = 1.0
     first_job_overruns: bool = False
-    rng: Optional[np.random.Generator] = None
+    rng: Optional[RNGLike] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
@@ -57,8 +75,8 @@ class OverrunModel:
             raise ValueError(
                 f"normal_fraction must be in (0, 1], got {self.normal_fraction}"
             )
-        if self.probability > 0.0 and self.rng is None:
-            self.rng = np.random.default_rng(0)
+        if self.probability > 0.0:
+            self.rng = as_rng(self.rng)
 
     def exec_time(self, task: MCTask, job_index: int) -> float:
         """Actual execution requirement of the ``job_index``-th job."""
@@ -127,7 +145,7 @@ class BurstySource(JobSource):
 
     def __init__(
         self,
-        rng: np.random.Generator,
+        rng: RNGLike,
         mean_burst_len: float = 4.0,
         gap_factor: float = 3.0,
         overrun: Optional[OverrunModel] = None,
@@ -137,7 +155,7 @@ class BurstySource(JobSource):
             raise ValueError(f"mean_burst_len must be >= 1, got {mean_burst_len}")
         if gap_factor < 0.0:
             raise ValueError(f"gap_factor must be >= 0, got {gap_factor}")
-        self.rng = rng
+        self.rng = as_rng(rng)
         self.mean_burst_len = mean_burst_len
         self.gap_factor = gap_factor
         self._remaining: dict = {}
@@ -169,7 +187,7 @@ class SporadicSource(JobSource):
 
     def __init__(
         self,
-        rng: np.random.Generator,
+        rng: RNGLike,
         mean_slack_factor: float = 0.2,
         overrun: Optional[OverrunModel] = None,
         offsets: Optional[dict] = None,
@@ -177,7 +195,7 @@ class SporadicSource(JobSource):
         super().__init__(overrun)
         if mean_slack_factor < 0.0:
             raise ValueError(f"mean_slack_factor must be >= 0, got {mean_slack_factor}")
-        self.rng = rng
+        self.rng = as_rng(rng)
         self.mean_slack_factor = mean_slack_factor
         self.offsets = offsets or {}
 
@@ -194,3 +212,54 @@ class SporadicSource(JobSource):
         if self.mean_slack_factor > 0.0:
             slack = float(self.rng.exponential(self.mean_slack_factor * min_gap))
         return prev_release + min_gap + slack
+
+
+class FaultyJobSource(JobSource):
+    """Wrap any :class:`JobSource` with the workload faults of a config.
+
+    Applies (see :class:`~repro.sim.faults.FaultConfig`):
+
+    * **WCET misestimation** — the base source's drawn execution time is
+      multiplied by ``wcet_error_factor`` (values > 1 push actual demand
+      beyond the declared ``C(HI)``; the scheduler marks such jobs so
+      the model-level demand validation is suspended for them);
+    * **release jitter** — every non-initial release is delayed by a
+      uniform random amount up to ``release_jitter`` (still legal
+      sporadic behaviour: jitter only delays);
+    * **overrun bursts** — HI tasks overrun to their full ``C(HI)`` for
+      ``overrun_burst_len`` back-to-back jobs, then run normally for
+      ``overrun_gap_jobs`` jobs, violating the ``T_O`` separation the
+      Section-IV remark assumes between overruns.
+
+    With a no-op config the wrapper delegates verbatim to the base
+    source.
+    """
+
+    def __init__(
+        self,
+        base: JobSource,
+        config: FaultConfig,
+        rng: Optional[RNGLike] = None,
+    ) -> None:
+        super().__init__(base.overrun)
+        self.base = base
+        self.config = config
+        self.rng = as_rng(rng, default_seed=config.seed + 1)
+
+    def initial_release(self, task: MCTask) -> Optional[float]:
+        return self.base.initial_release(task)
+
+    def next_release(self, task: MCTask, prev_release: float, min_gap: float) -> float:
+        nxt = self.base.next_release(task, prev_release, min_gap)
+        if self.config.release_jitter > 0.0 and math.isfinite(nxt):
+            nxt += float(self.rng.uniform(0.0, self.config.release_jitter))
+        return nxt
+
+    def exec_time(self, task: MCTask, job_index: int) -> float:
+        demand = self.base.exec_time(task, job_index)
+        burst = self.config.overrun_burst_len
+        if burst > 0 and task.is_hi:
+            cycle = burst + self.config.overrun_gap_jobs
+            if cycle <= 0 or job_index % cycle < burst:
+                demand = max(demand, task.c_hi)
+        return demand * self.config.wcet_error_factor

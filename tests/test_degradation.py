@@ -1,0 +1,176 @@
+"""Tests for the graceful-degradation fallback ladder."""
+
+import math
+
+import pytest
+
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+from repro.sim.degradation import DegradationPolicy, Rung
+from repro.sim.faults import FaultConfig
+from repro.sim.scheduler import SimConfig, simulate
+from repro.sim.workload import OverrunModel, SynchronousWorstCaseSource
+
+
+def adversarial(every_job: bool = False):
+    return SynchronousWorstCaseSource(
+        OverrunModel(first_job_overruns=True, probability=1.0 if every_job else 0.0)
+    )
+
+
+def table1():
+    from repro.experiments.table1 import table1_taskset
+
+    return table1_taskset()
+
+
+class TestRung:
+    def test_ordering(self):
+        assert Rung.NONE < Rung.EXTEND < Rung.DEGRADE < Rung.TERMINATE < Rung.KILL
+
+    def test_values_match_ladder_depth(self):
+        assert [r.value for r in Rung] == [0, 1, 2, 3, 4]
+
+
+class TestDegradationPolicy:
+    def test_defaults(self):
+        policy = DegradationPolicy()
+        assert policy.patience == pytest.approx(1.5)
+        assert policy.max_rung is Rung.KILL
+
+    def test_check_interval_uses_reference(self):
+        policy = DegradationPolicy(reference_delta=4.0, patience=2.0)
+        assert policy.check_interval(99.0) == pytest.approx(8.0)
+
+    def test_check_interval_fallback(self):
+        policy = DegradationPolicy(patience=2.0)
+        assert policy.check_interval(3.0) == pytest.approx(6.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"patience": 0.0},
+            {"patience": -1.0},
+            {"reference_delta": 0.0},
+            {"runtime_y": 0.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            DegradationPolicy(**kwargs)
+
+
+class TestLadderEscalation:
+    def test_healthy_run_never_escalates(self):
+        config = SimConfig(
+            speedup=2.0,
+            horizon=400.0,
+            degradation=DegradationPolicy(reference_delta=6.0),
+        )
+        result = simulate(table1(), config, adversarial())
+        assert result.highest_rung is Rung.NONE
+        assert result.degradations == []
+
+    def test_ramp_fault_reaches_extend(self):
+        config = SimConfig(
+            speedup=2.0,
+            horizon=400.0,
+            faults=FaultConfig(ramp_latency=4.0, ramp_steps=8, seed=7),
+            degradation=DegradationPolicy(patience=1.05),
+        )
+        result = simulate(table1(), config, adversarial(every_job=True))
+        assert result.highest_rung is Rung.EXTEND
+
+    def test_throttle_fault_reaches_degrade(self):
+        config = SimConfig(
+            speedup=2.0,
+            horizon=400.0,
+            faults=FaultConfig(throttle_budget=0.5, throttle_speed=1.05, seed=7),
+            degradation=DegradationPolicy(patience=1.05, max_rung=Rung.DEGRADE),
+        )
+        result = simulate(table1(), config, adversarial(every_job=True))
+        assert result.highest_rung is Rung.DEGRADE
+        # Within each episode the ladder is climbed strictly in order
+        # (the rung counter resets when the mode resets to LO).
+        for episode in result.episodes:
+            end = episode.end if episode.end is not None else math.inf
+            rungs = [
+                d.rung for d in result.degradations if episode.start <= d.time < end
+            ]
+            assert rungs == sorted(rungs)
+        assert Rung.EXTEND in [d.rung for d in result.degradations]
+
+    def test_max_rung_caps_escalation(self):
+        config = SimConfig(
+            speedup=2.0,
+            horizon=400.0,
+            faults=FaultConfig(speed_cap=1.05, wcet_error_factor=1.5, seed=7),
+            degradation=DegradationPolicy(patience=1.05, max_rung=Rung.TERMINATE),
+        )
+        result = simulate(table1(), config, adversarial(every_job=True))
+        assert result.highest_rung <= Rung.TERMINATE
+
+    def test_kill_rung_restores_nominal_speed(self):
+        config = SimConfig(
+            speedup=2.0,
+            horizon=400.0,
+            faults=FaultConfig(
+                speed_cap=1.05, wcet_error_factor=1.5, overrun_burst_len=3, seed=7
+            ),
+            degradation=DegradationPolicy(patience=1.05),
+        )
+        result = simulate(table1(), config, adversarial(every_job=True))
+        assert result.highest_rung is Rung.KILL
+        kill_time = next(
+            d.time for d in result.degradations if d.rung is Rung.KILL
+        )
+        after = [s for s in result.trace.slices if s.start >= kill_time - 1e-9]
+        assert after and all(s.speed <= 1.0 + 1e-9 for s in after)
+
+    def test_degrade_rung_relaxes_lo_service(self):
+        """After the DEGRADE rung fires, foreground LO releases space out
+        by runtime_y times the nominal period."""
+        config = SimConfig(
+            speedup=2.0,
+            horizon=400.0,
+            faults=FaultConfig(throttle_budget=0.5, throttle_speed=1.05, seed=7),
+            degradation=DegradationPolicy(
+                patience=1.05, runtime_y=2.0, max_rung=Rung.DEGRADE
+            ),
+        )
+        result = simulate(table1(), config, adversarial(every_job=True))
+        degrade_time = next(
+            d.time for d in result.degradations if d.rung is Rung.DEGRADE
+        )
+        episode_end = next(
+            (e.end for e in result.episodes if e.start <= degrade_time
+             and (e.end is None or e.end >= degrade_time)),
+            None,
+        )
+        window_end = episode_end if episode_end is not None else math.inf
+        lo_releases = sorted(
+            j.release
+            for j in result.jobs
+            if j.task.is_lo and not j.background
+            and degrade_time <= j.release < window_end
+        )
+        for a, b in zip(lo_releases, lo_releases[1:]):
+            assert b - a >= 2.0 * 4.0 - 1e-6
+
+    def test_events_carry_reason(self):
+        config = SimConfig(
+            speedup=2.0,
+            horizon=400.0,
+            faults=FaultConfig(throttle_budget=0.5, throttle_speed=1.05, seed=7),
+            degradation=DegradationPolicy(patience=1.05, max_rung=Rung.DEGRADE),
+        )
+        result = simulate(table1(), config, adversarial(every_job=True))
+        assert result.degradations
+        for event in result.degradations:
+            assert "episode open" in event.reason
+
+    def test_config_type_validation(self):
+        with pytest.raises(TypeError):
+            SimConfig(degradation=FaultConfig())
+        with pytest.raises(TypeError):
+            SimConfig(faults=DegradationPolicy())

@@ -1,0 +1,172 @@
+"""Tests for the scenario-based resilience harness."""
+
+import math
+
+import pytest
+
+from repro.model.transform import apply_uniform_scaling
+from repro.sim.degradation import Rung
+from repro.sim.faults import FaultConfig
+from repro.sim.resilience import (
+    ladder_scenarios,
+    min_safe_speedup,
+    run_scenario,
+    run_suite,
+    scenario_suite,
+    standard_workloads,
+    render,
+)
+from repro.sim.validate import validate_bounds, validate_under_faults
+
+
+class TestZeroIntensityNoOp:
+    """At intensity 0 the harness must reproduce the seed validator."""
+
+    def _check_equivalence(self, taskset):
+        base = validate_bounds(taskset, check_below=False)
+        for scenario in scenario_suite(taskset, 0.0):
+            verdict = run_scenario(taskset, scenario, workload_name="w")
+            assert verdict.s_min == base.s_min
+            assert verdict.delta_r == base.delta_r
+            assert verdict.speedup == base.simulated_speedup
+            assert verdict.hi_misses + verdict.lo_misses == base.misses_at_s_min
+            assert verdict.max_episode == base.max_episode
+            assert verdict.episodes == base.episodes
+            assert verdict.highest_rung is Rung.NONE
+            assert verdict.speed_deficit == 0.0
+            assert verdict.fault_events == 0
+
+    def test_table1(self, table1):
+        self._check_equivalence(table1)
+
+    def test_table1_degraded(self, table1_degraded):
+        self._check_equivalence(table1_degraded)
+
+    def test_fms(self, fms):
+        from repro.analysis.tuning import min_preparation_factor
+
+        x = min_preparation_factor(fms, method="density")
+        prepared = apply_uniform_scaling(fms, x, 2.0)
+        base = validate_bounds(prepared, check_below=False)
+        scenario = scenario_suite(prepared, 0.0)[0]
+        verdict = run_scenario(prepared, scenario, workload_name="fms")
+        assert verdict.s_min == base.s_min
+        assert verdict.delta_r == base.delta_r
+        assert verdict.hi_misses + verdict.lo_misses == base.misses_at_s_min
+        assert verdict.max_episode == base.max_episode
+
+    def test_zero_intensity_faults_disabled(self, table1):
+        for scenario in scenario_suite(table1, 0.0):
+            assert not scenario.fault.enabled
+
+
+class TestScenarioSuite:
+    def test_scenario_names_stable(self, table1):
+        names = [s.name for s in scenario_suite(table1, 0.5)]
+        assert names == [
+            "healthy", "ramp", "cap", "throttle", "jitter",
+            "detection", "wcet", "burst", "arrival", "combined",
+        ]
+
+    def test_intensity_validation(self, table1):
+        with pytest.raises(ValueError):
+            scenario_suite(table1, 1.5)
+        with pytest.raises(ValueError):
+            scenario_suite(table1, -0.1)
+
+    def test_nonzero_intensity_enables_fault_classes(self, table1):
+        by_name = {s.name: s for s in scenario_suite(table1, 1.0)}
+        assert by_name["ramp"].fault.affects_actuation
+        assert by_name["detection"].fault.affects_detection
+        assert by_name["wcet"].fault.affects_workload
+        assert not by_name["healthy"].fault.enabled
+
+
+class TestLadder:
+    def test_each_rung_demonstrated(self):
+        """The documented ladder walk: every rung is the deepest reached
+        in exactly one scenario."""
+        from repro.experiments.table1 import table1_taskset
+
+        ts = table1_taskset()
+        reached = []
+        for scenario in ladder_scenarios():
+            verdict = run_scenario(
+                ts, scenario, workload_name="ladder", speedup=2.0, horizon=400.0
+            )
+            reached.append(verdict.highest_rung)
+        assert reached == [
+            Rung.NONE, Rung.EXTEND, Rung.DEGRADE, Rung.TERMINATE, Rung.KILL
+        ]
+
+
+class TestSuite:
+    def test_quick_suite_structure(self):
+        verdicts = run_suite(quick=True)
+        workloads = {v.workload for v in verdicts}
+        assert workloads == {"table1", "table1-degraded", "table1-ladder"}
+        # 2 workloads x 2 intensities x 10 scenarios + 5 ladder runs.
+        assert len(verdicts) == 45
+        healthy = [
+            v for v in verdicts if v.scenario == "healthy" and v.workload == "table1"
+        ]
+        assert all(v.hi_ok and v.reset_ok for v in healthy)
+
+    def test_records_round_trip(self, tmp_path):
+        from repro.io import read_records_csv, write_records_csv
+
+        verdicts = run_suite(quick=True)
+        path = tmp_path / "verdicts.csv"
+        write_records_csv(path, [v.to_record() for v in verdicts])
+        rows = read_records_csv(path)
+        assert len(rows) == len(verdicts)
+        assert rows[0]["workload"] == verdicts[0].workload
+        assert float(rows[0]["speedup"]) == pytest.approx(verdicts[0].speedup)
+        assert rows[0]["highest_rung"] in {r.name for r in Rung}
+
+    def test_render_mentions_broken_runs(self):
+        verdicts = run_suite(quick=True)
+        text = render(verdicts)
+        assert "runs" in text
+        assert "HI misses" in text
+
+
+class TestMinSafeSpeedup:
+    def test_healthy_fault_returns_s_min(self, table1):
+        s = min_safe_speedup(table1, FaultConfig(), horizon=400.0)
+        from repro.analysis.speedup import min_speedup
+
+        assert s == pytest.approx(min_speedup(table1).s_min, rel=1e-6)
+
+    def test_hard_cap_is_unfixable(self, table1):
+        # A cap at nominal speed: no requested speedup is ever delivered,
+        # so no finite s restores the guarantee.
+        s = min_safe_speedup(
+            table1, FaultConfig(speed_cap=1.0), horizon=400.0, s_max=16.0
+        )
+        assert math.isinf(s)
+
+    def test_wcet_misestimation_needs_extra_speed(self, table1):
+        # 10% extra demand on every job: broken at s_min, fixable with a
+        # finite amount of additional speed.
+        s = min_safe_speedup(
+            table1, FaultConfig(wcet_error_factor=1.1), horizon=400.0
+        )
+        from repro.analysis.speedup import min_speedup
+
+        assert math.isfinite(s)
+        assert s > min_speedup(table1).s_min
+
+
+class TestStandardWorkloads:
+    def test_quick_subset(self):
+        quick = standard_workloads(quick=True)
+        assert set(quick) == {"table1", "table1-degraded"}
+
+    def test_full_set(self):
+        full = standard_workloads(quick=False)
+        assert {"table1", "table1-degraded", "fms", "synthetic"} <= set(full)
+        from repro.analysis.speedup import min_speedup
+
+        for ts in full.values():
+            assert math.isfinite(min_speedup(ts).s_min)

@@ -1,0 +1,298 @@
+"""Tests for the fault layer: configs, injector, faulty sources, no-op."""
+
+import math
+
+import pytest
+
+from repro.model.task import MCTask
+from repro.model.taskset import TaskSet
+from repro.sim.faults import FaultConfig, FaultInjector
+from repro.sim.processor import Processor
+from repro.sim.scheduler import SimConfig, simulate
+from repro.sim.workload import (
+    FaultyJobSource,
+    OverrunModel,
+    SynchronousWorstCaseSource,
+)
+
+
+def adversarial():
+    return SynchronousWorstCaseSource(OverrunModel(first_job_overruns=True))
+
+
+class TestFaultConfig:
+    def test_default_is_disabled(self):
+        config = FaultConfig()
+        assert not config.enabled
+        assert not config.affects_actuation
+        assert not config.affects_detection
+        assert not config.affects_workload
+
+    def test_family_flags(self):
+        assert FaultConfig(ramp_latency=1.0).affects_actuation
+        assert FaultConfig(speed_cap=1.5).affects_actuation
+        assert FaultConfig(throttle_budget=2.0).affects_actuation
+        assert FaultConfig(jitter_amplitude=0.1).affects_actuation
+        assert FaultConfig(detection_latency=0.5).affects_detection
+        assert FaultConfig(detection_miss_probability=0.5).affects_detection
+        assert FaultConfig(wcet_error_factor=1.5).affects_workload
+        assert FaultConfig(release_jitter=0.5).affects_workload
+        assert FaultConfig(overrun_burst_len=2).affects_workload
+        for cfg in (
+            FaultConfig(ramp_latency=1.0),
+            FaultConfig(detection_latency=0.5),
+            FaultConfig(overrun_burst_len=2),
+        ):
+            assert cfg.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ramp_latency": -1.0},
+            {"ramp_steps": 0},
+            {"speed_cap": 0.0},
+            {"throttle_budget": 0.0},
+            {"throttle_speed": -1.0},
+            {"jitter_amplitude": 1.5},
+            {"jitter_period": 0.0},
+            {"detection_latency": -0.1},
+            {"detection_miss_probability": 1.5},
+            {"wcet_error_factor": 0.5},
+            {"overrun_burst_len": -1},
+            {"overrun_gap_jobs": -1},
+            {"release_jitter": -2.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+
+class TestFaultInjector:
+    def test_deliverable_caps_and_records(self):
+        inj = FaultInjector(FaultConfig(speed_cap=1.5))
+        assert inj.deliverable(2.0, time=1.0) == pytest.approx(1.5)
+        assert inj.deliverable(1.2, time=2.0) == pytest.approx(1.2)
+        kinds = [e.kind for e in inj.events]
+        assert kinds.count("speed_cap") == 1
+
+    def test_ramp_profile_staircase(self):
+        inj = FaultInjector(FaultConfig(ramp_latency=2.0, ramp_steps=4))
+        profile = inj.ramp_profile(10.0, 1.0, 2.0)
+        assert len(profile) == 4
+        times = [t for t, _ in profile]
+        speeds = [v for _, v in profile]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(12.0)
+        assert speeds[-1] == pytest.approx(2.0)
+        assert all(speeds[i] < speeds[i + 1] for i in range(len(speeds) - 1))
+
+    def test_no_ramp_is_instantaneous(self):
+        inj = FaultInjector(FaultConfig(speed_cap=3.0))
+        assert inj.ramp_profile(0.0, 1.0, 2.0) == []
+
+    def test_throttle_budget_and_deadline(self):
+        inj = FaultInjector(FaultConfig(throttle_budget=3.0, throttle_speed=1.1))
+        inj.begin_episode()
+        assert inj.throttle_deadline(5.0) == pytest.approx(8.0)
+        assert inj.throttled_speed(8.0) == pytest.approx(1.1)
+
+    def test_jitter_stays_within_amplitude(self):
+        inj = FaultInjector(FaultConfig(jitter_amplitude=0.2, seed=3))
+        for _ in range(50):
+            v = inj.jittered(2.0)
+            assert 1.6 - 1e-12 <= v <= 2.4 + 1e-12
+
+    def test_detection_outcome_deterministic_per_seed(self):
+        cfg = FaultConfig(detection_latency=0.5, detection_miss_probability=0.5, seed=9)
+        a = [FaultInjector(cfg).detection_outcome(float(i)) for i in range(10)]
+        b = [FaultInjector(cfg).detection_outcome(float(i)) for i in range(10)]
+        assert a == b
+
+
+class TestFaultyJobSource:
+    def test_wcet_error_scales_demand(self):
+        task = MCTask.hi("h", c_lo=2, c_hi=4, d_lo=4, d_hi=8, period=8)
+        src = FaultyJobSource(adversarial(), FaultConfig(wcet_error_factor=1.5))
+        assert src.exec_time(task, 0) == pytest.approx(6.0)
+
+    def test_overrun_burst_forces_c_hi(self):
+        task = MCTask.hi("h", c_lo=2, c_hi=4, d_lo=4, d_hi=8, period=8)
+        base = SynchronousWorstCaseSource(OverrunModel())  # never overruns
+        src = FaultyJobSource(base, FaultConfig(overrun_burst_len=2, overrun_gap_jobs=1))
+        demands = [src.exec_time(task, i) for i in range(6)]
+        assert demands == pytest.approx([4, 4, 2, 4, 4, 2])
+
+    def test_release_jitter_only_delays(self):
+        task = MCTask.lo("l", c=1, d_lo=5, t_lo=5)
+        src = FaultyJobSource(adversarial(), FaultConfig(release_jitter=1.0, seed=4))
+        for prev in (0.0, 5.0, 10.0):
+            nxt = src.next_release(task, prev, 5.0)
+            assert prev + 5.0 - 1e-12 <= nxt <= prev + 6.0 + 1e-12
+
+    def test_noop_config_delegates_verbatim(self):
+        task = MCTask.hi("h", c_lo=2, c_hi=4, d_lo=4, d_hi=8, period=8)
+        base = adversarial()
+        src = FaultyJobSource(base, FaultConfig())
+        assert src.exec_time(task, 0) == base.exec_time(task, 0)
+        assert src.next_release(task, 0.0, 8.0) == base.next_release(task, 0.0, 8.0)
+
+
+class TestStrictNoOp:
+    """A disabled fault layer must take the exact fault-free code paths."""
+
+    def _trace(self, result):
+        return [
+            (j.task.name, j.release, j.finish, j.abs_deadline, j.executed)
+            for j in result.jobs
+        ]
+
+    def test_disabled_config_identical_run(self, table1):
+        plain = simulate(table1, SimConfig(speedup=2.0, horizon=400.0), adversarial())
+        faulty = simulate(
+            table1,
+            SimConfig(speedup=2.0, horizon=400.0, faults=FaultConfig(seed=99)),
+            adversarial(),
+        )
+        assert self._trace(plain) == self._trace(faulty)
+        assert plain.energy == pytest.approx(faulty.energy)
+        assert faulty.speed_deficit == pytest.approx(0.0)
+        assert faulty.fault_events == []
+        assert faulty.degradations == []
+
+    def test_fault_free_run_has_zero_deficit(self, table1):
+        result = simulate(table1, SimConfig(speedup=2.0, horizon=400.0), adversarial())
+        assert result.speed_deficit == pytest.approx(0.0)
+
+
+class TestProcessorRequestedSpeed:
+    def test_deficit_zero_when_request_equals_actual(self):
+        p = Processor()
+        p.request_speed(1.0, 2.0)
+        p.set_speed(1.0, 2.0)
+        p.reset_speed(4.0)
+        p.finish(10.0)
+        assert p.speed_deficit() == pytest.approx(0.0)
+
+    def test_deficit_integrates_gap(self):
+        p = Processor()
+        p.request_speed(1.0, 2.0)  # asked for 2x at t=1 ...
+        p.set_speed(2.0, 2.0)      # ... delivered only from t=2
+        p.reset_speed(5.0)
+        p.finish(10.0)
+        # Gap of (2 - 1) over [1, 2).
+        assert p.speed_deficit() == pytest.approx(1.0)
+
+    def test_deficit_ignores_overdelivery(self):
+        p = Processor()
+        p.request_speed(0.0, 1.5)
+        p.set_speed(0.0, 2.0)  # delivered more than asked
+        p.finish(4.0)
+        assert p.speed_deficit() == pytest.approx(0.0)
+
+    def test_requested_segments_tracked(self):
+        p = Processor()
+        p.request_speed(2.0, 3.0)
+        p.finish(5.0)
+        segs = p.requested_segments
+        assert [(s.start, s.end, s.speed) for s in segs] == [
+            (0.0, 2.0, 1.0),
+            (2.0, 5.0, 3.0),
+        ]
+
+
+class TestProcessorEnergyZeroLength:
+    def test_zero_length_segments_add_no_energy(self):
+        p = Processor()
+        p.set_speed(0.0, 2.0)  # change at t=0: no segment of nominal speed
+        p.set_speed(0.0, 3.0)  # immediate re-change: still zero length
+        p.finish(2.0)
+        assert len(p.segments) == 1
+        assert p.energy() == pytest.approx(3.0 ** 3 * 2.0)
+
+    def test_finish_at_zero_horizon(self):
+        p = Processor()
+        p.finish(0.0)
+        assert p.segments == []
+        assert p.energy() == pytest.approx(0.0)
+        assert p.speed_deficit() == pytest.approx(0.0)
+
+    def test_repeated_set_speed_same_instant(self):
+        p = Processor()
+        p.set_speed(1.0, 2.0)
+        p.set_speed(1.0, 1.0)
+        p.set_speed(1.0, 2.0)
+        p.finish(3.0)
+        # Only [0,1) at 1.0 and [1,3) at 2.0 should remain.
+        assert p.energy() == pytest.approx(1.0 + 2.0 ** 3 * 2.0)
+
+
+class TestFaultEffectsEndToEnd:
+    def test_speed_cap_produces_deficit(self, table1):
+        config = SimConfig(
+            speedup=2.0, horizon=400.0, faults=FaultConfig(speed_cap=1.5)
+        )
+        result = simulate(table1, config, adversarial())
+        assert result.speed_deficit > 0.0
+        assert any(e.kind == "speed_cap" for e in result.fault_events)
+
+    def test_ramp_extends_episode(self, table1):
+        plain = simulate(table1, SimConfig(speedup=2.0, horizon=400.0), adversarial())
+        ramped = simulate(
+            table1,
+            SimConfig(
+                speedup=2.0,
+                horizon=400.0,
+                faults=FaultConfig(ramp_latency=1.0, ramp_steps=4),
+            ),
+            adversarial(),
+        )
+        assert ramped.max_episode_length >= plain.max_episode_length
+        assert ramped.speed_deficit > 0.0
+
+    def test_detection_latency_delays_switch(self, table1):
+        plain = simulate(table1, SimConfig(speedup=2.0, horizon=400.0), adversarial())
+        late = simulate(
+            table1,
+            SimConfig(
+                speedup=2.0,
+                horizon=400.0,
+                faults=FaultConfig(detection_latency=0.5),
+            ),
+            adversarial(),
+        )
+        assert late.episodes[0].start == pytest.approx(plain.episodes[0].start + 0.5)
+
+    def test_missed_detection_switches_at_completion(self):
+        ts = TaskSet(
+            [
+                MCTask.hi("h", c_lo=2, c_hi=4, d_lo=4, d_hi=8, period=8),
+                MCTask.lo("l", c=1, d_lo=8, t_lo=8),
+            ]
+        )
+        config = SimConfig(
+            speedup=2.0,
+            horizon=80.0,
+            faults=FaultConfig(detection_miss_probability=1.0),
+        )
+        result = simulate(ts, config, adversarial())
+        # The overrunning job runs to completion at nominal speed before
+        # the switch: the episode starts when it finishes, not at C(LO).
+        assert result.mode_switch_count >= 1
+        missed = [j for j in result.jobs if j.detection_missed]
+        assert missed
+        first = missed[0]
+        assert result.episodes[0].start == pytest.approx(first.finish)
+
+    def test_wcet_fault_exceeds_declared_c_hi(self, table1):
+        config = SimConfig(
+            speedup=2.0,
+            horizon=400.0,
+            faults=FaultConfig(wcet_error_factor=1.5),
+        )
+        result = simulate(table1, config, adversarial())
+        faulty_jobs = [j for j in result.jobs if j.wcet_faulty]
+        assert faulty_jobs
+        assert all(
+            j.exec_time > j.task.c_hi + 1e-12 for j in faulty_jobs if j.task.is_hi
+        )

@@ -86,6 +86,53 @@ class TestWatchdog:
         with pytest.raises(ValueError):
             SimConfig(boost_budget=0.0)
 
+    def test_repeated_overruns_fire_watchdog_every_episode(self):
+        """Every HI job overruns: the system cycles switch -> watchdog ->
+        drain -> reset, and the watchdog must re-arm each time."""
+        source = SynchronousWorstCaseSource(
+            OverrunModel(first_job_overruns=True, probability=1.0)
+        )
+        config = SimConfig(speedup=1.1, horizon=400.0, boost_budget=4.0)
+        result = simulate(overloaded_set(), config, source)
+        assert result.mode_switch_count >= 3
+        assert result.fallback_count >= 3
+        # One fallback per episode at most, and each exactly one budget
+        # after its own switch instant.
+        assert result.fallback_count <= result.mode_switch_count
+        episodes = iter(result.episodes)
+        for t_fb in result.fallback_times:
+            episode = next(e for e in episodes if e.start <= t_fb)
+            assert t_fb == pytest.approx(episode.start + 4.0)
+
+    def test_repeated_overruns_hi_deadlines_still_met(self):
+        source = SynchronousWorstCaseSource(
+            OverrunModel(first_job_overruns=True, probability=1.0)
+        )
+        config = SimConfig(speedup=2.0, horizon=400.0, boost_budget=3.0)
+        result = simulate(overloaded_set(), config, source)
+        assert result.fallback_count >= 2
+        assert not [j for j in result.misses if j.task.is_hi]
+
+    def test_lo_service_resumes_between_episodes(self):
+        """Termination at a fallback must not leak into the next LO-mode
+        interval: fresh foreground LO jobs appear after every reset."""
+        source = SynchronousWorstCaseSource(
+            OverrunModel(first_job_overruns=True, probability=1.0)
+        )
+        config = SimConfig(speedup=1.1, horizon=400.0, boost_budget=4.0)
+        result = simulate(overloaded_set(), config, source)
+        closed = [e for e in result.episodes if e.end is not None]
+        assert len(closed) >= 2
+        for episode in closed[:-1]:
+            resumed = [
+                j
+                for j in result.jobs
+                if j.task.is_lo
+                and not j.background
+                and j.release >= episode.end - 1e-9
+            ]
+            assert resumed, f"no LO release after reset at {episode.end}"
+
     def test_mode_resets_after_fallback_drain(self):
         """After the fallback the system still recovers at the next idle
         instant and LO service resumes."""
