@@ -11,14 +11,8 @@ Walks through the full public API on the paper's running example
 Run with:  python examples/quickstart.py
 """
 
-from repro import (
-    MCTask,
-    TaskSet,
-    lo_mode_schedulable,
-    min_speedup,
-    resetting_time,
-    system_schedulable,
-)
+from repro import MCTask, TaskSet, analyze
+from repro.api import lo_mode_schedulable
 from repro.sim.scheduler import SimConfig, simulate
 from repro.sim.workload import OverrunModel, SynchronousWorstCaseSource
 
@@ -39,15 +33,12 @@ def main() -> None:
     # ------------------------------------------------------------------
     print(f"\nLO mode schedulable at nominal speed: {lo_mode_schedulable(system)}")
 
-    speedup = min_speedup(system)
-    print(f"Theorem 2 minimum HI-mode speedup:    {speedup.s_min:.4f}")
-    print(f"  (critical interval Delta = {speedup.critical_delta:g})")
-
-    reset = resetting_time(system, s=2.0)
-    print(f"Corollary 5 resetting time at s = 2:  {reset.delta_r:.4f}")
-
-    report = system_schedulable(system, s=2.0)
-    print(f"Dual-mode schedulable at s = 2:       {report.schedulable}")
+    # One facade call bundles Theorem 2, Corollary 5 and both verdicts.
+    report = analyze(system, speedup=2.0, resetting="always")
+    print(f"Theorem 2 minimum HI-mode speedup:    {report.s_min:.4f}")
+    print(f"  (critical interval Delta = {report.speedup.critical_delta:g})")
+    print(f"Corollary 5 resetting time at s = 2:  {report.delta_r:.4f}")
+    print(f"Dual-mode schedulable at s = 2:       {report.lo_ok and report.hi_ok}")
 
     # ------------------------------------------------------------------
     # 3. Simulate the adversarial case: synchronous release, first HI
@@ -60,13 +51,13 @@ def main() -> None:
     print(f"  deadline misses:   {result.miss_count}")
     print(f"  HI-mode episodes:  {result.mode_switch_count}")
     print(f"  longest episode:   {result.max_episode_length:.3f}"
-          f"  (bound: {reset.delta_r:.3f})")
+          f"  (bound: {report.delta_r:.3f})")
     print(f"  boosted time:      {result.boosted_time:.3f}")
     print()
     print(result.trace.gantt(width=72, end=24.0))
 
     assert result.miss_count == 0
-    assert result.max_episode_length <= reset.delta_r + 1e-9
+    assert result.max_episode_length <= report.delta_r + 1e-9
     print("\nAll offline bounds verified by simulation.")
 
 

@@ -8,18 +8,27 @@ Public API highlights
 ---------------------
 * :class:`repro.model.MCTask`, :class:`repro.model.TaskSet` — the
   dual-criticality sporadic task model of Section II.
-* :func:`repro.analysis.min_speedup` — Theorem 2: minimum HI-mode
-  processor speedup.
-* :func:`repro.analysis.resetting_time` — Corollary 5: service
-  resetting time bound.
-* :func:`repro.analysis.closed_form_speedup`,
-  :func:`repro.analysis.closed_form_resetting_time` — Lemmas 6/7.
+* :func:`repro.api.analyze` — full dual-mode analysis of one task set
+  (Theorem 2 minimum speedup, Corollary 5 resetting time, LO/HI
+  feasibility, Lemma 6/7 bounds) as one
+  :class:`~repro.pipeline.request.AnalysisReport`.
+* :func:`repro.api.analyze_many` — the same over a population, with
+  process-pool fan-out, content-addressed caching and
+  checkpoint/resume (:mod:`repro.pipeline`).
+* :func:`repro.api.load_taskset` / :func:`repro.api.save_report` —
+  versioned JSON I/O.
 * :mod:`repro.sim` — discrete-event EDF simulator with mode switching
   and dynamic speed.
 * :mod:`repro.generator` — the synthetic task-set generator of Section
   VI and the flight-management-system workload.
 * :mod:`repro.experiments` — one module per paper table/figure.
+
+Importing individual analyses from the package top level
+(``repro.min_speedup`` and friends) still works but is deprecated in
+favour of :mod:`repro.api`, which is re-exported here.
 """
+
+import warnings
 
 from repro.model import (
     Criticality,
@@ -30,21 +39,20 @@ from repro.model import (
     shorten_hi_deadlines,
     terminate_lo_tasks,
 )
-from repro.analysis import (
-    adb_hi,
-    closed_form_resetting_time,
-    closed_form_speedup,
-    dbf_hi,
-    dbf_lo,
-    hi_mode_schedulable,
-    lo_mode_schedulable,
-    min_preparation_factor,
-    min_speedup,
-    resetting_time,
-    system_schedulable,
+from repro.api import (
+    AnalysisReport,
+    AnalysisRequest,
+    BatchRunner,
+    ResultCache,
+    analyze,
+    analyze_many,
+    load_report,
+    load_taskset,
+    save_report,
+    save_taskset,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Criticality",
@@ -54,16 +62,53 @@ __all__ = [
     "degrade_lo_tasks",
     "shorten_hi_deadlines",
     "terminate_lo_tasks",
-    "adb_hi",
-    "dbf_hi",
-    "dbf_lo",
-    "min_speedup",
-    "resetting_time",
-    "closed_form_speedup",
-    "closed_form_resetting_time",
-    "lo_mode_schedulable",
-    "hi_mode_schedulable",
-    "system_schedulable",
-    "min_preparation_factor",
+    "AnalysisReport",
+    "AnalysisRequest",
+    "BatchRunner",
+    "ResultCache",
+    "analyze",
+    "analyze_many",
+    "load_report",
+    "load_taskset",
+    "save_report",
+    "save_taskset",
+    "api",
     "__version__",
 ]
+
+#: Pre-1.1 top-level re-exports, kept working through a deprecation
+#: shim: ``repro.<name>`` resolves lazily to ``repro.api.<name>`` with a
+#: DeprecationWarning instead of being bound eagerly at import time.
+_DEPRECATED_ANALYSIS_EXPORTS = frozenset(
+    {
+        "adb_hi",
+        "dbf_hi",
+        "dbf_lo",
+        "min_speedup",
+        "resetting_time",
+        "closed_form_speedup",
+        "closed_form_resetting_time",
+        "lo_mode_schedulable",
+        "hi_mode_schedulable",
+        "system_schedulable",
+        "min_preparation_factor",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _DEPRECATED_ANALYSIS_EXPORTS:
+        warnings.warn(
+            f"'repro.{name}' is deprecated; import it from 'repro.api' "
+            f"(or call repro.api.analyze for a full report)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro import analysis
+
+        return getattr(analysis, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(__all__) | _DEPRECATED_ANALYSIS_EXPORTS)

@@ -26,9 +26,15 @@ from repro.analysis.dbf import (
     total_dbf_hi,
     total_dbf_lo,
 )
+from repro.analysis.result import AnalysisResult
 from repro.analysis.speedup import SpeedupResult, min_speedup
 from repro.analysis.resetting import ResettingResult, resetting_time
-from repro.analysis.closed_form import closed_form_resetting_time, closed_form_speedup
+from repro.analysis.closed_form import (
+    ClosedFormBounds,
+    closed_form_bounds,
+    closed_form_resetting_time,
+    closed_form_speedup,
+)
 from repro.analysis.schedulability import (
     SchedulabilityReport,
     hi_mode_schedulable,
@@ -55,10 +61,13 @@ __all__ = [
     "total_adb_hi",
     "total_dbf_hi",
     "total_dbf_lo",
+    "AnalysisResult",
     "SpeedupResult",
     "min_speedup",
     "ResettingResult",
     "resetting_time",
+    "ClosedFormBounds",
+    "closed_form_bounds",
     "closed_form_speedup",
     "closed_form_resetting_time",
     "SchedulabilityReport",

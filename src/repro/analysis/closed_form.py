@@ -40,7 +40,10 @@ the ``ADB`` breakpoint offsets coincide with the ``DBF`` ones.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
+from repro.analysis.result import decode_float, encode_float
 from repro.model.task import MCTask, ModelError
 from repro.model.taskset import TaskSet
 from repro.model.transform import apply_uniform_scaling
@@ -105,6 +108,108 @@ def closed_form_resetting_time(taskset: TaskSet, x: float, y: float, s: float) -
         return math.inf
     total_c_hi = sum(task.c_hi for task in taskset)
     return total_c_hi / (s - s_min_bar)
+
+
+@dataclass(frozen=True)
+class ClosedFormBounds:
+    """Lemma-6/7 bounds packaged as one analysis result.
+
+    Implements the :mod:`repro.analysis.result` protocol so the batch
+    pipeline serializes it uniformly next to the exact Theorem-2 /
+    Corollary-5 results.
+
+    Attributes
+    ----------
+    x, y:
+        The Section-V design knobs the bounds were evaluated at.
+    s:
+        Target speedup for the Lemma-7 bound (``None`` when only the
+        speedup bound was requested).
+    s_min_bound:
+        Lemma-6 upper bound on the minimum HI-mode speedup.
+    delta_r_bound:
+        Lemma-7 upper bound on the resetting time at ``s`` (``None``
+        without a target speedup, ``inf`` when ``s <= s_min_bound``).
+    applicable:
+        True when the base set satisfies the Section-V implicit-deadline
+        assumption, i.e. the bounds are sound for it; the formulas are
+        still evaluated when False, but only as a heuristic.
+    """
+
+    x: float
+    y: float
+    s: Optional[float]
+    s_min_bound: float
+    delta_r_bound: Optional[float]
+    applicable: bool
+
+    # -- AnalysisResult protocol (repro.analysis.result) ----------------
+    @property
+    def ok(self) -> bool:
+        """True when the bound is sound and certifies a finite speedup."""
+        return self.applicable and math.isfinite(self.s_min_bound)
+
+    @property
+    def value(self) -> float:
+        """Headline number: the Lemma-6 speedup bound."""
+        return self.s_min_bound
+
+    @property
+    def diagnostics(self) -> Dict[str, Any]:
+        """Secondary facts: the knobs and the Lemma-7 bound."""
+        return {
+            "x": self.x,
+            "y": self.y,
+            "s": self.s,
+            "delta_r_bound": self.delta_r_bound,
+            "applicable": self.applicable,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready encoding; inverted exactly by :meth:`from_dict`."""
+        return {
+            "x": encode_float(self.x),
+            "y": encode_float(self.y),
+            "s": encode_float(self.s),
+            "s_min_bound": encode_float(self.s_min_bound),
+            "delta_r_bound": encode_float(self.delta_r_bound),
+            "applicable": self.applicable,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClosedFormBounds":
+        return cls(
+            x=decode_float(data["x"]),
+            y=decode_float(data["y"]),
+            s=decode_float(data["s"]),
+            s_min_bound=decode_float(data["s_min_bound"]),
+            delta_r_bound=decode_float(data["delta_r_bound"]),
+            applicable=bool(data["applicable"]),
+        )
+
+
+def closed_form_bounds(
+    taskset: TaskSet, x: float, y: float, s: Optional[float] = None
+) -> ClosedFormBounds:
+    """Both Section-V bounds for ``(x, y)`` as one :class:`ClosedFormBounds`.
+
+    This is the facade-level entry point (:func:`repro.api.closed_form_bounds`);
+    :func:`closed_form_speedup` / :func:`closed_form_resetting_time` remain
+    the raw per-lemma functions.
+    """
+    s_min_bound = closed_form_speedup(taskset, x, y)
+    delta_r_bound = (
+        None if s is None else closed_form_resetting_time(taskset, x, y, s)
+    )
+    applicable = all(t.implicit_deadline for t in taskset)
+    return ClosedFormBounds(
+        x=x,
+        y=y,
+        s=s,
+        s_min_bound=s_min_bound,
+        delta_r_bound=delta_r_bound,
+        applicable=applicable,
+    )
 
 
 def closed_form_vs_exact_gap(taskset: TaskSet, x: float, y: float) -> float:

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Dict
 
 import numpy as np
 
 from repro.analysis import points as pts
 from repro.analysis.budget import CandidateBudget
 from repro.analysis.dbf import adb_hi_excess_bound, hi_mode_rate, total_adb_hi
+from repro.analysis.result import decode_float, encode_float
 from repro.model.taskset import TaskSet
 
 #: Default cap on the number of breakpoints examined by the scan.
@@ -64,6 +66,44 @@ class ResettingResult:
     def finite(self) -> bool:
         """True when the system provably recovers."""
         return math.isfinite(self.delta_r)
+
+    # -- AnalysisResult protocol (repro.analysis.result) ----------------
+    @property
+    def ok(self) -> bool:
+        """True when the system provably recovers (finite ``Delta_R``)."""
+        return self.finite
+
+    @property
+    def value(self) -> float:
+        """Headline number: the resetting-time bound ``Delta_R``."""
+        return self.delta_r
+
+    @property
+    def diagnostics(self) -> Dict[str, Any]:
+        """Secondary facts about where the supply/demand crossing landed."""
+        return {
+            "speedup": self.speedup,
+            "at_breakpoint": self.at_breakpoint,
+            "demand_at_crossing": self.demand_at_crossing,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready encoding; inverted exactly by :meth:`from_dict`."""
+        return {
+            "delta_r": encode_float(self.delta_r),
+            "speedup": encode_float(self.speedup),
+            "at_breakpoint": self.at_breakpoint,
+            "demand_at_crossing": encode_float(self.demand_at_crossing),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResettingResult":
+        return cls(
+            delta_r=decode_float(data["delta_r"]),
+            speedup=decode_float(data["speedup"]),
+            at_breakpoint=bool(data["at_breakpoint"]),
+            demand_at_crossing=decode_float(data["demand_at_crossing"]),
+        )
 
     def __float__(self) -> float:  # pragma: no cover - trivial
         return self.delta_r

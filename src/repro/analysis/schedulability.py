@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.analysis import points as pts
 from repro.analysis.dbf import total_dbf_lo
 from repro.analysis.resetting import ResettingResult, resetting_time
+from repro.analysis.result import decode_float, encode_float
 from repro.analysis.speedup import SpeedupResult, min_speedup, speedup_schedulable
 from repro.model.task import Criticality
 from repro.model.taskset import TaskSet
@@ -135,6 +136,48 @@ class SchedulabilityReport:
         if self.resetting is None:
             return False
         return self.resetting.delta_r <= budget * (1.0 + _RTOL)
+
+    # -- AnalysisResult protocol (repro.analysis.result) ----------------
+    @property
+    def ok(self) -> bool:
+        """True when both modes are feasible (the dual-mode verdict)."""
+        return self.schedulable
+
+    @property
+    def value(self) -> float:
+        """Headline number: the Theorem-2 minimum speedup."""
+        return self.s_min.s_min
+
+    @property
+    def diagnostics(self) -> Dict[str, Any]:
+        """Secondary facts: per-mode verdicts and the resetting bound."""
+        return {
+            "lo_ok": self.lo_ok,
+            "hi_ok": self.hi_ok,
+            "hi_ok_at": self.hi_ok_at,
+            "delta_r": None if self.resetting is None else self.resetting.delta_r,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready encoding; inverted exactly by :meth:`from_dict`."""
+        return {
+            "lo_ok": self.lo_ok,
+            "s_min": self.s_min.to_dict(),
+            "hi_ok_at": encode_float(self.hi_ok_at),
+            "hi_ok": self.hi_ok,
+            "resetting": None if self.resetting is None else self.resetting.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SchedulabilityReport":
+        resetting = data.get("resetting")
+        return cls(
+            lo_ok=bool(data["lo_ok"]),
+            s_min=SpeedupResult.from_dict(data["s_min"]),
+            hi_ok_at=decode_float(data["hi_ok_at"]),
+            hi_ok=bool(data["hi_ok"]),
+            resetting=None if resetting is None else ResettingResult.from_dict(resetting),
+        )
 
 
 def system_schedulable(

@@ -31,13 +31,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.analysis import points as pts
 from repro.analysis.budget import AnalysisBudgetExceeded
 from repro.analysis.dbf import dbf_hi_excess_bound, hi_mode_rate, total_dbf_hi
+from repro.analysis.result import decode_float, encode_float
 from repro.model.taskset import TaskSet
 
 
@@ -74,6 +75,47 @@ class SpeedupResult:
     def requires_speedup(self) -> bool:
         """True when the HI mode needs more than nominal speed."""
         return self.s_min > 1.0
+
+    # -- AnalysisResult protocol (repro.analysis.result) ----------------
+    @property
+    def ok(self) -> bool:
+        """True when a finite speedup exists (HI mode is feasible at all)."""
+        return math.isfinite(self.s_min)
+
+    @property
+    def value(self) -> float:
+        """Headline number: the minimum speedup ``s_min``."""
+        return self.s_min
+
+    @property
+    def diagnostics(self) -> Dict[str, Any]:
+        """Secondary facts about how the supremum scan terminated."""
+        return {
+            "critical_delta": self.critical_delta,
+            "exact": self.exact,
+            "upper_bound": self.upper_bound,
+            "candidates_examined": self.candidates_examined,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready encoding; inverted exactly by :meth:`from_dict`."""
+        return {
+            "s_min": encode_float(self.s_min),
+            "critical_delta": encode_float(self.critical_delta),
+            "exact": self.exact,
+            "upper_bound": encode_float(self.upper_bound),
+            "candidates_examined": self.candidates_examined,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpeedupResult":
+        return cls(
+            s_min=decode_float(data["s_min"]),
+            critical_delta=decode_float(data["critical_delta"]),
+            exact=bool(data["exact"]),
+            upper_bound=decode_float(data["upper_bound"]),
+            candidates_examined=int(data["candidates_examined"]),
+        )
 
     def __float__(self) -> float:  # pragma: no cover - trivial
         return self.s_min

@@ -1,0 +1,236 @@
+"""Stable public facade for the reproduction.
+
+Everything an experiment, script or downstream user needs lives here
+behind a small, stable surface:
+
+* :func:`analyze` — one task set in, one
+  :class:`~repro.pipeline.request.AnalysisReport` out (Theorem 2,
+  Corollary 5, LO/HI feasibility, Lemma 6/7 bounds, per-task tuning).
+* :func:`analyze_many` — the same over a population, optionally across
+  worker processes with caching and checkpoint/resume
+  (:class:`~repro.pipeline.runner.BatchRunner`).
+* :func:`load_taskset` / :func:`save_taskset` /
+  :func:`save_report` / :func:`load_report` — versioned JSON I/O.
+* Blessed re-exports of the individual analyses (:func:`min_speedup`,
+  :func:`resetting_time`, :func:`system_schedulable`, ...) for callers
+  that want one number instead of a full report.
+
+Experiment modules import :mod:`repro.api` instead of
+``repro.analysis.*`` internals (enforced by a lint ban), so the
+analysis package can evolve without touching every figure script.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+# Blessed analysis surface -------------------------------------------------
+from repro.analysis.budget import AnalysisBudgetExceeded
+from repro.analysis.closed_form import (
+    ClosedFormBounds,
+    closed_form_bounds,
+    closed_form_resetting_time,
+    closed_form_speedup,
+)
+from repro.analysis.dbf import total_adb_hi, total_dbf_hi, total_dbf_lo
+from repro.analysis.resetting import ResettingResult, resetting_curve, resetting_time
+from repro.analysis.result import AnalysisResult
+from repro.analysis.schedulability import (
+    SchedulabilityReport,
+    hi_mode_schedulable,
+    lo_mode_schedulable,
+    system_schedulable,
+)
+from repro.analysis.sensitivity import (
+    max_tolerable_gamma,
+    max_tolerable_load_scale,
+    min_speedup_margin,
+)
+from repro.analysis.speedup import SpeedupResult, min_speedup
+from repro.analysis.tuning import min_preparation_factor
+from repro.analysis.per_task_tuning import tune_per_task_deadlines
+from repro.io import (
+    load_report,
+    load_taskset,
+    save_report,
+    save_taskset,
+    taskset_from_json,
+    taskset_to_json,
+)
+from repro.model.taskset import TaskSet
+from repro.pipeline.cache import ResultCache, taskset_fingerprint
+from repro.pipeline.request import (
+    AnalysisFailure,
+    AnalysisReport,
+    AnalysisRequest,
+    evaluate_request,
+)
+from repro.pipeline.runner import BatchRunner, BatchStats
+
+__all__ = [
+    "AnalysisBudgetExceeded",
+    "AnalysisFailure",
+    "AnalysisReport",
+    "AnalysisRequest",
+    "AnalysisResult",
+    "BatchRunner",
+    "BatchStats",
+    "ClosedFormBounds",
+    "ResettingResult",
+    "ResultCache",
+    "SchedulabilityReport",
+    "SpeedupResult",
+    "analyze",
+    "analyze_many",
+    "closed_form_bounds",
+    "closed_form_resetting_time",
+    "closed_form_speedup",
+    "demand_curve",
+    "evaluate_request",
+    "hi_mode_schedulable",
+    "load_report",
+    "load_taskset",
+    "lo_mode_schedulable",
+    "max_tolerable_gamma",
+    "max_tolerable_load_scale",
+    "min_preparation_factor",
+    "min_speedup",
+    "min_speedup_margin",
+    "resetting_curve",
+    "resetting_time",
+    "save_report",
+    "save_taskset",
+    "system_schedulable",
+    "taskset_fingerprint",
+    "taskset_from_json",
+    "taskset_to_json",
+    "tune_per_task_deadlines",
+]
+
+
+def _build_request(
+    taskset: TaskSet,
+    *,
+    speedup: Optional[float],
+    budget: Optional[float],
+    **options: Any,
+) -> AnalysisRequest:
+    return AnalysisRequest(
+        taskset=taskset, speedup=speedup, reset_budget=budget, **options
+    )
+
+
+def analyze(
+    taskset: TaskSet,
+    *,
+    speedup: Optional[float] = None,
+    budget: Optional[float] = None,
+    **options: Any,
+) -> AnalysisReport:
+    """Full dual-mode analysis of one task set.
+
+    Parameters
+    ----------
+    taskset:
+        The dual-criticality task set to analyse.
+    speedup:
+        Target HI-mode speedup ``s``; enables the HI-mode verdict and the
+        Corollary-5 resetting time.
+    budget:
+        Recovery budget checked against the resetting time.
+    options:
+        Any further :class:`~repro.pipeline.request.AnalysisRequest`
+        field (``x``, ``auto_x``, ``y``, ``closed_form``, ``per_task``,
+        ``max_candidates``, ...).
+
+    Analysis errors (budget exhaustion, degenerate inputs) propagate as
+    exceptions here; use :func:`analyze_many` for capture-and-continue
+    semantics over a population.
+
+    >>> report = analyze(table1_taskset(), speedup=2.0)   # doctest: +SKIP
+    >>> report.s_min, report.delta_r                      # doctest: +SKIP
+    (1.3333333333333333, 6.0)
+    """
+    return evaluate_request(
+        _build_request(taskset, speedup=speedup, budget=budget, **options)
+    )
+
+
+def analyze_many(
+    tasksets: Iterable[Union[TaskSet, AnalysisRequest]],
+    *,
+    speedup: Optional[float] = None,
+    budget: Optional[float] = None,
+    jobs: int = 1,
+    cache: Optional[Union[ResultCache, str]] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    chunk_size: Optional[int] = None,
+    progress=None,
+    runner: Optional[BatchRunner] = None,
+    **options: Any,
+) -> List[AnalysisReport]:
+    """Analyse a population, optionally in parallel worker processes.
+
+    ``tasksets`` may mix plain :class:`~repro.model.taskset.TaskSet`
+    objects (analysed with the shared ``speedup``/``budget``/``options``)
+    and pre-built :class:`AnalysisRequest` items (used as-is).  Reports
+    come back in input order; a failed item carries a structured
+    ``failure`` record instead of raising.
+
+    ``cache`` accepts a :class:`ResultCache` or a directory path;
+    ``checkpoint``/``resume`` give interruptible sweeps (JSONL, append
+    per completed item).  Pass a pre-configured ``runner`` to reuse one
+    across calls (its stats then accumulate per call).
+    """
+    requests = [
+        item
+        if isinstance(item, AnalysisRequest)
+        else _build_request(item, speedup=speedup, budget=budget, **options)
+        for item in tasksets
+    ]
+    if runner is None:
+        if isinstance(cache, str):
+            cache = ResultCache(cache)
+        runner = BatchRunner(
+            jobs=jobs,
+            cache=cache,
+            checkpoint=checkpoint,
+            resume=resume,
+            chunk_size=chunk_size,
+            progress=progress,
+        )
+    return runner.run(requests)
+
+
+def demand_curve(
+    taskset: TaskSet,
+    deltas,
+    *,
+    kind: str = "dbf_hi",
+    drop_terminated_carryover: bool = False,
+) -> np.ndarray:
+    """Total demand of ``taskset`` over interval lengths ``deltas``.
+
+    ``kind`` selects the bound: ``"dbf_lo"`` (Eq. 4), ``"dbf_hi"``
+    (Lemma 1) or ``"adb_hi"`` (Theorem 4 arrived demand).  This is the
+    facade over :mod:`repro.analysis.dbf` used by the demand-curve
+    figures.
+    """
+    deltas = np.asarray(deltas, dtype=float)
+    if kind == "dbf_lo":
+        return np.asarray(total_dbf_lo(taskset, deltas), dtype=float)
+    if kind == "dbf_hi":
+        return np.asarray(total_dbf_hi(taskset, deltas), dtype=float)
+    if kind == "adb_hi":
+        return np.asarray(
+            total_adb_hi(
+                taskset, deltas, drop_terminated_carryover=drop_terminated_carryover
+            ),
+            dtype=float,
+        )
+    raise ValueError(
+        f"kind must be 'dbf_lo', 'dbf_hi' or 'adb_hi', got {kind!r}"
+    )

@@ -3,17 +3,22 @@
 Usage::
 
     repro-mc table1
-    repro-mc fig1 | fig3 | fig4 | fig5 | fig6 | fig7
+    repro-mc fig1 | fig3 | fig4 | fig5 | fig6 | fig7  [--jobs N]
     repro-mc validate            # simulator-vs-analysis cross-check
-    repro-mc resilience [--quick] [--csv out.csv]   # fault sweeps
+    repro-mc resilience [--quick] [--csv out.csv] [--jobs N]  # fault sweeps
     repro-mc all [--quick]
     repro-mc analyze --taskset my_tasks.json [--speedup 2] [--budget 5000]
+    repro-mc batch --tasksets dir/ --jobs N [--resume ckpt.jsonl]
 
 ``--quick`` shrinks the synthetic population sizes so the whole
 evaluation finishes in about a minute (the benchmark harness under
 ``benchmarks/`` runs the paper-scale versions).  ``analyze`` runs the
 full dual-mode analysis on a user-supplied JSON task set (see
-:mod:`repro.io` for the format).
+:mod:`repro.io` for the format); ``batch`` runs it over a directory of
+task-set files through the parallel pipeline (:mod:`repro.pipeline`)
+with caching, checkpointing and per-file failure capture.  ``--jobs``
+fans the synthetic-population figures, the resilience sweep and
+``batch`` over worker processes; results are identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -25,8 +30,7 @@ from typing import Callable, Dict
 
 
 def _run_table1() -> str:
-    from repro.analysis.resetting import resetting_time
-    from repro.analysis.speedup import min_speedup
+    from repro.api import min_speedup, resetting_time
     from repro.experiments import table1
 
     out = [table1.render(), ""]
@@ -66,25 +70,25 @@ def _run_fig5() -> str:
     return fig5.render()
 
 
-def _make_fig6(quick: bool) -> Callable[[], str]:
+def _make_fig6(quick: bool, jobs: int = 1) -> Callable[[], str]:
     def run() -> str:
         from repro.experiments import fig6
 
         n = 60 if quick else 500
         n_sweep = 30 if quick else 200
-        points = fig6.run(sets_per_point=n)
-        sweep = fig6.run_sweep(sets_per_point=n_sweep)
+        points = fig6.run(sets_per_point=n, jobs=jobs)
+        sweep = fig6.run_sweep(sets_per_point=n_sweep, jobs=jobs)
         return fig6.render(points, sweep)
 
     return run
 
 
-def _make_fig7(quick: bool) -> Callable[[], str]:
+def _make_fig7(quick: bool, jobs: int = 1) -> Callable[[], str]:
     def run() -> str:
         from repro.experiments import fig7
 
         n = 20 if quick else 100
-        grid = fig7.run(sets_per_point=n)
+        grid = fig7.run(sets_per_point=n, jobs=jobs)
         return fig7.render(grid)
 
     return run
@@ -109,12 +113,12 @@ def _run_validate() -> str:
     return "\n".join(out)
 
 
-def _make_resilience(quick: bool, csv_path) -> Callable[[], str]:
+def _make_resilience(quick: bool, csv_path, jobs: int = 1) -> Callable[[], str]:
     def run() -> str:
         from repro.io import write_records_csv
         from repro.sim.resilience import render, run_suite
 
-        verdicts = run_suite(quick=quick)
+        verdicts = run_suite(quick=quick, jobs=jobs)
         if csv_path:
             write_records_csv(csv_path, [v.to_record() for v in verdicts])
         out = render(verdicts)
@@ -129,10 +133,12 @@ def _run_analyze(path: str, speedup, budget) -> str:
     """Dual-mode analysis report for a user-supplied JSON task set."""
     import math
 
-    from repro.analysis.resetting import resetting_time
-    from repro.analysis.schedulability import system_schedulable
-    from repro.analysis.sensitivity import max_tolerable_gamma, min_speedup_margin
-    from repro.io import load_taskset
+    from repro.api import (
+        load_taskset,
+        max_tolerable_gamma,
+        min_speedup_margin,
+        system_schedulable,
+    )
 
     taskset = load_taskset(path)
     out = [f"Task set {taskset.name!r} ({len(taskset)} tasks):", taskset.table(), ""]
@@ -163,6 +169,84 @@ def _run_analyze(path: str, speedup, budget) -> str:
     return "\n".join(out)
 
 
+def _run_batch(args, parser) -> str:
+    """Analyse every task-set JSON in a directory through the pipeline."""
+    from pathlib import Path
+
+    from repro import api
+    from repro.io import write_records_csv
+
+    directory = Path(args.tasksets)
+    if not directory.is_dir():
+        parser.error(f"--tasksets: {directory} is not a directory")
+    files = sorted(directory.glob("*.json"))
+    if not files:
+        parser.error(f"--tasksets: no .json task sets in {directory}")
+    tasksets = [api.load_taskset(f) for f in files]
+
+    checkpoint = args.resume if args.resume else args.checkpoint
+    runner = api.BatchRunner(
+        jobs=args.jobs,
+        cache=api.ResultCache(args.cache) if args.cache else None,
+        checkpoint=checkpoint,
+        resume=bool(args.resume),
+        progress=(
+            (lambda done, total: print(f"  {done}/{total} analysed", file=sys.stderr))
+            if args.verbose
+            else None
+        ),
+    )
+    reports = api.analyze_many(
+        tasksets, speedup=args.speedup, budget=args.budget, runner=runner
+    )
+
+    header = (
+        f"{'taskset':<24}{'lo':>4}{'s_min':>10}{'hi':>4}{'Delta_R':>10}"
+        f"{'budget':>7}{'status':>8}"
+    )
+    out = [
+        f"Batch analysis of {len(files)} task sets from {directory} "
+        f"(s = {args.speedup:g}"
+        + (f", budget = {args.budget:g}" if args.budget is not None else "")
+        + f", jobs = {args.jobs})",
+        header,
+        "-" * len(header),
+    ]
+
+    def flag(verdict) -> str:
+        return "-" if verdict is None else ("y" if verdict else "N")
+
+    for report in reports:
+        status = "failed" if report.failure is not None else ("ok" if report.ok else "no")
+        out.append(
+            f"{report.name:<24}{flag(report.lo_ok):>4}{report.s_min:>10.4g}"
+            f"{flag(report.hi_ok):>4}{report.delta_r:>10.4g}"
+            f"{flag(report.within_budget):>7}{status:>8}"
+        )
+    for report in reports:
+        if report.failure is not None:
+            out.append(
+                f"  {report.name}: {report.failure.error_type} "
+                f"in {report.failure.stage}: {report.failure.message}"
+            )
+    stats = runner.stats
+    out.append(
+        f"{stats.total} analysed: {stats.computed} computed, "
+        f"{stats.cache_hits} cache hits, {stats.resumed} resumed, "
+        f"{stats.failures} failures"
+    )
+    if args.csv:
+        write_records_csv(args.csv, [r.to_record() for r in reports])
+        out.append(f"records written to {args.csv}")
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for path, report in zip(files, reports):
+            api.save_report(report, out_dir / f"{path.stem}.report.json")
+        out.append(f"{len(reports)} reports written to {out_dir}")
+    return "\n".join(out)
+
+
 def main(argv=None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -173,9 +257,10 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "validate", "resilience", "all", "analyze",
+            "validate", "resilience", "all", "analyze", "batch",
         ],
-        help="which artefact to regenerate (or 'analyze' a task-set file)",
+        help="which artefact to regenerate (or 'analyze' a task-set file, "
+        "or 'batch'-analyse a directory of them)",
     )
     parser.add_argument(
         "--quick",
@@ -208,7 +293,49 @@ def main(argv=None) -> int:
         help="emit the full design report (analysis + sensitivity + simulated "
         "worst case) instead of the short summary",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for fig6/fig7/resilience/batch (default 1; "
+        "results are independent of the job count)",
+    )
+    parser.add_argument(
+        "--tasksets",
+        help="directory of task-set JSON files for 'batch'",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        help="JSONL checkpoint appended per completed 'batch' item",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="CKPT",
+        help="resume 'batch' from this JSONL checkpoint (implies --checkpoint)",
+    )
+    parser.add_argument(
+        "--cache",
+        help="on-disk result-cache directory for 'batch'",
+    )
+    parser.add_argument(
+        "--out",
+        help="directory for per-task-set 'batch' report JSON files",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-item progress for 'batch' to stderr",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    if args.experiment == "batch":
+        if not args.tasksets:
+            parser.error("'batch' requires --tasksets <directory>")
+        print(_run_batch(args, parser))
+        return 0
 
     if args.experiment == "analyze":
         if not args.taskset:
@@ -234,10 +361,10 @@ def main(argv=None) -> int:
         "fig3": _run_fig3,
         "fig4": _run_fig4,
         "fig5": _run_fig5,
-        "fig6": _make_fig6(args.quick),
-        "fig7": _make_fig7(args.quick),
+        "fig6": _make_fig6(args.quick, args.jobs),
+        "fig7": _make_fig7(args.quick, args.jobs),
         "validate": _run_validate,
-        "resilience": _make_resilience(args.quick, args.csv),
+        "resilience": _make_resilience(args.quick, args.csv, args.jobs),
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     for name in names:

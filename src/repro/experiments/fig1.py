@@ -18,8 +18,7 @@ from typing import List
 
 import numpy as np
 
-from repro.analysis.dbf import total_dbf_hi
-from repro.analysis.speedup import min_speedup
+from repro import api
 from repro.experiments import common
 from repro.experiments.table1 import table1_degraded_taskset, table1_taskset
 from repro.model.taskset import TaskSet
@@ -41,9 +40,9 @@ class Fig1Panel:
 
 
 def _panel(taskset: TaskSet, name: str, horizon: float, samples: int) -> Fig1Panel:
-    result = min_speedup(taskset)
+    result = api.min_speedup(taskset)
     deltas = np.linspace(0.0, horizon, samples)
-    demand = np.asarray(total_dbf_hi(taskset, deltas), dtype=float)
+    demand = api.demand_curve(taskset, deltas, kind="dbf_hi")
     return Fig1Panel(
         name=name,
         deltas=deltas,

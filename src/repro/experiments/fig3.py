@@ -15,8 +15,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.analysis.dbf import total_adb_hi
-from repro.analysis.resetting import resetting_time
+from repro import api
 from repro.experiments import common
 from repro.experiments.table1 import table1_degraded_taskset, table1_taskset
 
@@ -48,10 +47,10 @@ def run_a(
     """Panel (a): ADB curves and resetting points, no degradation."""
     taskset = table1_taskset()
     deltas = np.linspace(0.0, horizon, samples)
-    demand = np.asarray(total_adb_hi(taskset, deltas), dtype=float)
+    demand = api.demand_curve(taskset, deltas, kind="adb_hi")
     curves = []
     for s in speedups:
-        dr = resetting_time(taskset, s).delta_r
+        dr = api.resetting_time(taskset, s).delta_r
         curves.append(Fig3aCurve(s=s, deltas=deltas, demand=demand, delta_r=dr))
     return curves
 
@@ -69,7 +68,7 @@ def run_b(
         ("with degradation", table1_degraded_taskset()),
     ):
         drs = np.asarray(
-            [resetting_time(taskset, float(s)).delta_r for s in speedups]
+            [api.resetting_time(taskset, float(s)).delta_r for s in speedups]
         )
         series.append(Fig3bSeries(name=name, speedups=speedups, delta_r=drs))
     return series

@@ -18,7 +18,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.analysis.closed_form import closed_form_speedup
+from repro import api
 from repro.experiments import common
 from repro.experiments.table1 import table1_taskset
 from repro.model.taskset import TaskSet
@@ -54,7 +54,7 @@ def run_a(
     grid = np.empty((xs.size, ys.size))
     for i, x in enumerate(xs):
         for j, y in enumerate(ys):
-            grid[i, j] = closed_form_speedup(taskset, float(x), float(y))
+            grid[i, j] = api.closed_form_speedup(taskset, float(x), float(y))
     return Fig4aGrid(xs=xs, ys=ys, s_min=grid)
 
 

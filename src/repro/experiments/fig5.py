@@ -16,9 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.analysis.resetting import resetting_time
-from repro.analysis.speedup import min_speedup
-from repro.analysis.tuning import min_preparation_factor
+from repro import api
 from repro.experiments import common
 from repro.generator.fms import fms_taskset
 from repro.model.transform import apply_uniform_scaling
@@ -57,7 +55,7 @@ def run_a(
     for i, x in enumerate(xs):
         for j, y in enumerate(ys):
             configured = apply_uniform_scaling(base, float(x), float(y))
-            grid[i, j] = min_speedup(configured).s_min
+            grid[i, j] = api.min_speedup(configured).s_min
     return Fig5aGrid(xs=xs, ys=ys, s_min=grid)
 
 
@@ -77,11 +75,11 @@ def run_b(
     x_used = float("nan")
     for j, gamma in enumerate(gammas):
         base = fms_taskset(float(gamma))
-        x = min_preparation_factor(base, method="density")
+        x = api.min_preparation_factor(base, method="density")
         x_used = x
         configured = apply_uniform_scaling(base, x, y)
         for i, s in enumerate(speedups):
-            grid[i, j] = resetting_time(configured, float(s)).delta_r
+            grid[i, j] = api.resetting_time(configured, float(s)).delta_r
     return Fig5bGrid(
         speedups=speedups, gammas=gammas, delta_r=grid, x_used=x_used, y_used=y
     )
@@ -92,9 +90,9 @@ def run_headline(s: float = 2.0, y: float = 2.0, gammas: Sequence[float] = (1.0,
     worst = 0.0
     for gamma in gammas:
         base = fms_taskset(float(gamma))
-        x = min_preparation_factor(base, method="density")
+        x = api.min_preparation_factor(base, method="density")
         configured = apply_uniform_scaling(base, x, y)
-        worst = max(worst, resetting_time(configured, s).delta_r)
+        worst = max(worst, api.resetting_time(configured, s).delta_r)
     return worst
 
 

@@ -12,23 +12,26 @@ degradation ``y``, and reports:
 * (c) the distribution of the Corollary-5 resetting time at ``s = 3``,
   ``y = 2`` (milliseconds);
 * (d) the median resetting time for several ``(s, y)`` combinations.
+
+The per-set evaluation goes through the batch pipeline
+(:func:`repro.api.analyze_many`): generation stays sequential (it
+consumes the seeded RNG), analysis fans out over ``jobs`` worker
+processes with optional result caching — the populations are shared
+between panels (a)/(c) and the (b)/(d) sweep, so a cache turns the
+second pass into pure lookups.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.resetting import resetting_time
-from repro.analysis.speedup import min_speedup
-from repro.analysis.tuning import min_preparation_factor
+from repro import api
 from repro.experiments import common
 from repro.generator.taskgen import GeneratorConfig, generate_taskset
 from repro.model.taskset import TaskSet
-from repro.model.transform import apply_uniform_scaling
 
 
 @dataclass(frozen=True)
@@ -73,6 +76,33 @@ class Fig6Point:
         return common.BoxStats.of(self.delta_r_values)
 
 
+def _request(
+    taskset: TaskSet,
+    y: float,
+    s_for_reset: float,
+    x: Optional[float] = None,
+    method: str = "exact",
+) -> api.AnalysisRequest:
+    """The Figure-6 evaluation of one set as a pipeline request.
+
+    ``resetting="always"`` reproduces the figure's convention: the
+    resetting time is reported whenever ``s_min`` is finite, not only
+    when the set is feasible at ``s_for_reset``.
+    """
+    if x is None:
+        return api.AnalysisRequest(
+            taskset=taskset, speedup=s_for_reset, auto_x=method, y=y,
+            resetting="always",
+        )
+    return api.AnalysisRequest(
+        taskset=taskset, speedup=s_for_reset, x=x, y=y, resetting="always"
+    )
+
+
+def _sample(report: api.AnalysisReport) -> PointSample:
+    return PointSample(report.s_min, report.delta_r, bool(report.lo_ok))
+
+
 def evaluate_taskset(
     taskset: TaskSet,
     y: float,
@@ -83,22 +113,10 @@ def evaluate_taskset(
     """Pipeline for one set: minimal x, apply (x, y), Theorem 2, Corollary 5.
 
     ``x`` may be precomputed (the sweep reuses it across (s, y) combos);
-    ``method`` selects the x-tuning of :func:`min_preparation_factor`.
+    ``method`` selects the x-tuning of
+    :func:`repro.api.min_preparation_factor`.
     """
-    if x is None:
-        x = min_preparation_factor(taskset, method=method)
-    if x is None:
-        return PointSample(math.inf, math.inf, False)
-    # x = 1 leaves no room for overrun; back off marginally like the
-    # exact-x convention (only matters for HI-task-free sets).
-    if x >= 1.0 and taskset.hi_tasks:
-        return PointSample(math.inf, math.inf, False)
-    configured = apply_uniform_scaling(taskset, min(x, 1.0 - 1e-9) if taskset.hi_tasks else 1.0, y)
-    s_min = min_speedup(configured).s_min
-    if not math.isfinite(s_min):
-        return PointSample(math.inf, math.inf, True)
-    delta_r = resetting_time(configured, s_for_reset).delta_r
-    return PointSample(s_min, delta_r, True)
+    return _sample(api.evaluate_request(_request(taskset, y, s_for_reset, x, method)))
 
 
 def run(
@@ -108,16 +126,29 @@ def run(
     s_for_reset: float = 3.0,
     seed: int = 2015,
     config: GeneratorConfig = GeneratorConfig(),
+    jobs: int = 1,
+    runner: Optional[api.BatchRunner] = None,
 ) -> List[Fig6Point]:
-    """Panels (a) and (c): distributions at each utilization point."""
-    points = []
+    """Panels (a) and (c): distributions at each utilization point.
+
+    ``jobs`` fans the per-set analyses over worker processes (results are
+    identical to the serial run); pass a configured ``runner`` instead
+    for caching or checkpoint/resume.
+    """
+    points: List[Fig6Point] = []
+    owners: List[Fig6Point] = []
+    requests: List[api.AnalysisRequest] = []
     for k, u in enumerate(u_bounds):
         rng = np.random.default_rng(seed + 1000 * k)
         point = Fig6Point(u_bound=u, y=y, s_for_reset=s_for_reset)
+        points.append(point)
         for i in range(sets_per_point):
             ts = generate_taskset(u, rng, config, name=f"u{u:g}_{i}")
-            point.samples.append(evaluate_taskset(ts, y, s_for_reset))
-        points.append(point)
+            owners.append(point)
+            requests.append(_request(ts, y, s_for_reset))
+    reports = api.analyze_many(requests, jobs=jobs, runner=runner)
+    for point, report in zip(owners, reports):
+        point.samples.append(_sample(report))
     return points
 
 
@@ -128,14 +159,17 @@ def run_sweep(
     sets_per_point: int = 200,
     seed: int = 2015,
     config: GeneratorConfig = GeneratorConfig(),
+    jobs: int = 1,
+    runner: Optional[api.BatchRunner] = None,
 ) -> Dict[Tuple[float, float], List[Fig6Point]]:
     """Panels (b) and (d): medians across ``(s, y)`` combinations.
 
     Returns ``{(s, y): [Fig6Point per u_bound]}``; the same generated
-    populations are reused across combinations for paired comparisons.
+    populations (and the same tuned ``x``) are reused across
+    combinations for paired comparisons.
     """
     populations: List[List[TaskSet]] = []
-    xs: List[List[float]] = []
+    xs: List[List[Optional[float]]] = []
     for k, u in enumerate(u_bounds):
         rng = np.random.default_rng(seed + 1000 * k)
         tasksets = [
@@ -143,17 +177,23 @@ def run_sweep(
             for i in range(sets_per_point)
         ]
         populations.append(tasksets)
-        xs.append([min_preparation_factor(ts, method="exact") for ts in tasksets])
+        xs.append([api.min_preparation_factor(ts, method="exact") for ts in tasksets])
     out: Dict[Tuple[float, float], List[Fig6Point]] = {}
+    owners: List[Fig6Point] = []
+    requests: List[api.AnalysisRequest] = []
     for s in s_values:
         for y in ys:
             series = []
             for u, tasksets, x_list in zip(u_bounds, populations, xs):
                 point = Fig6Point(u_bound=u, y=y, s_for_reset=s)
-                for ts, x in zip(tasksets, x_list):
-                    point.samples.append(evaluate_taskset(ts, y, s, x=x))
                 series.append(point)
+                for ts, x in zip(tasksets, x_list):
+                    owners.append(point)
+                    requests.append(_request(ts, y, s, x=x))
             out[(s, y)] = series
+    reports = api.analyze_many(requests, jobs=jobs, runner=runner)
+    for point, report in zip(owners, reports):
+        point.samples.append(_sample(report))
     return out
 
 

@@ -19,17 +19,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.resetting import resetting_time
-from repro.analysis.speedup import min_speedup
-from repro.analysis.tuning import min_preparation_factor
+from repro import api
 from repro.baselines.edf_vd import edf_vd_schedulable
 from repro.experiments import common
 from repro.generator.taskgen import FIG7_CONFIG, GeneratorConfig, generate_taskset_with_targets
-from repro.model.transform import apply_uniform_scaling
 
 
 @dataclass(frozen=True)
@@ -44,6 +41,41 @@ class Fig7Grid:
     reset_budget: float
 
 
+def _request(
+    taskset,
+    s: float,
+    reset_budget: float,
+    x: Optional[float] = None,
+    method: str = "exact",
+) -> api.AnalysisRequest:
+    """The Figure-7 acceptance of one terminated-LO set as a request.
+
+    An infinite budget skips the resetting-time computation entirely
+    (acceptance is then decided by the speedup verdict alone).
+    """
+    budget = None if math.isinf(reset_budget) else reset_budget
+    options = dict(
+        taskset=taskset,
+        speedup=s,
+        reset_budget=budget,
+        y=math.inf,
+        resetting="never" if budget is None else "auto",
+    )
+    if x is None:
+        options["auto_x"] = method
+    else:
+        options["x"] = x
+    return api.AnalysisRequest(**options)
+
+
+def _accepted(report: api.AnalysisReport) -> bool:
+    if not report.lo_ok or not report.hi_ok:
+        return False
+    if report.reset_budget is None:
+        return True
+    return bool(report.within_budget)
+
+
 def accept(
     taskset,
     s: float,
@@ -56,21 +88,7 @@ def accept(
     ``x`` may be precomputed and shared across acceptance evaluations of
     the same set at different speedups.
     """
-    if x is None:
-        x = min_preparation_factor(taskset, method=method)
-    if x is None:
-        return False
-    if taskset.hi_tasks and x >= 1.0:
-        return False
-    configured = apply_uniform_scaling(
-        taskset, min(x, 1.0 - 1e-9) if taskset.hi_tasks else 1.0, math.inf
-    )
-    s_min = min_speedup(configured).s_min
-    if s_min > s * (1.0 + 1e-9):
-        return False
-    if math.isinf(reset_budget):
-        return True
-    return resetting_time(configured, s).delta_r <= reset_budget * (1.0 + 1e-9)
+    return _accepted(api.evaluate_request(_request(taskset, s, reset_budget, x, method)))
 
 
 def run(
@@ -81,27 +99,41 @@ def run(
     seed: int = 715,
     config: GeneratorConfig = FIG7_CONFIG,
     jitter: float = 0.025,
+    jobs: int = 1,
+    runner: Optional[api.BatchRunner] = None,
 ) -> Fig7Grid:
-    """Sweep the grid; ``reset_budget`` is in ms (5 s = 5000 ms)."""
+    """Sweep the grid; ``reset_budget`` is in ms (5 s = 5000 ms).
+
+    ``jobs`` fans the per-set acceptance analyses over worker processes
+    (grid values are identical to the serial run); the EDF-VD baseline
+    stays inline — it is cheap next to the speedup analysis.
+    """
     u_hi = np.asarray(u_points, dtype=float)
     u_lo = np.asarray(u_points, dtype=float)
     with_speedup = np.zeros((u_hi.size, u_lo.size))
     without = np.zeros_like(with_speedup)
+    cells: List[tuple] = []
+    requests: List[api.AnalysisRequest] = []
     for i, uh in enumerate(u_hi):
         for j, ul in enumerate(u_lo):
             rng = np.random.default_rng(seed + 97 * i + 13 * j)
-            ok_s = ok_1 = 0
+            ok_1 = 0
             for k in range(sets_per_point):
                 ts = generate_taskset_with_targets(
                     float(uh), float(ul), rng, config,
                     name=f"g{i}_{j}_{k}", jitter=jitter,
                 )
-                if accept(ts, s, reset_budget):
-                    ok_s += 1
+                cells.append((i, j))
+                requests.append(_request(ts, s, reset_budget))
                 if edf_vd_schedulable(ts).schedulable:
                     ok_1 += 1
-            with_speedup[i, j] = ok_s / sets_per_point
             without[i, j] = ok_1 / sets_per_point
+    reports = api.analyze_many(requests, jobs=jobs, runner=runner)
+    accepted = np.zeros_like(with_speedup)
+    for (i, j), report in zip(cells, reports):
+        if _accepted(report):
+            accepted[i, j] += 1
+    with_speedup = accepted / sets_per_point
     return Fig7Grid(
         u_hi=u_hi,
         u_lo=u_lo,

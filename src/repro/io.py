@@ -21,7 +21,16 @@ from typing import Dict, List, Sequence, Union
 from repro.model.task import Criticality, MCTask
 from repro.model.taskset import TaskSet
 
-FORMAT_VERSION = 1
+#: Current task-set document schema.  Version 2 renamed the version
+#: field to ``schema_version``; version-1 documents (``"version": 1``)
+#: are still read.
+FORMAT_VERSION = 2
+
+#: Schema versions the loader accepts.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Analysis-report envelope schema (separate lineage from task sets).
+REPORT_FORMAT_VERSION = 1
 
 PathLike = Union[str, Path]
 
@@ -66,11 +75,19 @@ def task_from_dict(data: Dict) -> MCTask:
         raise ValueError(f"task record missing field {missing}") from None
 
 
+def _document_version(payload: Dict) -> int:
+    """Schema version of a document: ``schema_version``, then the legacy
+    version-1 field name ``version``."""
+    if "schema_version" in payload:
+        return int(payload["schema_version"])
+    return int(payload.get("version", 0))
+
+
 def taskset_to_json(taskset: TaskSet, *, indent: int = 2) -> str:
-    """Serialize a task set (with format version and name)."""
+    """Serialize a task set (with explicit schema version and name)."""
     payload = {
         "format": "repro-mc-taskset",
-        "version": FORMAT_VERSION,
+        "schema_version": FORMAT_VERSION,
         "name": taskset.name,
         "tasks": [task_to_dict(t) for t in taskset],
     }
@@ -78,12 +95,22 @@ def taskset_to_json(taskset: TaskSet, *, indent: int = 2) -> str:
 
 
 def taskset_from_json(text: str) -> TaskSet:
-    """Parse a task set serialized by :func:`taskset_to_json`."""
+    """Parse a task set serialized by :func:`taskset_to_json`.
+
+    Accepts every version in :data:`SUPPORTED_VERSIONS` (version-1
+    documents carry the version under the legacy ``version`` key) and
+    rejects anything else — unknown future schemas fail loudly instead
+    of being misread.
+    """
     payload = json.loads(text)
     if payload.get("format") != "repro-mc-taskset":
         raise ValueError("not a repro-mc task-set document")
-    if payload.get("version", 0) > FORMAT_VERSION:
-        raise ValueError(f"unsupported format version {payload.get('version')}")
+    version = _document_version(payload)
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported task-set schema version {version} "
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
+        )
     tasks = [task_from_dict(entry) for entry in payload.get("tasks", [])]
     return TaskSet(tasks, name=payload.get("name", "taskset"))
 
@@ -96,6 +123,44 @@ def save_taskset(taskset: TaskSet, path: PathLike) -> None:
 def load_taskset(path: PathLike) -> TaskSet:
     """Read a task set from a JSON file."""
     return taskset_from_json(Path(path).read_text())
+
+
+def report_to_json(report, *, indent: int = 2) -> str:
+    """Serialize an :class:`~repro.pipeline.request.AnalysisReport`."""
+    payload = {
+        "format": "repro-mc-analysis-report",
+        "schema_version": REPORT_FORMAT_VERSION,
+        "report": report.to_dict(),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def report_from_json(text: str):
+    """Parse an analysis report serialized by :func:`report_to_json`."""
+    # Local import: repro.pipeline depends on the analysis layer, which
+    # must stay importable without this module forming a cycle.
+    from repro.pipeline.request import AnalysisReport
+
+    payload = json.loads(text)
+    if payload.get("format") != "repro-mc-analysis-report":
+        raise ValueError("not a repro-mc analysis-report document")
+    version = _document_version(payload)
+    if version != REPORT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported analysis-report schema version {version} "
+            f"(supported: {REPORT_FORMAT_VERSION})"
+        )
+    return AnalysisReport.from_dict(payload["report"])
+
+
+def save_report(report, path: PathLike) -> None:
+    """Write an analysis report to a JSON file."""
+    Path(path).write_text(report_to_json(report) + "\n")
+
+
+def load_report(path: PathLike):
+    """Read an analysis report from a JSON file."""
+    return report_from_json(Path(path).read_text())
 
 
 def write_series_csv(

@@ -1,0 +1,52 @@
+"""Batched, parallel analysis pipeline.
+
+The pipeline turns the per-taskset analyses of :mod:`repro.analysis`
+into a population-scale engine:
+
+* :mod:`repro.pipeline.request` — :class:`AnalysisRequest` /
+  :class:`AnalysisReport` bundle one task set plus every knob and every
+  verdict; :func:`evaluate_request` is the pure taskset→verdict
+  function.
+* :mod:`repro.pipeline.cache` — content-addressed
+  :class:`ResultCache` keyed by a canonical task-set hash.
+* :mod:`repro.pipeline.runner` — :class:`BatchRunner`: process-pool
+  fan-out with chunking, per-item error capture, progress callbacks and
+  JSONL checkpoint/resume.
+
+Most callers want :func:`repro.api.analyze` /
+:func:`repro.api.analyze_many` rather than this package directly.
+"""
+
+from repro.pipeline.cache import (
+    ResultCache,
+    canonical_taskset_payload,
+    request_fingerprint,
+    taskset_fingerprint,
+)
+from repro.pipeline.request import (
+    AnalysisFailure,
+    AnalysisReport,
+    AnalysisRequest,
+    evaluate_request,
+)
+from repro.pipeline.runner import (
+    BatchRunner,
+    BatchStats,
+    evaluate_captured,
+    run_batch,
+)
+
+__all__ = [
+    "AnalysisFailure",
+    "AnalysisReport",
+    "AnalysisRequest",
+    "BatchRunner",
+    "BatchStats",
+    "ResultCache",
+    "canonical_taskset_payload",
+    "evaluate_captured",
+    "evaluate_request",
+    "request_fingerprint",
+    "run_batch",
+    "taskset_fingerprint",
+]

@@ -1,0 +1,154 @@
+"""Content-addressed result cache for the batch-analysis pipeline.
+
+Every :class:`~repro.pipeline.request.AnalysisRequest` maps to a
+canonical JSON payload — tasks sorted by name, options in a fixed field
+order, floats normalised through ``repr`` — whose SHA-256 digest is the
+request's *key*.  Two requests with the same key are guaranteed to
+produce the same :class:`~repro.pipeline.request.AnalysisReport` (the
+analysis is deterministic), so the key doubles as
+
+* the cache address (in-memory dictionary and optional on-disk store);
+* the checkpoint identity used by :class:`~repro.pipeline.runner.BatchRunner`
+  to resume an interrupted sweep.
+
+The on-disk layout is one JSON document per key under
+``<directory>/<key[:2]>/<key>.json`` so huge populations do not pile a
+million files into one directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.model.taskset import TaskSet
+
+PathLike = Union[str, Path]
+
+#: Version stamped into every canonical payload: bump when the payload
+#: layout (and therefore every key) changes incompatibly.
+FINGERPRINT_VERSION = 1
+
+
+def _canonical_number(value: Optional[float]) -> Optional[str]:
+    """Normalise a float for hashing: exact ``repr``, stable inf/nan."""
+    if value is None:
+        return None
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return repr(value)
+
+
+def canonical_taskset_payload(taskset: TaskSet) -> Dict[str, Any]:
+    """The task set as a canonical, order-independent dictionary.
+
+    Tasks are sorted by name and every timing parameter goes through
+    :func:`_canonical_number`, so the payload (and hence the hash) is
+    invariant under task reordering and float formatting, but sensitive
+    to any actual parameter change.  The task-set *name* is deliberately
+    excluded: renaming a set does not change its analysis.
+    """
+    tasks = []
+    for task in sorted(taskset, key=lambda t: t.name):
+        tasks.append(
+            {
+                "name": task.name,
+                "crit": task.crit.value,
+                "c_lo": _canonical_number(task.c_lo),
+                "c_hi": _canonical_number(task.c_hi),
+                "d_lo": _canonical_number(task.d_lo),
+                "d_hi": _canonical_number(task.d_hi),
+                "t_lo": _canonical_number(task.t_lo),
+                "t_hi": _canonical_number(task.t_hi),
+            }
+        )
+    return {"fingerprint_version": FINGERPRINT_VERSION, "tasks": tasks}
+
+
+def _digest(payload: Dict[str, Any]) -> str:
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def taskset_fingerprint(taskset: TaskSet) -> str:
+    """SHA-256 content hash of the canonical task-set payload."""
+    return _digest(canonical_taskset_payload(taskset))
+
+
+def request_fingerprint(taskset: TaskSet, options: Dict[str, Any]) -> str:
+    """Content hash of a full analysis request (task set + options).
+
+    ``options`` must already be JSON-ready (the request's
+    ``options_payload``); float-valued entries are canonicalised here.
+    """
+    payload = canonical_taskset_payload(taskset)
+    payload["options"] = {
+        key: _canonical_number(value) if isinstance(value, float) else value
+        for key, value in sorted(options.items())
+    }
+    return _digest(payload)
+
+
+class ResultCache:
+    """Two-level (memory, optional disk) store of report payloads by key.
+
+    The cache stores JSON-ready dictionaries (the output of
+    ``AnalysisReport.to_dict``), not live report objects, so disk and
+    memory entries are interchangeable and a cache shared between
+    processes never pickles analysis state.
+    """
+
+    def __init__(self, directory: Optional[PathLike] = None) -> None:
+        self._memory: Dict[str, Dict[str, Any]] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Optional[Path]:
+        return self._directory
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self._directory is None:
+            return None
+        return self._directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Look a report payload up; promotes disk entries into memory."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self.hits += 1
+            return payload
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            payload = json.loads(path.read_text())
+            self._memory[key] = payload
+            self.hits += 1
+            return payload
+        self.misses += 1
+        return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store a report payload under ``key`` (memory and disk)."""
+        self._memory[key] = payload
+        path = self._disk_path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._memory.clear()

@@ -1,0 +1,473 @@
+"""Analysis requests and reports: the unit of work of the batch pipeline.
+
+One :class:`AnalysisRequest` bundles a task set with every knob the
+paper's evaluation turns — the Section-V design factors ``x``/``y`` (or
+the tuning method that picks ``x``), the target HI-mode speedup, the
+recovery budget, closed-form and per-task-tuning extras — and one
+:class:`AnalysisReport` carries every number that comes back:
+
+* LO-mode feasibility (from the exact demand test or from ``x`` tuning);
+* Theorem 2 (:class:`~repro.analysis.speedup.SpeedupResult`);
+* Corollary 5 (:class:`~repro.analysis.resetting.ResettingResult`);
+* Lemma 6/7 closed-form bounds
+  (:class:`~repro.analysis.closed_form.ClosedFormBounds`);
+* per-task deadline tuning summary;
+* or a structured :class:`AnalysisFailure` when the computation blew its
+  candidate budget / rejected the input — a failed item never crashes a
+  sweep.
+
+:func:`evaluate_request` is the single taskset→verdict function (the API
+shape of Easwaran's demand-based test and the EDF-VD literature) that
+``BatchRunner`` fans out over processes; it is deliberately pure and
+deterministic so ``jobs=1`` and ``jobs=N`` produce identical reports and
+results can be cached under the request's content hash.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Dict, Optional
+
+from repro.analysis.closed_form import ClosedFormBounds, closed_form_bounds
+from repro.analysis.resetting import ResettingResult, resetting_time
+from repro.analysis.result import decode_float, encode_float
+from repro.analysis.schedulability import lo_mode_schedulable
+from repro.analysis.speedup import SpeedupResult, min_speedup
+from repro.analysis.tuning import min_preparation_factor
+from repro.model.task import ModelError
+from repro.model.taskset import TaskSet
+from repro.model.transform import apply_uniform_scaling
+from repro.pipeline.cache import request_fingerprint
+
+_RTOL = 1e-9
+
+#: Resetting-time policies: compute only when HI mode is feasible at the
+#: target speedup ("auto", the `system_schedulable` convention), whenever
+#: the minimum speedup is finite ("always", the Figure-6 convention), or
+#: skip entirely ("never").
+RESETTING_POLICIES = ("auto", "always", "never")
+
+#: Preparation-factor tuning methods accepted for ``auto_x``.
+AUTO_X_METHODS = ("density", "exact")
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One task set plus every analysis option, as a hashable work item.
+
+    Parameters
+    ----------
+    taskset:
+        The base dual-criticality task set.
+    speedup:
+        Target HI-mode speedup ``s``; enables the HI feasibility verdict
+        and the Corollary-5 resetting time.
+    reset_budget:
+        Recovery budget checked against the resetting time (Figure-7
+        acceptance), in the task set's time unit.
+    x:
+        Explicit overrun-preparation factor (Eq. 13).  Values ``>= 1``
+        on a set with HI tasks mark the configuration infeasible, the
+        Section-VI convention.
+    auto_x:
+        Tune ``x`` to the minimum guaranteeing LO-mode schedulability
+        (``"density"`` or ``"exact"``, see
+        :func:`repro.analysis.tuning.min_preparation_factor`).  Ignored
+        when ``x`` is given.
+    y:
+        Service-degradation factor (Eq. 14); ``math.inf`` terminates LO
+        tasks.  Only applied together with ``x``/``auto_x``.
+    lo_test:
+        Run the exact LO-mode demand test.  Default (``None``): run it
+        exactly when no ``x`` knob is in play (with a knob, feasibility
+        is decided by the tuning itself).
+    resetting:
+        One of :data:`RESETTING_POLICIES`.
+    closed_form:
+        Also evaluate the Lemma-6/7 bounds at the applied ``(x, y)``.
+    per_task:
+        Also run the greedy per-task deadline tuning and record its
+        improvement over the uniform ``x``.
+    drop_terminated_carryover:
+        Ablation switch forwarded to the resetting-time analysis.
+    max_candidates:
+        Breakpoint budget forwarded to the scans (``None`` = defaults).
+    """
+
+    taskset: TaskSet
+    speedup: Optional[float] = None
+    reset_budget: Optional[float] = None
+    x: Optional[float] = None
+    auto_x: Optional[str] = None
+    y: Optional[float] = None
+    lo_test: Optional[bool] = None
+    resetting: str = "auto"
+    closed_form: bool = False
+    per_task: bool = False
+    drop_terminated_carryover: bool = False
+    max_candidates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.taskset, TaskSet):
+            raise ModelError(
+                f"AnalysisRequest needs a TaskSet, got {type(self.taskset).__name__}"
+            )
+        if self.speedup is not None and self.speedup <= 0.0:
+            raise ModelError(f"speedup must be positive, got {self.speedup}")
+        if self.reset_budget is not None and self.reset_budget < 0.0:
+            raise ModelError(f"reset budget must be >= 0, got {self.reset_budget}")
+        if self.auto_x is not None and self.auto_x not in AUTO_X_METHODS:
+            raise ModelError(
+                f"auto_x must be one of {AUTO_X_METHODS}, got {self.auto_x!r}"
+            )
+        if self.x is not None and self.x <= 0.0:
+            raise ModelError(f"x must be positive, got {self.x}")
+        if self.y is not None and self.y < 1.0:
+            raise ModelError(f"y must be >= 1 (or inf), got {self.y}")
+        if self.resetting not in RESETTING_POLICIES:
+            raise ModelError(
+                f"resetting must be one of {RESETTING_POLICIES}, got {self.resetting!r}"
+            )
+        if self.max_candidates is not None and self.max_candidates <= 0:
+            raise ModelError(
+                f"max_candidates must be positive, got {self.max_candidates}"
+            )
+
+    @property
+    def tunes_configuration(self) -> bool:
+        """True when an ``x`` knob decides LO feasibility for this item."""
+        return self.x is not None or self.auto_x is not None
+
+    def options_payload(self) -> Dict[str, Any]:
+        """The non-taskset fields as a JSON-ready dict (hashed into the key)."""
+        return {
+            "speedup": self.speedup,
+            "reset_budget": self.reset_budget,
+            "x": self.x,
+            "auto_x": self.auto_x,
+            "y": None if self.y is None else float(self.y),
+            "lo_test": self.lo_test,
+            "resetting": self.resetting,
+            "closed_form": self.closed_form,
+            "per_task": self.per_task,
+            "drop_terminated_carryover": self.drop_terminated_carryover,
+            "max_candidates": self.max_candidates,
+        }
+
+    @cached_property
+    def key(self) -> str:
+        """Content address: SHA-256 over canonical tasks + options."""
+        return request_fingerprint(self.taskset, self.options_payload())
+
+
+@dataclass(frozen=True)
+class AnalysisFailure:
+    """Structured record of a per-item analysis failure.
+
+    Attributes
+    ----------
+    stage:
+        Which part of the evaluation failed (``"tuning"``, ``"speedup"``,
+        ``"resetting"``, ``"closed_form"``, ``"per_task"``, ``"input"``).
+    error_type:
+        Exception class name (e.g. ``AnalysisBudgetExceeded``).
+    message:
+        Human-readable detail, straight from the exception.
+    """
+
+    stage: str
+    error_type: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisFailure":
+        return cls(
+            stage=str(data["stage"]),
+            error_type=str(data["error_type"]),
+            message=str(data["message"]),
+        )
+
+    @classmethod
+    def from_exception(cls, stage: str, error: BaseException) -> "AnalysisFailure":
+        return cls(
+            stage=stage, error_type=type(error).__name__, message=str(error)
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything one analysis run produced, uniformly serializable.
+
+    Component results (``speedup``, ``resetting_result``, ``closed_form``)
+    all implement the :mod:`repro.analysis.result` protocol, so
+    :meth:`to_dict` / :meth:`to_record` serialize them without per-type
+    code, and :meth:`from_dict` restores an identical report — the basis
+    of the result cache and checkpoint/resume.
+    """
+
+    name: str
+    key: str
+    lo_ok: Optional[bool] = None
+    x_applied: Optional[float] = None
+    y_applied: Optional[float] = None
+    target_speedup: Optional[float] = None
+    reset_budget: Optional[float] = None
+    speedup: Optional[SpeedupResult] = None
+    hi_ok: Optional[bool] = None
+    resetting_result: Optional[ResettingResult] = None
+    within_budget: Optional[bool] = None
+    closed_form: Optional[ClosedFormBounds] = None
+    per_task: Optional[Dict[str, Any]] = None
+    failure: Optional[AnalysisFailure] = None
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def s_min(self) -> float:
+        """Theorem-2 minimum speedup (``inf`` when not computed)."""
+        return self.speedup.s_min if self.speedup is not None else math.inf
+
+    @property
+    def delta_r(self) -> float:
+        """Corollary-5 resetting time (``inf`` when not computed)."""
+        return (
+            self.resetting_result.delta_r
+            if self.resetting_result is not None
+            else math.inf
+        )
+
+    # -- AnalysisResult protocol (repro.analysis.result) ----------------
+    @property
+    def ok(self) -> bool:
+        """True when nothing failed and no computed verdict is negative."""
+        if self.failure is not None:
+            return False
+        for verdict in (self.lo_ok, self.hi_ok, self.within_budget):
+            if verdict is False:
+                return False
+        return True
+
+    @property
+    def value(self) -> float:
+        """Headline number: the minimum speedup."""
+        return self.s_min
+
+    @property
+    def diagnostics(self) -> Dict[str, Any]:
+        """Flat summary of every verdict (the ``to_record`` core)."""
+        return {
+            "lo_ok": self.lo_ok,
+            "hi_ok": self.hi_ok,
+            "within_budget": self.within_budget,
+            "x_applied": self.x_applied,
+            "y_applied": self.y_applied,
+            "target_speedup": self.target_speedup,
+            "reset_budget": self.reset_budget,
+            "delta_r": self.delta_r,
+            "failure": None if self.failure is None else self.failure.error_type,
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready encoding; inverted exactly by :meth:`from_dict`."""
+
+        def opt(result):
+            return None if result is None else result.to_dict()
+
+        return {
+            "name": self.name,
+            "key": self.key,
+            "lo_ok": self.lo_ok,
+            "x_applied": encode_float(self.x_applied),
+            "y_applied": encode_float(self.y_applied),
+            "target_speedup": encode_float(self.target_speedup),
+            "reset_budget": encode_float(self.reset_budget),
+            "speedup": opt(self.speedup),
+            "hi_ok": self.hi_ok,
+            "resetting": opt(self.resetting_result),
+            "within_budget": self.within_budget,
+            "closed_form": opt(self.closed_form),
+            "per_task": self.per_task,
+            "failure": opt(self.failure),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisReport":
+        def load(field_name, loader):
+            value = data.get(field_name)
+            return None if value is None else loader(value)
+
+        return cls(
+            name=str(data["name"]),
+            key=str(data["key"]),
+            lo_ok=data.get("lo_ok"),
+            x_applied=decode_float(data.get("x_applied")),
+            y_applied=decode_float(data.get("y_applied")),
+            target_speedup=decode_float(data.get("target_speedup")),
+            reset_budget=decode_float(data.get("reset_budget")),
+            speedup=load("speedup", SpeedupResult.from_dict),
+            hi_ok=data.get("hi_ok"),
+            resetting_result=load("resetting", ResettingResult.from_dict),
+            within_budget=data.get("within_budget"),
+            closed_form=load("closed_form", ClosedFormBounds.from_dict),
+            per_task=data.get("per_task"),
+            failure=load("failure", AnalysisFailure.from_dict),
+        )
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat dictionary for CSV export (:func:`repro.io.write_records_csv`)."""
+        record: Dict[str, Any] = {"name": self.name, "ok": self.ok}
+        record.update(self.diagnostics)
+        record["s_min"] = self.s_min
+        if self.speedup is not None:
+            record["s_min_exact"] = self.speedup.exact
+            record["s_min_upper_bound"] = self.speedup.upper_bound
+        if self.closed_form is not None:
+            record["s_min_bound"] = self.closed_form.s_min_bound
+            record["delta_r_bound"] = self.closed_form.delta_r_bound
+        if self.per_task is not None:
+            record["per_task_s_min"] = self.per_task.get("s_min")
+        if self.failure is not None:
+            record["failure"] = f"{self.failure.error_type}: {self.failure.message}"
+        record["key"] = self.key
+        return record
+
+    @classmethod
+    def failed(cls, request: AnalysisRequest, failure: AnalysisFailure) -> "AnalysisReport":
+        """The report shape of a captured per-item error."""
+        return cls(
+            name=request.taskset.name,
+            key=request.key,
+            target_speedup=request.speedup,
+            reset_budget=request.reset_budget,
+            failure=failure,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The taskset -> verdict function
+# ---------------------------------------------------------------------------
+def _budget_kwargs(request: AnalysisRequest) -> Dict[str, Any]:
+    if request.max_candidates is None:
+        return {}
+    return {"max_candidates": request.max_candidates}
+
+
+def evaluate_request(request: AnalysisRequest) -> AnalysisReport:
+    """Run the full dual-mode analysis for one request (pure function).
+
+    Exceptions propagate to the caller; :class:`~repro.pipeline.runner.
+    BatchRunner` converts them into :class:`AnalysisFailure` records so a
+    single degenerate task set never kills a sweep.
+    """
+    taskset = request.taskset
+    x_applied: Optional[float] = None
+    y_applied: Optional[float] = None
+    configured = taskset
+    lo_ok: Optional[bool] = None
+
+    if request.tunes_configuration:
+        # Section-VI convention: x is tuned (or supplied) to the minimum
+        # guaranteeing LO-mode schedulability, so LO feasibility is decided
+        # by the tuning outcome, not by a second demand test.
+        x = request.x
+        if x is None:
+            x = min_preparation_factor(taskset, method=request.auto_x)
+        if x is None or (taskset.hi_tasks and x >= 1.0):
+            # x = 1 leaves no room for overrun (only matters for sets with
+            # HI tasks); no finite configuration exists.
+            return AnalysisReport(
+                name=taskset.name,
+                key=request.key,
+                lo_ok=False,
+                x_applied=x,
+                y_applied=request.y,
+                target_speedup=request.speedup,
+                reset_budget=request.reset_budget,
+            )
+        x_applied = min(x, 1.0 - 1e-9) if taskset.hi_tasks else 1.0
+        y_applied = request.y if request.y is not None else 1.0
+        configured = apply_uniform_scaling(taskset, x_applied, y_applied)
+        lo_ok = True
+
+    run_lo_test = (
+        request.lo_test
+        if request.lo_test is not None
+        else not request.tunes_configuration
+    )
+    if run_lo_test:
+        lo_ok = lo_mode_schedulable(configured)
+
+    speedup_result = min_speedup(configured, **_budget_kwargs(request))
+
+    hi_ok: Optional[bool] = None
+    if request.speedup is not None:
+        hi_ok = speedup_result.s_min <= request.speedup * (1.0 + _RTOL)
+
+    resetting_result: Optional[ResettingResult] = None
+    if (
+        request.speedup is not None
+        and request.resetting != "never"
+        and math.isfinite(speedup_result.s_min)
+        and (request.resetting == "always" or hi_ok)
+    ):
+        resetting_result = resetting_time(
+            configured,
+            request.speedup,
+            drop_terminated_carryover=request.drop_terminated_carryover,
+            **_budget_kwargs(request),
+        )
+
+    within_budget: Optional[bool] = None
+    if request.reset_budget is not None:
+        within_budget = (
+            resetting_result is not None
+            and resetting_result.delta_r <= request.reset_budget * (1.0 + _RTOL)
+        )
+
+    closed_form: Optional[ClosedFormBounds] = None
+    if request.closed_form and x_applied is not None:
+        closed_form = closed_form_bounds(
+            taskset, x_applied, y_applied, request.speedup
+        )
+
+    per_task: Optional[Dict[str, Any]] = None
+    if request.per_task:
+        from repro.analysis.per_task_tuning import tune_per_task_deadlines
+
+        tuned = tune_per_task_deadlines(taskset)
+        if tuned is not None:
+            per_task = {
+                "s_min": tuned.s_min,
+                "uniform_s_min": tuned.uniform_s_min,
+                "moves": [[name, d_lo] for name, d_lo in tuned.moves],
+                "d_lo": {t.name: t.d_lo for t in tuned.taskset.hi_tasks},
+            }
+
+    return AnalysisReport(
+        name=taskset.name,
+        key=request.key,
+        lo_ok=lo_ok,
+        x_applied=x_applied,
+        y_applied=y_applied,
+        target_speedup=request.speedup,
+        reset_budget=request.reset_budget,
+        speedup=speedup_result,
+        hi_ok=hi_ok,
+        resetting_result=resetting_result,
+        within_budget=within_budget,
+        closed_form=closed_form,
+        per_task=per_task,
+    )

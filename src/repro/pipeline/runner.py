@@ -1,0 +1,349 @@
+"""Batched, parallel execution of analysis requests.
+
+:class:`BatchRunner` fans a population of
+:class:`~repro.pipeline.request.AnalysisRequest` items over a
+``concurrent.futures.ProcessPoolExecutor`` (or runs them inline for
+``jobs=1``) with
+
+* **chunking** — requests ship to workers in chunks so per-task-set IPC
+  overhead amortises over the pseudo-polynomial analysis cost;
+* **content-addressed caching** — results land in a
+  :class:`~repro.pipeline.cache.ResultCache` under the request key, so
+  re-running a sweep (or sharing task sets between sweeps) recomputes
+  nothing;
+* **error capture** — an :class:`~repro.analysis.budget.
+  AnalysisBudgetExceeded` or a degenerate task set becomes a structured
+  failure record on that item's report, never a crashed sweep;
+* **checkpoint/resume** — every completed item is appended to a JSONL
+  checkpoint; a rerun with ``resume=True`` skips everything already on
+  disk, which makes paper-scale sweeps interruptible.
+
+The evaluation itself (:func:`~repro.pipeline.request.evaluate_request`)
+is deterministic and order-independent, so ``jobs=1`` and ``jobs=N``
+produce byte-identical reports — the property the pipeline test suite
+pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.request import (
+    AnalysisFailure,
+    AnalysisReport,
+    AnalysisRequest,
+    evaluate_request,
+)
+
+PathLike = Union[str, Path]
+ProgressCallback = Callable[[int, int], None]
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Version stamped into every checkpoint line; unknown versions are
+#: skipped on resume rather than misinterpreted.
+CHECKPOINT_VERSION = 1
+
+#: Exceptions converted into per-item failure records instead of
+#: aborting the batch.  Deliberately narrow: programming errors
+#: (AttributeError, TypeError, ...) still surface immediately.
+CAPTURED_ERRORS: Tuple[type, ...] = (ValueError, ArithmeticError)
+
+
+def _captured_errors() -> Tuple[type, ...]:
+    from repro.analysis.budget import AnalysisBudgetExceeded
+    from repro.model.task import ModelError
+
+    return CAPTURED_ERRORS + (AnalysisBudgetExceeded, ModelError)
+
+
+def evaluate_captured(request: AnalysisRequest) -> AnalysisReport:
+    """Evaluate one request, converting analysis errors to failure reports."""
+    try:
+        return evaluate_request(request)
+    except _captured_errors() as error:
+        stage = str(getattr(error, "operation", "analysis"))
+        return AnalysisReport.failed(
+            request, AnalysisFailure.from_exception(stage, error)
+        )
+
+
+def _worker_chunk(
+    chunk: Sequence[Tuple[int, AnalysisRequest]],
+) -> List[Tuple[int, Dict[str, Any]]]:
+    """Process-pool entry point: evaluate a chunk, return JSON payloads.
+
+    Workers hand back plain dictionaries (the ``to_dict`` encoding), the
+    same currency the cache and checkpoint use, so nothing
+    analysis-specific ever crosses the process boundary on the way out.
+    """
+    return [(index, evaluate_captured(request).to_dict()) for index, request in chunk]
+
+
+@dataclass
+class BatchStats:
+    """Bookkeeping for one :meth:`BatchRunner.run` call."""
+
+    total: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    resumed: int = 0
+    failures: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "total": self.total,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "resumed": self.resumed,
+            "failures": self.failures,
+        }
+
+
+@dataclass
+class BatchRunner:
+    """Run analysis requests serially or across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs inline with no pool —
+        the two paths produce identical reports.
+    cache:
+        Optional :class:`ResultCache`; hits skip evaluation entirely.
+    checkpoint:
+        Optional JSONL path; every completed item is appended and
+        flushed, so a killed sweep loses at most in-flight items.
+    resume:
+        Load the checkpoint before running and skip every request whose
+        key is already recorded.
+    chunk_size:
+        Requests per worker chunk (default: balance ~4 chunks per
+        worker, capped at 32).
+    progress:
+        ``progress(done, total)`` callback, invoked after every settled
+        item (cache hit, resumed, computed, or failed).
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    checkpoint: Optional[PathLike] = None
+    resume: bool = False
+    chunk_size: Optional[int] = None
+    progress: Optional[ProgressCallback] = None
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _load_checkpoint(self) -> Dict[str, Dict[str, Any]]:
+        """Completed payloads by key; tolerant of a torn final line."""
+        completed: Dict[str, Dict[str, Any]] = {}
+        if not self.resume or self.checkpoint is None:
+            return completed
+        path = Path(self.checkpoint)
+        if not path.exists():
+            return completed
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a killed run: recompute that item
+            if entry.get("checkpoint_version") != CHECKPOINT_VERSION:
+                continue
+            completed[entry["key"]] = entry["report"]
+        return completed
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[AnalysisRequest]) -> List[AnalysisReport]:
+        """Evaluate every request, returning reports in request order."""
+        requests = list(requests)
+        self.stats = BatchStats(total=len(requests))
+        payloads: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+
+        resumed = self._load_checkpoint()
+
+        # Settle cache/checkpoint hits and dedup the rest by key: a
+        # population containing the same configured task set twice costs
+        # one evaluation.
+        pending: Dict[str, List[int]] = {}
+        pending_request: Dict[str, AnalysisRequest] = {}
+        for index, request in enumerate(requests):
+            key = request.key
+            payload = resumed.get(key)
+            if payload is not None:
+                payloads[index] = payload
+                self.stats.resumed += 1
+                continue
+            if self.cache is not None:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    payloads[index] = payload
+                    self.stats.cache_hits += 1
+                    continue
+            if key in pending:
+                pending[key].append(index)
+            else:
+                pending[key] = [index]
+                pending_request[key] = request
+
+        done = len(requests) - sum(len(v) for v in pending.values())
+        if self.progress is not None and done:
+            self.progress(done, len(requests))
+
+        checkpoint_file = None
+        if self.checkpoint is not None:
+            path = Path(self.checkpoint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            checkpoint_file = path.open("a")
+
+        def settle(key: str, payload: Dict[str, Any]) -> None:
+            nonlocal done
+            for index in pending[key]:
+                payloads[index] = payload
+            done += len(pending[key])
+            self.stats.computed += 1
+            if payload.get("failure") is not None:
+                self.stats.failures += 1
+            if self.cache is not None:
+                self.cache.put(key, payload)
+            if checkpoint_file is not None:
+                entry = {
+                    "checkpoint_version": CHECKPOINT_VERSION,
+                    "key": key,
+                    "report": payload,
+                }
+                checkpoint_file.write(json.dumps(entry) + "\n")
+                checkpoint_file.flush()
+            if self.progress is not None:
+                self.progress(done, len(requests))
+
+        work = [(key, pending_request[key]) for key in pending]
+        try:
+            if self.jobs == 1 or len(work) <= 1:
+                for key, request in work:
+                    settle(key, evaluate_captured(request).to_dict())
+            else:
+                self._run_parallel(work, settle)
+        finally:
+            if checkpoint_file is not None:
+                checkpoint_file.close()
+
+        return [AnalysisReport.from_dict(payload) for payload in payloads]
+
+    def _run_parallel(
+        self,
+        work: Sequence[Tuple[str, AnalysisRequest]],
+        settle: Callable[[str, Dict[str, Any]], None],
+    ) -> None:
+        indexed = [(i, request) for i, (_key, request) in enumerate(work)]
+        keys = [key for key, _request in work]
+        size = self.chunk_size or max(
+            1, min(32, math.ceil(len(indexed) / (self.jobs * 4)))
+        )
+        chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
+        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+            futures = {
+                executor.submit(_worker_chunk, chunk): chunk for chunk in chunks
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    chunk = futures[future]
+                    error = future.exception()
+                    if error is not None:
+                        # Whole-chunk failure (e.g. a worker died): record
+                        # it on every item rather than raising midway.
+                        for i, request in chunk:
+                            failed = AnalysisReport.failed(
+                                request,
+                                AnalysisFailure.from_exception("worker", error),
+                            )
+                            settle(keys[i], failed.to_dict())
+                        continue
+                    for i, payload in future.result():
+                        settle(keys[i], payload)
+
+    # ------------------------------------------------------------------
+    # Generic fan-out (no cache/checkpoint): used by the resilience suite
+    # ------------------------------------------------------------------
+    def map_items(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Iterable[ItemT],
+    ) -> List[ResultT]:
+        """Map a picklable top-level function over items, in order.
+
+        Serial for ``jobs=1``; otherwise ``ProcessPoolExecutor.map`` with
+        the runner's chunking.  Exceptions propagate (no failure capture:
+        the caller owns the item semantics here).
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            results = []
+            for i, item in enumerate(items):
+                results.append(fn(item))
+                if self.progress is not None:
+                    self.progress(i + 1, len(items))
+            return results
+        size = self.chunk_size or max(
+            1, min(32, math.ceil(len(items) / (self.jobs * 4)))
+        )
+        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+            results = []
+            for result in executor.map(fn, items, chunksize=size):
+                results.append(result)
+                if self.progress is not None:
+                    self.progress(len(results), len(items))
+            return results
+
+
+def run_batch(
+    requests: Sequence[AnalysisRequest],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    checkpoint: Optional[PathLike] = None,
+    resume: bool = False,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[AnalysisReport]:
+    """One-shot convenience wrapper around :class:`BatchRunner`."""
+    runner = BatchRunner(
+        jobs=jobs,
+        cache=cache,
+        checkpoint=checkpoint,
+        resume=resume,
+        chunk_size=chunk_size,
+        progress=progress,
+    )
+    return runner.run(requests)

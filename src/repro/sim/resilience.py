@@ -29,10 +29,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.resetting import resetting_time
-from repro.analysis.sensitivity import min_speedup_margin
-from repro.analysis.speedup import min_speedup
-from repro.analysis.tuning import min_preparation_factor
+from repro.api import (
+    BatchRunner,
+    min_preparation_factor,
+    min_speedup,
+    min_speedup_margin,
+    resetting_time,
+)
 from repro.model.taskset import TaskSet
 from repro.model.transform import apply_uniform_scaling
 from repro.sim.degradation import DegradationPolicy, Rung
@@ -451,6 +454,12 @@ def ladder_scenarios() -> List[FaultScenario]:
 # ---------------------------------------------------------------------------
 # The suite
 # ---------------------------------------------------------------------------
+def _run_scenario_item(item) -> ResilienceVerdict:
+    """Process-pool entry point: one (taskset, scenario, kwargs) work item."""
+    taskset, scenario, kwargs = item
+    return run_scenario(taskset, scenario, **kwargs)
+
+
 def run_suite(
     *,
     quick: bool = False,
@@ -458,6 +467,7 @@ def run_suite(
     find_restoring: Optional[bool] = None,
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> List[ResilienceVerdict]:
     """Sweep every standard workload through every scenario.
 
@@ -465,41 +475,53 @@ def run_suite(
     (the CI smoke configuration, a few seconds); the full sweep adds
     the FMS and synthetic workloads, a mid intensity and the empirical
     minimum-restoring-speedup search for broken scenarios.
+
+    ``jobs`` fans the (workload, scenario) runs over worker processes
+    through the batch pipeline; each run is seeded and independent, so
+    the verdict list is identical to the serial sweep.
     """
     if intensities is None:
         intensities = (0.0, 1.0) if quick else (0.0, 0.5, 1.0)
     if find_restoring is None:
         find_restoring = not quick
-    verdicts: List[ResilienceVerdict] = []
+    labels: List[str] = []
+    items: List[tuple] = []
     for wl_name, taskset in standard_workloads(quick=quick).items():
         for intensity in intensities:
             for scenario in scenario_suite(taskset, intensity, seed=seed):
-                if progress is not None:
-                    progress(f"{wl_name} / {scenario.name} @ {intensity:g}")
-                verdicts.append(
-                    run_scenario(
+                labels.append(f"{wl_name} / {scenario.name} @ {intensity:g}")
+                items.append(
+                    (
                         taskset,
                         scenario,
-                        workload_name=wl_name,
-                        find_restoring=find_restoring,
+                        dict(workload_name=wl_name, find_restoring=find_restoring),
                     )
                 )
     from repro.experiments.table1 import table1_taskset
 
     ladder_ts = table1_taskset()
     for scenario in ladder_scenarios():
-        if progress is not None:
-            progress(f"ladder / {scenario.name}")
-        verdicts.append(
-            run_scenario(
+        labels.append(f"ladder / {scenario.name}")
+        items.append(
+            (
                 ladder_ts,
                 scenario,
-                workload_name="table1-ladder",
-                speedup=2.0,
-                horizon=400.0,
+                dict(workload_name="table1-ladder", speedup=2.0, horizon=400.0),
             )
         )
-    return verdicts
+    if jobs == 1:
+        verdicts = []
+        for label, item in zip(labels, items):
+            if progress is not None:
+                progress(label)
+            verdicts.append(_run_scenario_item(item))
+        return verdicts
+    reporter = None
+    if progress is not None:
+        def reporter(done: int, total: int) -> None:
+            progress(f"{labels[done - 1]} [{done}/{total}]")
+    runner = BatchRunner(jobs=jobs, progress=reporter)
+    return runner.map_items(_run_scenario_item, items)
 
 
 def render(verdicts: Sequence[ResilienceVerdict]) -> str:

@@ -21,8 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.analysis.resetting import resetting_time
-from repro.analysis.speedup import min_speedup
+from repro.api import min_speedup, resetting_time
 from repro.model.taskset import TaskSet
 from repro.sim.degradation import DegradationPolicy, Rung
 from repro.sim.faults import FaultConfig

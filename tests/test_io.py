@@ -61,7 +61,24 @@ class TestTasksetRoundTrip:
             taskset_from_json('{"format": "something-else"}')
 
     def test_rejects_future_version(self, table1):
-        text = taskset_to_json(table1).replace('"version": 1', '"version": 99')
+        text = taskset_to_json(table1).replace(
+            '"schema_version": 2', '"schema_version": 99'
+        )
+        assert '"schema_version": 99' in text
+        with pytest.raises(ValueError, match="unsupported"):
+            taskset_from_json(text)
+
+    def test_reads_legacy_version_field(self, table1):
+        text = taskset_to_json(table1).replace(
+            '"schema_version": 2', '"version": 1'
+        )
+        clone = taskset_from_json(text)
+        assert [t.name for t in clone] == [t.name for t in table1]
+
+    def test_rejects_unknown_legacy_version(self, table1):
+        text = taskset_to_json(table1).replace(
+            '"schema_version": 2', '"version": 7'
+        )
         with pytest.raises(ValueError, match="unsupported"):
             taskset_from_json(text)
 

@@ -1,0 +1,287 @@
+"""Batch pipeline: determinism, caching, checkpoint/resume, error capture."""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.table1 import table1_degraded_taskset, table1_taskset
+from repro.generator.taskgen import GeneratorConfig, generate_taskset
+from repro.model.task import Criticality, MCTask
+from repro.model.taskset import TaskSet
+from repro.pipeline import (
+    AnalysisReport,
+    AnalysisRequest,
+    BatchRunner,
+    ResultCache,
+    evaluate_request,
+    request_fingerprint,
+    run_batch,
+    taskset_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    """Seeded 200-task-set population (Figure-6 generator)."""
+    rng = np.random.default_rng(42)
+    return [
+        generate_taskset(0.6, rng, GeneratorConfig(), name=f"p{i}")
+        for i in range(200)
+    ]
+
+
+@pytest.fixture(scope="module")
+def population_requests(population):
+    return [
+        AnalysisRequest(
+            taskset=ts, speedup=2.0, auto_x="density", y=2.0, resetting="always"
+        )
+        for ts in population
+    ]
+
+
+def _dicts(reports):
+    return [r.to_dict() for r in reports]
+
+
+class TestFingerprint:
+    def test_name_invariant(self):
+        a = table1_taskset()
+        b = TaskSet(list(a), name="renamed")
+        assert taskset_fingerprint(a) == taskset_fingerprint(b)
+
+    def test_task_order_invariant(self):
+        a = table1_taskset()
+        b = TaskSet(list(reversed(list(a))), name=a.name)
+        assert taskset_fingerprint(a) == taskset_fingerprint(b)
+
+    def test_parameter_sensitive(self):
+        a = table1_taskset()
+        bumped = [
+            MCTask(
+                name=t.name, crit=t.crit, c_lo=t.c_lo, c_hi=t.c_hi,
+                d_lo=2.0 * t.d_lo, d_hi=2.0 * t.d_hi,
+                t_lo=2.0 * t.t_lo, t_hi=2.0 * t.t_hi,
+            )
+            for t in a
+        ]
+        assert taskset_fingerprint(a) != taskset_fingerprint(TaskSet(bumped))
+
+    def test_options_sensitive(self):
+        ts = table1_taskset()
+        k1 = AnalysisRequest(taskset=ts, speedup=2.0).key
+        k2 = AnalysisRequest(taskset=ts, speedup=3.0).key
+        k3 = AnalysisRequest(taskset=ts, speedup=2.0).key
+        assert k1 != k2
+        assert k1 == k3
+
+    def test_request_fingerprint_is_hex_digest(self):
+        key = request_fingerprint(table1_taskset(), {"speedup": 2.0})
+        assert len(key) == 64 and set(key) <= set("0123456789abcdef")
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_reports_identical(self, population_requests):
+        serial = BatchRunner(jobs=1).run(population_requests)
+        parallel = BatchRunner(jobs=4).run(population_requests)
+        assert _dicts(serial) == _dicts(parallel)
+
+    def test_reports_in_request_order(self, population, population_requests):
+        reports = BatchRunner(jobs=4).run(population_requests)
+        assert [r.name for r in reports] == [ts.name for ts in population]
+
+    def test_duplicate_requests_computed_once(self):
+        req = AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
+        runner = BatchRunner(jobs=1)
+        reports = runner.run([req, req, req])
+        assert runner.stats.computed == 1
+        assert runner.stats.total == 3
+        assert len({json.dumps(d, sort_keys=True) for d in _dicts(reports)}) == 1
+
+
+class TestCache:
+    def test_second_run_recomputes_nothing(self, tmp_path, population_requests):
+        cache = ResultCache(tmp_path / "cache")
+        first = BatchRunner(jobs=1, cache=cache)
+        reports1 = first.run(population_requests[:50])
+        assert first.stats.computed == 50
+        second = BatchRunner(jobs=1, cache=cache)
+        reports2 = second.run(population_requests[:50])
+        assert second.stats.computed == 0
+        assert second.stats.cache_hits == 50
+        assert _dicts(reports1) == _dicts(reports2)
+
+    def test_disk_survives_memory_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        req = AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
+        r1 = BatchRunner(cache=cache).run([req])
+        cache.clear_memory()
+        assert len(cache) == 0
+        runner = BatchRunner(cache=cache)
+        r2 = runner.run([req])
+        assert runner.stats.cache_hits == 1
+        assert _dicts(r1) == _dicts(r2)
+
+    def test_memory_only_cache(self):
+        cache = ResultCache()
+        req = AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
+        BatchRunner(cache=cache).run([req])
+        assert len(cache) == 1
+        assert cache.directory is None
+
+
+class TestCheckpointResume:
+    def test_resume_after_simulated_kill(self, tmp_path, population_requests):
+        requests = population_requests[:40]
+        ck = tmp_path / "sweep.jsonl"
+        full = BatchRunner(jobs=1, checkpoint=ck)
+        reference = full.run(requests)
+        lines = ck.read_text().splitlines()
+        assert len(lines) == full.stats.computed
+
+        # Simulate a mid-batch kill: keep only the first 15 completed
+        # items (plus a torn final line, as a killed append would leave).
+        ck.write_text("\n".join(lines[:15]) + "\n" + lines[15][: len(lines[15]) // 2])
+        resumed = BatchRunner(jobs=1, checkpoint=ck, resume=True)
+        reports = resumed.run(requests)
+        assert resumed.stats.resumed == 15
+        assert resumed.stats.computed == full.stats.computed - 15
+        assert _dicts(reports) == _dicts(reference)
+
+    def test_resume_with_complete_checkpoint_computes_nothing(self, tmp_path):
+        requests = [
+            AnalysisRequest(taskset=table1_taskset(), speedup=s)
+            for s in (1.5, 2.0, 3.0)
+        ]
+        ck = tmp_path / "done.jsonl"
+        BatchRunner(checkpoint=ck).run(requests)
+        runner = BatchRunner(checkpoint=ck, resume=True)
+        runner.run(requests)
+        assert runner.stats.computed == 0
+        assert runner.stats.resumed == 3
+
+    def test_unknown_checkpoint_version_is_skipped(self, tmp_path):
+        req = AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
+        ck = tmp_path / "old.jsonl"
+        BatchRunner(checkpoint=ck).run([req])
+        entry = json.loads(ck.read_text())
+        entry["checkpoint_version"] = 99
+        ck.write_text(json.dumps(entry) + "\n")
+        runner = BatchRunner(checkpoint=ck, resume=True)
+        runner.run([req])
+        assert runner.stats.resumed == 0
+        assert runner.stats.computed == 1
+
+
+class TestErrorCapture:
+    def test_budget_exhaustion_becomes_failure_record(self):
+        req = AnalysisRequest(
+            taskset=table1_taskset(), speedup=2.0, max_candidates=1
+        )
+        report = run_batch([req])[0]
+        assert report.failure is not None
+        assert report.failure.error_type == "AnalysisBudgetExceeded"
+        assert not report.ok
+        assert math.isinf(report.s_min)
+
+    def test_failed_item_does_not_poison_the_batch(self):
+        good = AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
+        bad = AnalysisRequest(
+            taskset=table1_taskset(), speedup=2.0, max_candidates=1
+        )
+        runner = BatchRunner(jobs=1)
+        reports = runner.run([bad, good, bad])
+        assert runner.stats.failures == 1  # bad deduplicates to one computation
+        assert reports[1].failure is None
+        assert reports[1].ok
+        assert reports[0].to_dict() == reports[2].to_dict()
+
+    def test_failure_round_trips_through_checkpoint(self, tmp_path):
+        bad = AnalysisRequest(
+            taskset=table1_taskset(), speedup=2.0, max_candidates=1
+        )
+        ck = tmp_path / "fail.jsonl"
+        first = run_batch([bad], checkpoint=ck)[0]
+        resumed = BatchRunner(checkpoint=ck, resume=True)
+        second = resumed.run([bad])[0]
+        assert resumed.stats.resumed == 1
+        assert second.to_dict() == first.to_dict()
+
+
+class TestProgress:
+    def test_progress_reaches_total(self, population_requests):
+        seen = []
+        BatchRunner(jobs=1, progress=lambda done, total: seen.append((done, total))).run(
+            population_requests[:10]
+        )
+        assert seen[-1] == (10, 10)
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+    def test_progress_counts_cache_hits(self):
+        cache = ResultCache()
+        req = AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
+        BatchRunner(cache=cache).run([req])
+        seen = []
+        BatchRunner(
+            cache=cache, progress=lambda done, total: seen.append((done, total))
+        ).run([req])
+        assert seen == [(1, 1)]
+
+
+class TestReportShape:
+    def test_round_trip(self):
+        req = AnalysisRequest(
+            taskset=table1_taskset(),
+            speedup=2.0,
+            reset_budget=7.0,
+            closed_form=False,
+        )
+        report = evaluate_request(req)
+        clone = AnalysisReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+        assert clone.s_min == report.s_min
+        assert clone.delta_r == report.delta_r
+
+    def test_to_record_is_flat(self):
+        report = evaluate_request(
+            AnalysisRequest(taskset=table1_degraded_taskset(), speedup=2.0)
+        )
+        record = report.to_record()
+        assert record["name"] == report.name
+        assert record["s_min"] == pytest.approx(0.875)
+        assert all(not isinstance(v, (dict, list)) for v in record.values())
+
+    def test_infeasible_x_marks_lo_infeasible(self):
+        ts = table1_taskset()
+        report = evaluate_request(
+            AnalysisRequest(taskset=ts, speedup=2.0, x=1.5, y=2.0)
+        )
+        assert report.lo_ok is False
+        assert math.isinf(report.s_min)
+
+    def test_plain_request_runs_exact_lo_test(self):
+        report = evaluate_request(AnalysisRequest(taskset=table1_taskset()))
+        assert report.lo_ok is True
+        assert report.hi_ok is None
+        assert report.within_budget is None
+
+    def test_validation_rejects_bad_options(self):
+        ts = table1_taskset()
+        with pytest.raises(Exception):
+            AnalysisRequest(taskset=ts, speedup=-1.0)
+        with pytest.raises(Exception):
+            AnalysisRequest(taskset=ts, resetting="sometimes")
+        with pytest.raises(Exception):
+            AnalysisRequest(taskset=ts, auto_x="magic")
+        with pytest.raises(Exception):
+            AnalysisRequest(taskset="not a task set")
+
+    def test_criticality_mix_hashes_distinctly(self):
+        hi = MCTask(name="t", crit=Criticality.HI, c_lo=1.0, c_hi=2.0,
+                    d_lo=10.0, d_hi=10.0, t_lo=10.0, t_hi=10.0)
+        lo = MCTask(name="t", crit=Criticality.LO, c_lo=1.0, c_hi=1.0,
+                    d_lo=10.0, d_hi=10.0, t_lo=10.0, t_hi=10.0)
+        assert taskset_fingerprint(TaskSet([hi])) != taskset_fingerprint(TaskSet([lo]))
