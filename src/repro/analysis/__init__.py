@@ -14,9 +14,26 @@ Implements the paper's analytical machinery:
 * :mod:`repro.analysis.tuning` — choosing the deadline-shortening factor.
 * :mod:`repro.analysis.overrun` — Section IV remark: overrun burst
   frequency and speedup duty cycle.
+* :mod:`repro.analysis.kernels` — compiled struct-of-arrays demand
+  kernels (the default ``engine="compiled"`` fast path of the scans).
 """
 
 from repro.analysis.budget import AnalysisBudgetExceeded, CandidateBudget
+from repro.analysis.kernels import (
+    MEMO,
+    PERF,
+    AnalysisMemo,
+    CompiledTaskSet,
+    KernelCounters,
+    ScalarEvaluator,
+    adopt_compiled,
+    clear_compile_cache,
+    clear_memo,
+    compile_taskset,
+    get_evaluator,
+    perf_reset,
+    perf_snapshot,
+)
 from repro.analysis.dbf import (
     adb_hi,
     dbf_hi,
@@ -54,6 +71,19 @@ from repro.analysis.sensitivity import (
 __all__ = [
     "AnalysisBudgetExceeded",
     "CandidateBudget",
+    "AnalysisMemo",
+    "CompiledTaskSet",
+    "KernelCounters",
+    "MEMO",
+    "PERF",
+    "ScalarEvaluator",
+    "adopt_compiled",
+    "clear_compile_cache",
+    "clear_memo",
+    "compile_taskset",
+    "get_evaluator",
+    "perf_reset",
+    "perf_snapshot",
     "adb_hi",
     "dbf_hi",
     "dbf_lo",

@@ -61,13 +61,16 @@ def extended_mod(a: ArrayLike, b: float) -> ArrayLike:
     """
     a_arr = np.asarray(a, dtype=float)
     if math.isinf(b):
-        return a_arr.copy()
+        # Defensive copy only when asarray aliased the caller's array;
+        # freshly converted scalars/lists are already private.
+        return a_arr.copy() if a_arr is a else a_arr
     return a_arr - _floor_div(a_arr, b) * b
 
 
 def _as_result(value: np.ndarray, template: ArrayLike) -> ArrayLike:
     if np.isscalar(template) or (isinstance(template, np.ndarray) and template.ndim == 0):
-        return float(np.asarray(value).reshape(-1)[0])
+        v = np.asarray(value)
+        return float(v) if v.ndim == 0 else float(v.reshape(-1)[0])
     return value
 
 

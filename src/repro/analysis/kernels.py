@@ -1,0 +1,1250 @@
+"""Compiled demand kernels: the struct-of-arrays fast path of the scans.
+
+The Theorem-2 / Theorem-4 analyses evaluate the piecewise-linear demand
+functions ``DBF_LO`` (Eq. 4), ``DBF_HI`` (Eq. 7) and ``ADB_HI`` (Eq. 10)
+at up to millions of candidate interval lengths.  The reference
+implementation in :mod:`repro.analysis.dbf` walks Python ``MCTask``
+objects task-by-task: every evaluation of a window with ``m`` candidates
+issues ``O(n_tasks)`` separate NumPy calls on length-``m`` arrays, and
+every window re-derives per-task breakpoint lattices with per-offset
+``np.arange`` loops.  For the synthetic sweeps (thousands of task sets)
+and the tuning/sensitivity search loops (dozens of probes per set) that
+per-task Python overhead — not the arithmetic — dominates wall-clock.
+
+This module compiles a :class:`~repro.model.taskset.TaskSet` once into a
+:class:`CompiledTaskSet`: a struct-of-arrays snapshot (``c_lo``/``c_hi``/
+``d_lo``/``d_hi``/``t_lo``/``t_hi`` vectors plus terminated/criticality
+masks) with
+
+* fused broadcast kernels :meth:`CompiledTaskSet.total_dbf_lo`,
+  :meth:`~CompiledTaskSet.total_dbf_hi` and
+  :meth:`~CompiledTaskSet.total_adb_hi` that evaluate all tasks at all
+  deltas in one chunked ``(n_tasks, n_deltas)`` matrix expression;
+* a vectorized breakpoint generator
+  (:meth:`CompiledTaskSet.breakpoints_in`) that materialises the union
+  lattice ``{k * T + offset}`` for a window without per-task /
+  per-offset Python loops;
+* cheap column derivations (:meth:`~CompiledTaskSet.with_hi_lo_deadline_factor`,
+  :meth:`~CompiledTaskSet.with_lo_deadline`) so the tuning loops rescale
+  one column instead of rebuilding and re-validating ``MCTask`` objects.
+
+**Bit-exactness contract.**  Every kernel mirrors the scalar oracle's
+elementary floating-point operations — same slacked floor
+(:data:`~repro.analysis.dbf.FLOOR_SLACK`), same extended-``mod``
+expansion, same task-order summation (``np.add.reduce`` over axis 0 adds
+rows sequentially, exactly like the scalar per-task accumulation) — so
+the compiled and scalar paths agree to the last bit, not merely within a
+tolerance.  ``tests/test_kernels.py`` property-tests this equivalence and
+the equality of the full ``min_speedup`` / ``resetting_time`` results.
+
+Compilation is cached *on the task set* keyed by its content fingerprint
+(:func:`repro.model.fingerprint.taskset_fingerprint`, the same
+canonicalisation the batch pipeline's result cache uses): compiling the
+same instance twice is free, and distinct instances with equal content
+share one compiled snapshot through a bounded registry.  Derived
+snapshots (rescaled columns) do not re-enter the registry; their
+fingerprints are computed lazily only when a memo needs them.
+
+:class:`AnalysisMemo` is the small fingerprint-keyed memo the scan entry
+points (``min_speedup``, ``resetting_time``, ``lo_mode_schedulable``)
+consult on the compiled path, so the sensitivity bisections and the
+per-task tuning loop never recompute an analysis for a task-set content
+they have already solved.
+
+:data:`PERF` counts kernel invocations, evaluated matrix cells,
+materialised breakpoints and kernel seconds; the scan results surface a
+per-call snapshot through ``SpeedupResult.perf`` / report diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis import points as pts
+from repro.analysis.budget import CandidateBudget
+from repro.analysis.dbf import (
+    FLOOR_SLACK,
+    adb_hi_excess_bound,
+    dbf_hi_excess_bound,
+    hi_mode_rate,
+    total_adb_hi,
+    total_dbf_hi,
+    total_dbf_lo,
+)
+from repro.model.fingerprint import digest_task_rows, taskset_fingerprint
+from repro.model.task import Criticality, ModelError
+from repro.model.taskset import TaskSet
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Cap on the broadcast matrix size (tasks x deltas) per kernel chunk.
+#: Kept small enough that a chunk's working set (the block matrix plus a
+#: handful of same-shape temporaries) stays L2-resident: with float64 and
+#: ~8 live temporaries, 16 Ki cells is ~1 MiB.  Chunk boundaries are
+#: numerically irrelevant — every column is computed independently — so
+#: this differs from the scalar ``dbf._total`` chunking without breaking
+#: bit-exactness.
+_CHUNK_CELLS = 16_384
+
+#: Stripe width of the pruned window-peak evaluation: demand is evaluated
+#: at every ``_STRIPE``-th breakpoint first, and the stripes in between
+#: are only evaluated when their upper bound can still beat the running
+#: best ratio.
+_STRIPE = 16
+
+#: Relative safety margin of the stripe bound.  Demand is mathematically
+#: nondecreasing in Delta but its float evaluation can violate
+#: monotonicity by a few ulps; the guard absorbs that, so pruning never
+#: discards a candidate whose float ratio could reach the running best.
+_PRUNE_GUARD = 1e-9
+
+#: Attribute under which a compiled snapshot is attached to a TaskSet.
+_COMPILED_ATTR = "_repro_compiled"
+
+
+# ---------------------------------------------------------------------------
+# Perf counters
+# ---------------------------------------------------------------------------
+@dataclass
+class KernelCounters:
+    """Lightweight running totals of compiled-kernel work.
+
+    Attributes
+    ----------
+    kernel_evals:
+        Fused kernel invocations (one per ``total_*`` call).
+    cells:
+        ``tasks x deltas`` matrix cells evaluated across all kernels.
+    candidates:
+        Breakpoints materialised by the vectorized generator.
+    pruned:
+        Candidates whose demand evaluation the stripe-pruned window peak
+        (:meth:`CompiledTaskSet.window_peak`) proved unnecessary.
+    kernel_seconds:
+        Wall-clock seconds spent inside the kernels and the generator.
+    compiles:
+        ``CompiledTaskSet`` builds (cache misses + derivations).
+    memo_hits / memo_misses:
+        :class:`AnalysisMemo` lookups on the compiled scan path.
+    """
+
+    kernel_evals: int = 0
+    cells: int = 0
+    candidates: int = 0
+    pruned: int = 0
+    kernel_seconds: float = 0.0
+    compiles: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The counters as a plain dict (JSON-ready)."""
+        return {
+            "kernel_evals": self.kernel_evals,
+            "cells": self.cells,
+            "candidates": self.candidates,
+            "pruned": self.pruned,
+            "kernel_seconds": self.kernel_seconds,
+            "compiles": self.compiles,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
+
+    def reset(self) -> None:
+        self.kernel_evals = 0
+        self.cells = 0
+        self.candidates = 0
+        self.pruned = 0
+        self.kernel_seconds = 0.0
+        self.compiles = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def delta_since(self, before: Dict[str, Any]) -> Dict[str, Any]:
+        """Difference between the current totals and a prior snapshot."""
+        now = self.snapshot()
+        return {key: now[key] - before.get(key, 0) for key in now}
+
+
+#: Process-wide kernel counters (per-process: pool workers each get one).
+PERF = KernelCounters()
+
+
+def perf_snapshot() -> Dict[str, Any]:
+    """Current :data:`PERF` totals (convenience for reports/benchmarks)."""
+    return PERF.snapshot()
+
+
+def perf_reset() -> None:
+    """Zero :data:`PERF` (benchmarks call this between timed passes)."""
+    PERF.reset()
+
+
+# ---------------------------------------------------------------------------
+# The compiled task set
+# ---------------------------------------------------------------------------
+class CompiledTaskSet:
+    """Struct-of-arrays snapshot of a task set plus fused demand kernels.
+
+    Build via :func:`compile_taskset` (cached), not the constructor.  All
+    arrays are float64 in the *original task order* — summation order is
+    part of the bit-exactness contract with the scalar oracle.
+    """
+
+    __slots__ = (
+        "taskset",
+        "names",
+        "n",
+        "c_lo",
+        "c_hi",
+        "d_lo",
+        "d_hi",
+        "t_lo",
+        "t_hi",
+        "is_hi",
+        "terminated",
+        "hi_inf",
+        # (n, 1) kernel columns (full set: LO-mode kernel)
+        "_c_lo_col",
+        "_d_lo_col",
+        "_t_lo_col",
+        # active-row (non-terminated) columns for the HI-mode kernels, plus
+        # the index maps back into full task order
+        "_act_idx",
+        "_term_idx",
+        "_a_c_lo_col",
+        "_a_c_hi_col",
+        "_a_chd_col",
+        "_a_t_hi_col",
+        "_a_t_hi_mult_col",
+        "_a_gap_col",
+        "_a_gap_star_col",
+        "_a_one_plus_col",
+        "_term_c_hi_col",
+        # scalars mirroring the python-sum order of dbf.py / points.py
+        "rate",
+        "dbf_excess",
+        "_adb_excess",
+        "_adb_excess_drop",
+        "lo_rate",
+        "lo_excess",
+        "lo_max_period",
+        "lo_density",
+        "_max_finite_period",
+        "_density",
+        "_bp_off",
+        "_bp_per",
+        "_fingerprint",
+        "_memo_token",
+    )
+
+    def __init__(self) -> None:  # pragma: no cover - guarded constructor
+        raise TypeError("use compile_taskset() to build a CompiledTaskSet")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_arrays(
+        cls,
+        names: Tuple[str, ...],
+        is_hi: np.ndarray,
+        c_lo: np.ndarray,
+        c_hi: np.ndarray,
+        d_lo: np.ndarray,
+        d_hi: np.ndarray,
+        t_lo: np.ndarray,
+        t_hi: np.ndarray,
+        *,
+        taskset: Optional[TaskSet] = None,
+        fingerprint: Optional[str] = None,
+    ) -> "CompiledTaskSet":
+        self = object.__new__(cls)
+        self.taskset = taskset
+        self.names = names
+        self.n = len(names)
+        self.c_lo = c_lo
+        self.c_hi = c_hi
+        self.d_lo = d_lo
+        self.d_hi = d_hi
+        self.t_lo = t_lo
+        self.t_hi = t_hi
+        self.is_hi = is_hi
+        hi_inf = np.isinf(t_hi)
+        self.hi_inf = hi_inf
+        # Eq. (3): a LO task is terminated when both HI-mode parameters
+        # are infinite (MCTask guarantees d_hi finite for HI tasks).
+        self.terminated = (~is_hi) & hi_inf & np.isinf(d_hi)
+
+        col = lambda a: a.reshape(-1, 1)  # noqa: E731 - tiny local alias
+        self._c_lo_col = col(c_lo)
+        self._d_lo_col = col(d_lo)
+        self._t_lo_col = col(t_lo)
+        # The HI-mode kernels only do arithmetic on the *active*
+        # (non-terminated) rows.  A terminated task's DBF_HI row is exactly
+        # +0.0 and its ADB_HI row is exactly C(HI) (a constant), so the
+        # expensive formula rows are restricted to the active subset and
+        # the rest is either skipped (+0.0 never changes a non-negative
+        # running sum bitwise) or filled in by assignment.
+        act_idx = np.flatnonzero(~self.terminated)
+        term_idx = np.flatnonzero(self.terminated)
+        self._act_idx = act_idx
+        self._term_idx = term_idx
+        sub = lambda a: a[act_idx].reshape(-1, 1)  # noqa: E731
+        finite_period = np.where(hi_inf, 0.0, t_hi)
+        self._a_c_lo_col = sub(c_lo)
+        self._a_c_hi_col = sub(c_hi)
+        self._a_chd_col = sub(c_hi - c_lo)
+        self._a_t_hi_col = sub(t_hi)
+        self._a_t_hi_mult_col = sub(finite_period)
+        self._a_gap_col = sub(d_hi - d_lo)
+        self._a_gap_star_col = sub(t_hi - d_lo)
+        self._a_one_plus_col = sub(1.0 + finite_period)
+        self._term_c_hi_col = c_hi[term_idx].reshape(-1, 1)
+
+        self._compile_scalars()
+        # Breakpoint tables are built lazily per kind (dbf/adb/lo): a
+        # min_speedup probe never pays for the adb lattice and a tuning
+        # derivation only rebuilds the kinds its scans actually touch.
+        self._bp_off = {}
+        self._bp_per = {}
+        self._density = {}
+        self._fingerprint = fingerprint
+        self._memo_token = fingerprint
+        PERF.compiles += 1
+        return self
+
+    @classmethod
+    def _from_taskset(cls, taskset: TaskSet, fingerprint: str) -> "CompiledTaskSet":
+        names = tuple(t.name for t in taskset)
+        mat = np.array(
+            [(t.c_lo, t.c_hi, t.d_lo, t.d_hi, t.t_lo, t.t_hi) for t in taskset],
+            dtype=float,
+        ).reshape(-1, 6)
+        cols = np.ascontiguousarray(mat.T)
+        return cls._from_arrays(
+            names,
+            np.array([t.is_hi for t in taskset], dtype=bool),
+            cols[0],
+            cols[1],
+            cols[2],
+            cols[3],
+            cols[4],
+            cols[5],
+            taskset=taskset,
+            fingerprint=fingerprint,
+        )
+
+    def _compile_scalars(self) -> None:
+        """Aggregate rates/excess bounds in the oracle's summation order.
+
+        These loops intentionally mirror :func:`repro.analysis.dbf.
+        hi_mode_rate` & friends term by term — a NumPy reduction would use
+        pairwise summation and could differ in the last bit.
+        """
+        c_lo = self.c_lo.tolist()
+        c_hi = self.c_hi.tolist()
+        d_lo = self.d_lo.tolist()
+        t_lo = self.t_lo.tolist()
+        t_hi = self.t_hi.tolist()
+        terminated = self.terminated.tolist()
+        rate = 0
+        dbf_excess = 0
+        adb_excess = 0.0
+        adb_excess_drop = 0.0
+        lo_rate = 0
+        lo_excess = 0
+        lo_density = 0.0
+        for i in range(self.n):
+            period = t_hi[i]
+            chi = c_hi[i]
+            rate = rate + (0.0 if math.isinf(period) else chi / period)
+            if terminated[i]:
+                adb_excess += chi
+            else:
+                dbf_excess = dbf_excess + chi
+                adb_excess += 2.0 * chi
+                adb_excess_drop += 2.0 * chi
+            u_lo = c_lo[i] / t_lo[i]
+            lo_rate = lo_rate + u_lo
+            lo_excess = lo_excess + u_lo * max(t_lo[i] - d_lo[i], 0.0)
+        self.rate = float(rate)
+        self.dbf_excess = float(dbf_excess)
+        self._adb_excess = float(adb_excess)
+        self._adb_excess_drop = float(adb_excess_drop)
+        self.lo_rate = float(lo_rate)
+        self.lo_excess = float(lo_excess)
+        self.lo_max_period = max(t_lo) if self.n else 0.0
+        for i in range(self.n):
+            lo_density += 1.0 / t_lo[i]
+        self.lo_density = lo_density
+        finite = [p for p in t_hi if not math.isinf(p)]
+        self._max_finite_period = max(finite) if finite else 0.0
+
+    def _ensure_breakpoint_table(self, kind: str) -> None:
+        """Flatten each task's in-period offsets into the ``kind`` lattice.
+
+        Offsets are derived with the same float arithmetic as
+        :func:`repro.analysis.points.dbf_hi_offsets` /
+        :func:`~repro.analysis.points.adb_hi_offsets`, then stored as
+        parallel ``(offset, period)`` arrays so a window enumeration is a
+        single broadcast instead of a per-task/per-offset loop.
+        """
+        if kind in self._density:
+            return
+        if kind == "lo":
+            # DBF_LO breakpoints: each task's deadline lattice k*T(LO)+D(LO).
+            self._bp_off[kind] = self.d_lo.copy()
+            self._bp_per[kind] = self.t_lo.copy()
+            self._density[kind] = self.lo_density
+            return
+        # Vectorized offset filtering with the oracle's exact semantics:
+        # per task keep the distinct offsets in [0, period].  The period
+        # itself always qualifies; the gap offsets are masked by the same
+        # range test plus exact-equality dedup the scalar set-literal
+        # performs.  The (offset, period) pair *order* is irrelevant —
+        # `_lattice_points` unions and sorts — but the density must add
+        # each task's count/period in original task order, so the final
+        # reduction is a sequential Python sum, not a NumPy reduction.
+        if kind == "dbf":
+            sel = ~(self.terminated | self.hi_inf)
+        else:
+            sel = ~self.hi_inf
+        p = self.t_hi[sel]
+        if p.size == 0:
+            self._bp_off[kind] = np.empty(0)
+            self._bp_per[kind] = np.empty(0)
+            self._density[kind] = 0.0
+            return
+        c_lo = self.c_lo[sel]
+        if kind == "dbf":
+            gap = self.d_hi[sel] - self.d_lo[sel]
+        else:
+            gap = p - self.d_lo[sel]
+        gap2 = gap + c_lo
+        keep_gap = (gap >= 0.0) & (gap <= p) & (gap != p)
+        keep_gap2 = (gap2 >= 0.0) & (gap2 <= p) & (gap2 != p) & (gap2 != gap)
+        if kind == "dbf":
+            counts = keep_gap.astype(np.int64) + keep_gap2 + 1
+            pieces_off = [gap[keep_gap], gap2[keep_gap2], p]
+            pieces_per = [p[keep_gap], p[keep_gap2], p]
+        else:
+            # ADB offsets also include 0.0 for every task; dedup the gap
+            # offsets against it exactly like the scalar set literal.
+            keep_gap &= gap != 0.0
+            keep_gap2 &= gap2 != 0.0
+            counts = keep_gap.astype(np.int64) + keep_gap2 + 2
+            zeros = np.zeros_like(p)
+            pieces_off = [zeros, gap[keep_gap], gap2[keep_gap2], p]
+            pieces_per = [p, p[keep_gap], p[keep_gap2], p]
+        self._bp_off[kind] = np.concatenate(pieces_off)
+        self._bp_per[kind] = np.concatenate(pieces_per)
+        self._density[kind] = float(sum((counts / p).tolist()))
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint (lazy for derived snapshots).
+
+        Matches :func:`repro.model.fingerprint.taskset_fingerprint` of the
+        equivalent ``TaskSet`` exactly — derived snapshots hash the same
+        canonical payload built straight from the arrays.
+        """
+        if self._fingerprint is None:
+            order = sorted(range(self.n), key=lambda i: self.names[i])
+            hi_crit = Criticality.HI.value
+            lo_crit = Criticality.LO.value
+            is_hi = self.is_hi.tolist()
+            c_lo, c_hi = self.c_lo.tolist(), self.c_hi.tolist()
+            d_lo, d_hi = self.d_lo.tolist(), self.d_hi.tolist()
+            t_lo, t_hi = self.t_lo.tolist(), self.t_hi.tolist()
+            self._fingerprint = digest_task_rows(
+                (
+                    self.names[i],
+                    hi_crit if is_hi[i] else lo_crit,
+                    c_lo[i], c_hi[i], d_lo[i], d_hi[i], t_lo[i], t_hi[i],
+                )
+                for i in order
+            )
+        return self._fingerprint
+
+    @property
+    def memo_token(self) -> Any:
+        """Cheap content-identity key for the analysis memo.
+
+        Base compiles use the content fingerprint itself; a derived
+        snapshot keys as ``(parent_token, op, params...)``, which
+        determines its content just as uniquely (the derivation is a
+        deterministic pure function of the parent's content) without
+        paying a digest per probe.  Tokens of different shapes never
+        collide, so equal tokens always mean equal content — the memo's
+        only requirement.  Content-equal snapshots reached by *different*
+        derivation routes get distinct tokens, which merely costs a memo
+        miss.
+        """
+        if self._memo_token is None:
+            self._memo_token = self.fingerprint
+        return self._memo_token
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        src = self.taskset.name if self.taskset is not None else "derived"
+        return f"CompiledTaskSet({src!r}, n={self.n})"
+
+    # ------------------------------------------------------------------
+    # Fused demand kernels
+    # ------------------------------------------------------------------
+    def _fused_total(
+        self, delta: ArrayLike, block_fn: Callable[[np.ndarray], np.ndarray]
+    ) -> ArrayLike:
+        start = time.perf_counter()
+        d = np.atleast_1d(np.asarray(delta, dtype=float))
+        total = np.zeros_like(d)
+        if self.n:
+            chunk = max(1, _CHUNK_CELLS // self.n)
+            for lo in range(0, d.size, chunk):
+                block = d[lo : lo + chunk]
+                if block.size == 1:
+                    # np.add.reduce over an (n, 1) matrix falls back to
+                    # NumPy's pairwise 1-D sum, which diverges from the
+                    # oracle's sequential task-order accumulation once
+                    # n >= 8.  Widening to two identical columns keeps the
+                    # reduction on the strided row-sequential path.
+                    wide = np.add.reduce(
+                        block_fn(np.concatenate([block, block])), axis=0
+                    )
+                    total[lo : lo + 1] = wide[:1]
+                else:
+                    total[lo : lo + chunk] = np.add.reduce(block_fn(block), axis=0)
+            PERF.cells += self.n * d.size
+        PERF.kernel_evals += 1
+        PERF.kernel_seconds += time.perf_counter() - start
+        if np.isscalar(delta) or (isinstance(delta, np.ndarray) and delta.ndim == 0):
+            return float(total.reshape(-1)[0])
+        return total
+
+    @staticmethod
+    def _floor_div_rows(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+        """Row-broadcast ``_floor_div``: slacked floor of ``num / den``.
+
+        ``den`` entries of ``+inf`` yield 0 exactly like the scalar path
+        (``q = x / inf = 0`` and ``floor(0 + slack) = 0``).  The in-place
+        chaining computes ``floor(q + FLOOR_SLACK * (1.0 + |q|))`` with the
+        identical elementary operations, just reusing one buffer.
+        """
+        q = num / den
+        slack = np.abs(q)
+        slack += 1.0
+        slack *= FLOOR_SLACK
+        slack += q
+        return np.floor(slack, out=slack)
+
+    def _carry_rows(
+        self,
+        block: np.ndarray,
+        window: np.ndarray,
+        one_plus_col: np.ndarray,
+        c_lo_col: np.ndarray,
+        chd_col: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. (6) carry-over demand for a (rows x deltas) window matrix.
+
+        Value-identical to ``carry_over_demand(.., _w_slack(..))``:
+        ``where(w >= -FLOOR_SLACK*(1+T+|Delta|), min(max(w,0),C(LO))+CHD, 0)``.
+        """
+        slack = one_plus_col + np.abs(block)
+        slack *= FLOOR_SLACK
+        np.negative(slack, out=slack)
+        demand = np.maximum(window, 0.0)
+        np.minimum(demand, c_lo_col, out=demand)
+        demand += chd_col
+        return np.where(window >= slack, demand, 0.0)
+
+    def total_dbf_lo(self, delta: ArrayLike) -> ArrayLike:
+        """Fused Eq. (4): system LO-mode demand at every ``delta``."""
+
+        def rows(block: np.ndarray) -> np.ndarray:
+            jobs = self._floor_div_rows(block - self._d_lo_col, self._t_lo_col)
+            jobs += 1.0
+            np.maximum(jobs, 0.0, out=jobs)
+            jobs *= self._c_lo_col
+            return jobs
+
+        return self._fused_total(delta, rows)
+
+    def total_dbf_hi(self, delta: ArrayLike) -> ArrayLike:
+        """Fused Eq. (7) / Lemma 1: system HI-mode demand (Theorem 2).
+
+        Only active rows are materialised: a terminated task's row is
+        exactly +0.0, and adding +0.0 to a non-negative running sum is a
+        bitwise no-op, so skipping those rows keeps the reduction
+        bit-identical to the scalar oracle's task-order accumulation.
+        """
+
+        def rows(block: np.ndarray) -> np.ndarray:
+            k = self._floor_div_rows(block, self._a_t_hi_col)
+            # extended mod: Delta - floor(Delta/T)*T; the multiply uses the
+            # zeroed-period column so k*T is 0 (not nan) for T = +inf rows,
+            # matching the scalar `a mod inf = a` branch.
+            window = block - k * self._a_t_hi_mult_col
+            window -= self._a_gap_col
+            carry = self._carry_rows(
+                block, window, self._a_one_plus_col, self._a_c_lo_col, self._a_chd_col
+            )
+            k *= self._a_c_hi_col  # k becomes the body term
+            k += carry
+            return k
+
+        return self._fused_total(delta, rows)
+
+    def total_adb_hi(
+        self, delta: ArrayLike, *, drop_terminated_carryover: bool = False
+    ) -> ArrayLike:
+        """Fused Eq. (10) / Theorem 4: system arrived demand (Eq. 11).
+
+        Active rows run the full formula; a terminated task's row is the
+        constant ``C(HI)`` (``(0+1)*C + 0.0`` carry), filled by assignment
+        in original task order so the reduction matches the oracle bit for
+        bit.  With ``drop_terminated_carryover`` the terminated rows are
+        exactly +0.0 and are skipped outright.
+        """
+        fill_terminated = not drop_terminated_carryover and self._term_idx.size > 0
+
+        def rows(block: np.ndarray) -> np.ndarray:
+            k = self._floor_div_rows(block, self._a_t_hi_col)
+            window = block - k * self._a_t_hi_mult_col
+            window -= self._a_gap_star_col
+            carry = self._carry_rows(
+                block, window, self._a_one_plus_col, self._a_c_lo_col, self._a_chd_col
+            )
+            k += 1.0
+            k *= self._a_c_hi_col  # k becomes the body term
+            k += carry
+            if not fill_terminated:
+                return k
+            out = np.empty((self.n, block.size))
+            out[self._act_idx] = k
+            out[self._term_idx] = self._term_c_hi_col
+            return out
+
+        return self._fused_total(delta, rows)
+
+    def window_peak(
+        self, candidates: np.ndarray, best_ratio: float = 0.0
+    ) -> Tuple[float, float]:
+        """Peak of ``DBF_HI(Delta) / Delta`` over a window's breakpoints.
+
+        Returns ``(ratio, delta)`` for the first candidate attaining the
+        maximum ratio *among the candidates whose demand was evaluated*.
+        Demand is evaluated at every ``_STRIPE``-th breakpoint first; a
+        stripe of in-between candidates is only filled in when its upper
+        bound ``DBF_HI(c_right) / Delta_first`` (demand is nondecreasing,
+        division is monotone) can still reach ``max(best_ratio,
+        coarse peak)`` within the ``_PRUNE_GUARD`` margin.  Every skipped
+        candidate therefore has a ratio strictly below both the running
+        best and this window's maximum, so the supremum scan's
+        ``(best_ratio, best_delta)`` trajectory — including first-argmax
+        tie-breaking — is bit-identical to the scalar engine's
+        exhaustive evaluation.
+        """
+        m = candidates.size
+        if m < 3 * _STRIPE:
+            demand = np.asarray(self.total_dbf_hi(candidates), dtype=float)
+            ratios = demand / candidates
+            idx = int(np.argmax(ratios))
+            return float(ratios[idx]), float(candidates[idx])
+        coarse = np.arange(_STRIPE - 1, m, _STRIPE)
+        if coarse[-1] != m - 1:
+            coarse = np.append(coarse, m - 1)
+        d_coarse = np.asarray(self.total_dbf_hi(candidates[coarse]), dtype=float)
+        r_coarse = d_coarse / candidates[coarse]
+        at_coarse = int(np.argmax(r_coarse))
+        coarse_peak = float(r_coarse[at_coarse])
+        best_eff = best_ratio if best_ratio > coarse_peak else coarse_peak
+        starts = np.empty(coarse.size, dtype=np.int64)
+        starts[0] = 0
+        starts[1:] = coarse[:-1] + 1
+        bounds = d_coarse / candidates[starts]
+        live_idx = np.flatnonzero(bounds * (1.0 + _PRUNE_GUARD) >= best_eff)
+        if live_idx.size == coarse.size:
+            demand = np.asarray(self.total_dbf_hi(candidates), dtype=float)
+            ratios = demand / candidates
+            idx = int(np.argmax(ratios))
+            return float(ratios[idx]), float(candidates[idx])
+        segments = [
+            np.arange(starts[j], coarse[j], dtype=np.int64) for j in live_idx
+        ]
+        segments = [seg for seg in segments if seg.size]
+        peak = coarse_peak
+        peak_index = int(coarse[at_coarse])
+        if segments:
+            interior = np.concatenate(segments)
+            d_interior = np.asarray(
+                self.total_dbf_hi(candidates[interior]), dtype=float
+            )
+            r_interior = d_interior / candidates[interior]
+            at = int(np.argmax(r_interior))
+            if float(r_interior[at]) > peak or (
+                float(r_interior[at]) == peak and int(interior[at]) < peak_index
+            ):
+                peak = float(r_interior[at])
+                peak_index = int(interior[at])
+            PERF.pruned += int(m - coarse.size - interior.size)
+        else:
+            PERF.pruned += int(m - coarse.size)
+        return peak, float(candidates[peak_index])
+
+    def lo_demand_ok(
+        self, candidates: np.ndarray, speed: float, rtol: float
+    ) -> bool:
+        """``DBF_LO(Delta) <= speed * Delta`` (within ``rtol``) everywhere?
+
+        The boolean analogue of :meth:`window_peak`: demand is evaluated
+        at every ``_STRIPE``-th breakpoint first, and a stripe is only
+        filled in when the demand at its right coarse point — an upper
+        bound for the whole stripe, demand being nondecreasing — can
+        still exceed the *smallest* supply threshold in the stripe
+        within the ``_PRUNE_GUARD`` margin.  A pruned stripe therefore
+        provably contains no violation, and the verdict matches the
+        exhaustive scalar evaluation exactly (the verdict is a pure
+        existence question, insensitive to which candidate witnesses
+        it).
+        """
+        m = candidates.size
+        threshold = lambda c: speed * c * (1.0 + rtol) + rtol  # noqa: E731
+        if m < 3 * _STRIPE:
+            demand = np.asarray(self.total_dbf_lo(candidates), dtype=float)
+            return not bool(np.any(demand > threshold(candidates)))
+        coarse = np.arange(_STRIPE - 1, m, _STRIPE)
+        if coarse[-1] != m - 1:
+            coarse = np.append(coarse, m - 1)
+        d_coarse = np.asarray(self.total_dbf_lo(candidates[coarse]), dtype=float)
+        if np.any(d_coarse > threshold(candidates[coarse])):
+            return False
+        starts = np.empty(coarse.size, dtype=np.int64)
+        starts[0] = 0
+        starts[1:] = coarse[:-1] + 1
+        live_idx = np.flatnonzero(
+            d_coarse * (1.0 + _PRUNE_GUARD) > threshold(candidates[starts])
+        )
+        segments = [
+            np.arange(starts[j], coarse[j], dtype=np.int64) for j in live_idx
+        ]
+        segments = [seg for seg in segments if seg.size]
+        if not segments:
+            PERF.pruned += int(m - coarse.size)
+            return True
+        interior = np.concatenate(segments)
+        d_interior = np.asarray(
+            self.total_dbf_lo(candidates[interior]), dtype=float
+        )
+        PERF.pruned += int(m - coarse.size - interior.size)
+        return not bool(np.any(d_interior > threshold(candidates[interior])))
+
+    def dominant_carryover(self, delta: float) -> Tuple[int, float]:
+        """Largest per-task carry-over demand at interval ``delta``.
+
+        Returns ``(position, demand)`` where ``position`` indexes the
+        HI-task subsequence in original task order (matching
+        ``TaskSet.hi_tasks``), or ``(-1, 0.0)`` when no HI task carries
+        positive demand.  One vectorized pass over the same Eq. (5)/(6)
+        row formulas the demand kernels use, bit-identical to looping
+        ``carry_over_window``/``carry_over_demand`` per task — including
+        the first-strict-maximum selection order.
+        """
+        block = np.array([float(delta)])
+        k = self._floor_div_rows(block, self._a_t_hi_col)
+        window = block - k * self._a_t_hi_mult_col
+        window -= self._a_gap_col
+        carry = self._carry_rows(
+            block, window, self._a_one_plus_col, self._a_c_lo_col, self._a_chd_col
+        )
+        # HI tasks are never terminated, so they all sit in the active
+        # subset, in original task order.
+        r = carry[self.is_hi[self._act_idx], 0]
+        if r.size == 0:
+            return -1, 0.0
+        at = int(np.argmax(r))
+        best = float(r[at])
+        if best <= 0.0:
+            return -1, 0.0
+        return at, best
+
+    # ------------------------------------------------------------------
+    # Scan plumbing (mirrors repro.analysis.points)
+    # ------------------------------------------------------------------
+    def adb_excess(self, *, drop_terminated_carryover: bool = False) -> float:
+        """Eq. (11) envelope offset ``B*`` (precompiled both flavours)."""
+        return self._adb_excess_drop if drop_terminated_carryover else self._adb_excess
+
+    def candidate_density(self, kind: str = "dbf") -> float:
+        """Expected breakpoints per unit of Delta for window sizing."""
+        self._ensure_breakpoint_table(kind)
+        return self._density[kind]
+
+    def max_finite_period(self) -> float:
+        """Largest finite HI-mode period; 0.0 when every task terminated."""
+        return self._max_finite_period
+
+    def initial_window(self) -> float:
+        """First search window: two largest HI-mode periods (min 1.0)."""
+        period = self._max_finite_period
+        if period <= 0.0:
+            return 1.0
+        return 2.0 * period
+
+    def clamp_window(
+        self, start: float, desired_end: float, *, kind: str = "dbf",
+        max_points: int = 200_000,
+    ) -> float:
+        """Largest window end <= desired_end keeping candidates bounded."""
+        self._ensure_breakpoint_table(kind)
+        density = self._density[kind]
+        if density <= 0.0:
+            return desired_end
+        limit = start + max_points / density
+        return min(desired_end, max(limit, start * 1.0 + 1e-12))
+
+    def breakpoints_in(
+        self,
+        lo: float,
+        hi: float,
+        *,
+        kind: str = "dbf",
+        budget: Optional[CandidateBudget] = None,
+    ) -> np.ndarray:
+        """Sorted, de-duplicated system breakpoints in ``(lo, hi]``.
+
+        One broadcast materialises every lattice point ``k * T + offset``
+        across all (task, offset) pairs at once; the result is bit-equal
+        to :func:`repro.analysis.points.breakpoints_in` (``kind`` "dbf" /
+        "adb") and :func:`~repro.analysis.points.dbf_lo_breakpoints_in`
+        (``kind`` "lo").
+        """
+        if kind not in ("dbf", "adb", "lo"):
+            raise ValueError(f"unknown kind: {kind!r}")
+        self._ensure_breakpoint_table(kind)
+        start = time.perf_counter()
+        off = self._bp_off[kind]
+        per = self._bp_per[kind]
+        points = _lattice_points(off, per, lo, hi)
+        if points.size and kind != "lo":
+            # Merge floating-point near-duplicates (relative 1e-12) so the
+            # segment logic never sees zero-length segments — identical to
+            # the scalar points.breakpoints_in merge.
+            keep = np.empty(points.size, dtype=bool)
+            keep[0] = True
+            keep[1:] = np.diff(points) > 1e-12 * np.maximum(1.0, points[1:])
+            points = points[keep]
+        PERF.candidates += int(points.size)
+        PERF.kernel_seconds += time.perf_counter() - start
+        if budget is not None and kind != "lo":
+            budget.charge(points.size)
+        return points
+
+    # ------------------------------------------------------------------
+    # Column derivations (tuning/sensitivity reuse)
+    # ------------------------------------------------------------------
+    def _derive(
+        self, token: Tuple[Any, ...], **overrides: np.ndarray
+    ) -> "CompiledTaskSet":
+        arrays = {
+            "c_lo": self.c_lo, "c_hi": self.c_hi,
+            "d_lo": self.d_lo, "d_hi": self.d_hi,
+            "t_lo": self.t_lo, "t_hi": self.t_hi,
+        }
+        arrays.update(overrides)
+        derived = CompiledTaskSet._from_arrays(
+            self.names, self.is_hi,
+            arrays["c_lo"], arrays["c_hi"], arrays["d_lo"],
+            arrays["d_hi"], arrays["t_lo"], arrays["t_hi"],
+        )
+        derived._memo_token = (self.memo_token,) + token
+        return derived
+
+    def with_hi_lo_deadline_factor(self, x: float) -> "CompiledTaskSet":
+        """Eq. (13) as a column rescale: ``D(LO) = max(x * D(HI), C(LO))``
+        for every HI task — the compiled analogue of
+        :func:`repro.model.transform.shorten_hi_deadlines` (same clamp,
+        same float ops, no ``MCTask`` rebuild/validation per probe).
+        """
+        if not 0 < x <= 1:
+            raise ModelError(f"x must be in (0, 1], got {x}")
+        new_d_lo = np.where(
+            self.is_hi, np.maximum(x * self.d_hi, self.c_lo), self.d_lo
+        )
+        return self._derive(("xfac", x), d_lo=new_d_lo)
+
+    def with_lo_deadline(self, name: str, d_lo: float) -> "CompiledTaskSet":
+        """Rescale one HI task's LO-mode deadline (per-task tuning move)."""
+        try:
+            index = self.names.index(name)
+        except ValueError:
+            raise KeyError(name) from None
+        if not self.is_hi[index]:
+            raise ModelError(f"{name}: only HI tasks have tunable LO deadlines")
+        new_d_lo = self.d_lo.copy()
+        new_d_lo[index] = float(d_lo)
+        return self._derive(("dlo", index, float(d_lo)), d_lo=new_d_lo)
+
+    def with_wcet_uncertainty(self, gamma: float) -> "CompiledTaskSet":
+        """``C(HI) = gamma * C(LO)`` for HI tasks (sensitivity probes).
+
+        Raises :class:`~repro.model.task.ModelError` when a scaled WCET
+        exceeds its HI-mode deadline, mirroring
+        :func:`repro.model.transform.scale_wcet_uncertainty`.
+        """
+        if gamma < 1:
+            raise ModelError(f"gamma must be >= 1, got {gamma}")
+        new_c_hi = np.where(self.is_hi, gamma * self.c_lo, self.c_hi)
+        bad = self.is_hi & (new_c_hi > self.d_hi)
+        if np.any(bad):
+            name = self.names[int(np.flatnonzero(bad)[0])]
+            raise ModelError(f"{name}: C(HI) <= D(HI) required")
+        return self._derive(("gamma", gamma), c_hi=new_c_hi)
+
+
+def _lattice_points(
+    off: np.ndarray, per: np.ndarray, lo: float, hi: float
+) -> np.ndarray:
+    """All points ``k * per[i] + off[i]`` with ``k >= 0`` inside ``(lo, hi]``.
+
+    Vectorized across every (offset, period) pair: the per-pair index
+    ranges become one flat ``repeat``/``cumsum`` expansion instead of a
+    Python loop of ``np.arange`` calls.  Sorted and de-duplicated.
+    """
+    if off.size == 0:
+        return np.empty(0)
+    k_min = np.maximum(0.0, np.floor((lo - off) / per))
+    k_max = np.floor((hi - off) / per + 1e-12)
+    counts = (k_max - k_min + 1.0).astype(np.int64)
+    np.maximum(counts, 0, out=counts)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0)
+    pair = np.repeat(np.arange(off.size), counts)
+    starts = np.cumsum(counts) - counts
+    within = np.arange(total) - np.repeat(starts, counts)
+    points = (k_min[pair] + within) * per[pair] + off[pair]
+    points = points[(points > lo) & (points <= hi)]
+    if points.size == 0:
+        return np.empty(0)
+    return np.unique(points)
+
+
+# ---------------------------------------------------------------------------
+# Compile cache
+# ---------------------------------------------------------------------------
+class _BoundedRegistry:
+    """Tiny LRU map (fingerprint -> compiled snapshot / memoised result)."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any) -> Optional[Any]:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+#: Shared compiled snapshots keyed by content fingerprint: distinct
+#: TaskSet instances with equal content compile once.
+_COMPILED_REGISTRY = _BoundedRegistry(maxsize=512)
+
+
+def compile_taskset(taskset: Union[TaskSet, CompiledTaskSet]) -> CompiledTaskSet:
+    """Compile ``taskset`` to its struct-of-arrays form (cached).
+
+    The snapshot is cached on the instance under a private attribute and
+    in a bounded registry keyed by the set's content fingerprint, so the
+    cost is paid once per distinct task-set content.  ``TaskSet`` is
+    immutable by convention (every transform returns a new set); code
+    that mutates one in place must not reuse it across analyses.
+    """
+    if isinstance(taskset, CompiledTaskSet):
+        return taskset
+    compiled = getattr(taskset, _COMPILED_ATTR, None)
+    if compiled is not None:
+        return compiled
+    fingerprint = taskset_fingerprint(taskset)
+    compiled = _COMPILED_REGISTRY.get(fingerprint)
+    if compiled is None:
+        compiled = CompiledTaskSet._from_taskset(taskset, fingerprint)
+        _COMPILED_REGISTRY.put(fingerprint, compiled)
+    try:
+        setattr(taskset, _COMPILED_ATTR, compiled)
+    except (AttributeError, TypeError):  # pragma: no cover - exotic subclasses
+        pass
+    return compiled
+
+
+def adopt_compiled(taskset: TaskSet, compiled: CompiledTaskSet) -> TaskSet:
+    """Attach a derived snapshot to the ``TaskSet`` it is known to match.
+
+    The tuning loops derive a rescaled snapshot (one column changed) and
+    build the matching ``TaskSet`` separately; adopting the snapshot lets
+    the next ``compile_taskset`` call skip recompiling.  The caller
+    guarantees the contents agree — this is not validated.
+    """
+    setattr(taskset, _COMPILED_ATTR, compiled)
+    return taskset
+
+
+def clear_compile_cache() -> None:
+    """Drop the shared compiled-snapshot registry (tests/benchmarks)."""
+    _COMPILED_REGISTRY.clear()
+
+
+# ---------------------------------------------------------------------------
+# Scalar oracle engine
+# ---------------------------------------------------------------------------
+class ScalarEvaluator:
+    """The pre-compiled-path evaluator: per-task loops from dbf/points.
+
+    Exposes the same surface as :class:`CompiledTaskSet` so the scan code
+    in ``speedup.py`` / ``resetting.py`` / ``schedulability.py`` is
+    engine-agnostic.  Property tests and ``bench_kernels.py`` run the
+    scans through this evaluator to compare against the fused kernels.
+    """
+
+    __slots__ = ("taskset", "n", "_scalars")
+
+    def __init__(self, taskset: TaskSet) -> None:
+        if not isinstance(taskset, TaskSet):
+            raise ModelError(
+                "the scalar engine needs a TaskSet "
+                f"(got {type(taskset).__name__}); derived compiled snapshots "
+                "have no task objects to walk"
+            )
+        self.taskset = taskset
+        self.n = len(taskset)
+        self._scalars: Dict[str, float] = {}
+
+    def _scalar(self, key: str, compute: Callable[[], float]) -> float:
+        value = self._scalars.get(key)
+        if value is None:
+            value = compute()
+            self._scalars[key] = value
+        return value
+
+    @property
+    def rate(self) -> float:
+        return self._scalar("rate", lambda: hi_mode_rate(self.taskset))
+
+    @property
+    def dbf_excess(self) -> float:
+        return self._scalar("dbf_excess", lambda: dbf_hi_excess_bound(self.taskset))
+
+    def adb_excess(self, *, drop_terminated_carryover: bool = False) -> float:
+        key = f"adb_excess_{drop_terminated_carryover}"
+        return self._scalar(
+            key,
+            lambda: adb_hi_excess_bound(
+                self.taskset, drop_terminated_carryover=drop_terminated_carryover
+            ),
+        )
+
+    @property
+    def lo_rate(self) -> float:
+        return self._scalar(
+            "lo_rate",
+            lambda: sum(t.utilization(Criticality.LO) for t in self.taskset),
+        )
+
+    @property
+    def lo_excess(self) -> float:
+        return self._scalar(
+            "lo_excess",
+            lambda: sum(
+                t.utilization(Criticality.LO) * max(t.t_lo - t.d_lo, 0.0)
+                for t in self.taskset
+            ),
+        )
+
+    @property
+    def lo_max_period(self) -> float:
+        return self._scalar(
+            "lo_max_period",
+            lambda: max(t.t_lo for t in self.taskset) if self.n else 0.0,
+        )
+
+    @property
+    def lo_density(self) -> float:
+        return self._scalar(
+            "lo_density", lambda: sum(1.0 / t.t_lo for t in self.taskset)
+        )
+
+    @property
+    def d_lo(self) -> np.ndarray:
+        return np.array([t.d_lo for t in self.taskset], dtype=float)
+
+    @property
+    def t_lo(self) -> np.ndarray:
+        return np.array([t.t_lo for t in self.taskset], dtype=float)
+
+    def total_dbf_lo(self, delta: ArrayLike) -> ArrayLike:
+        return total_dbf_lo(self.taskset, delta)
+
+    def total_dbf_hi(self, delta: ArrayLike) -> ArrayLike:
+        return total_dbf_hi(self.taskset, delta)
+
+    def total_adb_hi(
+        self, delta: ArrayLike, *, drop_terminated_carryover: bool = False
+    ) -> ArrayLike:
+        return total_adb_hi(
+            self.taskset, delta, drop_terminated_carryover=drop_terminated_carryover
+        )
+
+    def window_peak(
+        self, candidates: np.ndarray, best_ratio: float = 0.0
+    ) -> Tuple[float, float]:
+        """Exhaustive window peak: evaluate every candidate, take the
+        first argmax — the reference behaviour the pruned compiled
+        version reproduces bit for bit."""
+        demand = np.asarray(self.total_dbf_hi(candidates), dtype=float)
+        ratios = demand / candidates
+        idx = int(np.argmax(ratios))
+        return float(ratios[idx]), float(candidates[idx])
+
+    def lo_demand_ok(
+        self, candidates: np.ndarray, speed: float, rtol: float
+    ) -> bool:
+        """Exhaustive LO-mode supply check (the pre-pruning behaviour)."""
+        demand = np.asarray(self.total_dbf_lo(candidates), dtype=float)
+        return not bool(np.any(demand > speed * candidates * (1.0 + rtol) + rtol))
+
+    def candidate_density(self, kind: str = "dbf") -> float:
+        if kind == "lo":
+            return self.lo_density
+        return pts.candidate_density(self.taskset, kind)
+
+    def max_finite_period(self) -> float:
+        return pts.max_finite_period(self.taskset)
+
+    def initial_window(self) -> float:
+        return pts.initial_window(self.taskset)
+
+    def clamp_window(
+        self, start: float, desired_end: float, *, kind: str = "dbf",
+        max_points: int = 200_000,
+    ) -> float:
+        return pts.clamp_window(
+            self.taskset, start, desired_end, kind=kind, max_points=max_points
+        )
+
+    def breakpoints_in(
+        self,
+        lo: float,
+        hi: float,
+        *,
+        kind: str = "dbf",
+        budget: Optional[CandidateBudget] = None,
+    ) -> np.ndarray:
+        if kind == "lo":
+            return pts.dbf_lo_breakpoints_in(self.taskset, lo, hi)
+        return pts.breakpoints_in(self.taskset, lo, hi, kind=kind, budget=budget)
+
+
+ENGINES = ("compiled", "scalar")
+
+Evaluator = Union[CompiledTaskSet, ScalarEvaluator]
+
+
+def get_evaluator(
+    taskset: Union[TaskSet, CompiledTaskSet], engine: str = "compiled"
+) -> Evaluator:
+    """Resolve the demand evaluator for a scan.
+
+    ``"compiled"`` (default) compiles/reuses the struct-of-arrays fast
+    path; ``"scalar"`` walks the per-task oracle loops (for property
+    tests and old-vs-new benchmarks).
+    """
+    if engine == "compiled":
+        return compile_taskset(taskset)
+    if engine == "scalar":
+        if isinstance(taskset, CompiledTaskSet):
+            if taskset.taskset is None:
+                raise ModelError(
+                    "cannot run the scalar engine on a derived compiled "
+                    "snapshot: no backing TaskSet"
+                )
+            taskset = taskset.taskset
+        return ScalarEvaluator(taskset)
+    raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint-keyed analysis memo
+# ---------------------------------------------------------------------------
+@dataclass
+class AnalysisMemo:
+    """Small LRU memo of scan results keyed on task-set fingerprints.
+
+    The tuning and sensitivity loops repeatedly analyse task-set contents
+    they have seen before (bisection endpoints, the gamma=1 probe shared
+    by ``max_tolerable_gamma`` and ``min_speedup_margin``, uniform-x
+    starting points).  Every analysis here is a deterministic pure
+    function of the task-set *content*, so results can be memoised under
+    ``(operation, fingerprint, params)`` — the same canonicalisation the
+    batch pipeline's :mod:`result cache <repro.pipeline.cache>` uses.
+
+    Only the compiled engine consults the memo: the scalar oracle path
+    stays memo-free so old-vs-new comparisons always recompute.
+    """
+
+    maxsize: int = 4096
+    _store: _BoundedRegistry = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._store = _BoundedRegistry(self.maxsize)
+
+    def lookup(self, key: Tuple[Any, ...]) -> Optional[Any]:
+        value = self._store.get(key)
+        if value is None:
+            PERF.memo_misses += 1
+        else:
+            PERF.memo_hits += 1
+        return value
+
+    def store(self, key: Tuple[Any, ...], value: Any) -> None:
+        self._store.put(key, value)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: Process-wide memo shared by min_speedup / resetting_time /
+#: lo_mode_schedulable on the compiled path.
+MEMO = AnalysisMemo()
+
+
+def clear_memo() -> None:
+    """Drop the shared analysis memo (tests/benchmarks)."""
+    MEMO.clear()

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.analysis.dbf import carry_over_demand, carry_over_window, _w_slack
+from repro.analysis.kernels import adopt_compiled, compile_taskset
 from repro.analysis.schedulability import lo_mode_schedulable
 from repro.analysis.speedup import min_speedup
 from repro.analysis.tuning import min_preparation_factor
@@ -63,8 +64,13 @@ class TuningResult:
         return self.uniform_s_min - self.s_min
 
 
-def _dominant_carryover_task(taskset: TaskSet, delta: float) -> Optional[MCTask]:
+def _dominant_carryover_task(
+    taskset: TaskSet, delta: float, *, engine: str = "scalar"
+) -> Optional[MCTask]:
     """HI task with the largest carry-over demand at interval ``delta``."""
+    if engine == "compiled":
+        position, _ = compile_taskset(taskset).dominant_carryover(delta)
+        return None if position < 0 else taskset.hi_tasks[position]
     best, best_r = None, 0.0
     for task in taskset.hi_tasks:
         w = carry_over_window(task, delta)
@@ -80,6 +86,8 @@ def tune_per_task_deadlines(
     shrink: float = 0.85,
     max_moves: int = 60,
     min_relative_gain: float = 1e-4,
+    x_method: str = "exact",
+    engine: str = "compiled",
 ) -> Optional[TuningResult]:
     """Greedy per-task deadline shaping starting from minimal uniform x.
 
@@ -96,22 +104,42 @@ def tune_per_task_deadlines(
     min_relative_gain:
         Moves improving ``s_min`` by less than this fraction stop the
         search.
+    x_method:
+        How the uniform starting factor is chosen (see
+        :func:`repro.analysis.tuning.min_preparation_factor`):
+        ``"exact"`` bisects the demand test down to the smallest feasible
+        ``x``; ``"density"`` uses the closed-form density bound (the
+        EDF-VD-literature convention), which starts the greedy search
+        from a larger, less aggressive ``x``.
+    engine:
+        Demand-evaluation engine (``"compiled"`` or ``"scalar"``).  The
+        compiled engine threads one struct-of-arrays snapshot through the
+        whole greedy loop: every candidate move rescales a single
+        ``D(LO)`` column of the previous snapshot, and repeated
+        feasibility/speedup probes hit the fingerprint memo.
 
     Returns ``None`` when LO mode is infeasible for every uniform ``x``.
     """
     if not 0.0 < shrink < 1.0:
         raise ValueError(f"shrink must be in (0, 1), got {shrink}")
-    x = min_preparation_factor(taskset, method="exact")
+    compiled = engine == "compiled"
+    x = min_preparation_factor(taskset, method=x_method, engine=engine)
     if x is None:
         return None
     if taskset.hi_tasks and x >= 1.0:
         return None
-    current = (
-        shorten_hi_deadlines(taskset, min(x, 1.0 - 1e-9))
-        if taskset.hi_tasks
-        else taskset
-    )
-    uniform = min_speedup(current)
+    if taskset.hi_tasks:
+        x_eff = min(x, 1.0 - 1e-9)
+        current = shorten_hi_deadlines(taskset, x_eff)
+        if compiled:
+            # The derived snapshot applies the same clamped rescale, so its
+            # content (and fingerprint) matches `current` exactly.
+            adopt_compiled(
+                current, compile_taskset(taskset).with_hi_lo_deadline_factor(x_eff)
+            )
+    else:
+        current = taskset
+    uniform = min_speedup(current, engine=engine)
     result = TuningResult(
         taskset=current,
         s_min=uniform.s_min,
@@ -125,7 +153,9 @@ def tune_per_task_deadlines(
     for _ in range(max_moves):
         if best.critical_delta is None:
             break
-        target = _dominant_carryover_task(result.taskset, best.critical_delta)
+        target = _dominant_carryover_task(
+            result.taskset, best.critical_delta, engine=engine
+        )
         if target is None:
             break
         new_d_lo = max(target.c_lo, shrink * target.d_lo)
@@ -134,9 +164,16 @@ def tune_per_task_deadlines(
         candidate_set = result.taskset.map(
             lambda t: t.with_lo_deadline(new_d_lo) if t.name == target.name else t
         )
-        if not lo_mode_schedulable(candidate_set):
+        if compiled:
+            adopt_compiled(
+                candidate_set,
+                compile_taskset(result.taskset).with_lo_deadline(
+                    target.name, new_d_lo
+                ),
+            )
+        if not lo_mode_schedulable(candidate_set, engine=engine):
             break
-        candidate = min_speedup(candidate_set)
+        candidate = min_speedup(candidate_set, engine=engine)
         gain = best.s_min - candidate.s_min
         if gain <= min_relative_gain * max(best.s_min, 1e-9):
             break

@@ -71,6 +71,14 @@ def _task_points(period: float, offsets: Sequence[float], lo: float, hi: float) 
     return points[(points > lo) & (points <= hi)]
 
 
+def _union_points(pieces) -> np.ndarray:
+    """Sorted union of per-task point arrays (empty pieces dropped)."""
+    pieces = [p for p in pieces if p.size]
+    if not pieces:
+        return np.empty(0)
+    return np.unique(np.concatenate(pieces))
+
+
 def breakpoints_in(
     taskset: TaskSet,
     lo: float,
@@ -90,15 +98,13 @@ def breakpoints_in(
     if kind not in ("dbf", "adb"):
         raise ValueError(f"unknown kind: {kind!r}")
     offsets_of = dbf_hi_offsets if kind == "dbf" else adb_hi_offsets
-    pieces = [
+    points = _union_points(
         _task_points(task.t_hi, offsets_of(task), lo, hi)
         for task in taskset
         if not math.isinf(task.t_hi)
-    ]
-    pieces = [p for p in pieces if p.size]
-    if not pieces:
-        return np.empty(0)
-    points = np.unique(np.concatenate(pieces))
+    )
+    if not points.size:
+        return points
     # Merge floating-point near-duplicates (within relative 1e-12) so that
     # downstream segment logic never sees zero-length segments.
     if points.size > 1:
@@ -113,14 +119,9 @@ def breakpoints_in(
 
 def dbf_lo_breakpoints_in(taskset: TaskSet, lo: float, hi: float) -> np.ndarray:
     """Breakpoints of the system ``DBF_LO`` in ``(lo, hi]`` (deadlines)."""
-    pieces = [
-        _task_points(task.t_lo, [task.d_lo], lo, hi)
-        for task in taskset
-    ]
-    pieces = [p for p in pieces if p.size]
-    if not pieces:
-        return np.empty(0)
-    return np.unique(np.concatenate(pieces))
+    return _union_points(
+        _task_points(task.t_lo, [task.d_lo], lo, hi) for task in taskset
+    )
 
 
 def candidate_density(taskset: TaskSet, kind: str = "dbf") -> float:

@@ -24,13 +24,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
 import numpy as np
 
-from repro.analysis import points as pts
 from repro.analysis.budget import CandidateBudget
-from repro.analysis.dbf import adb_hi_excess_bound, hi_mode_rate, total_adb_hi
+from repro.analysis.kernels import MEMO, CompiledTaskSet, get_evaluator
 from repro.analysis.result import decode_float, encode_float
 from repro.model.taskset import TaskSet
 
@@ -117,11 +116,12 @@ def _tol(value: float) -> float:
 
 
 def resetting_time(
-    taskset: TaskSet,
+    taskset: Union[TaskSet, CompiledTaskSet],
     s: float,
     *,
     drop_terminated_carryover: bool = False,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    engine: str = "compiled",
 ) -> ResettingResult:
     """Compute Corollary 5's resetting-time bound at speedup ``s``.
 
@@ -129,7 +129,9 @@ def resetting_time(
     ----------
     taskset:
         Task set with its HI-mode parameters (degraded or terminated LO
-        tasks included).
+        tasks included); a pre-compiled
+        :class:`~repro.analysis.kernels.CompiledTaskSet` is accepted
+        directly on the compiled engine.
     s:
         HI-mode speedup factor (> 0).  Values below 1 model slow-down.
     drop_terminated_carryover:
@@ -142,21 +144,55 @@ def resetting_time(
         :class:`~repro.analysis.budget.AnalysisBudgetExceeded` (with
         scan-progress diagnostics) instead of hanging on degenerate
         inputs where ``s`` barely exceeds the demand rate.
+    engine:
+        ``"compiled"`` (fused kernels, memoised per task-set content) or
+        ``"scalar"`` (per-task oracle loops; never memoised).
     """
     if s <= 0.0:
         raise ValueError(f"speedup must be positive, got {s}")
     if len(taskset) == 0:
         return ResettingResult(0.0, s, True, 0.0)
+    ev = get_evaluator(taskset, engine)
+
+    memo_key = None
+    if isinstance(ev, CompiledTaskSet):
+        memo_key = (
+            "resetting_time",
+            ev.memo_token,
+            s,
+            drop_terminated_carryover,
+            max_candidates,
+        )
+        cached = MEMO.lookup(memo_key)
+        if cached is not None:
+            return cached
+    result = _resetting_scan(
+        ev,
+        s,
+        drop_terminated_carryover=drop_terminated_carryover,
+        max_candidates=max_candidates,
+    )
+    if memo_key is not None:
+        MEMO.store(memo_key, result)
+    return result
+
+
+def _resetting_scan(
+    ev,
+    s: float,
+    *,
+    drop_terminated_carryover: bool,
+    max_candidates: int,
+) -> ResettingResult:
+    """The Corollary-5 first-crossing scan over an engine evaluator."""
 
     def demand(delta):
-        return total_adb_hi(
-            taskset, delta, drop_terminated_carryover=drop_terminated_carryover
+        return ev.total_adb_hi(
+            delta, drop_terminated_carryover=drop_terminated_carryover
         )
 
-    rate = hi_mode_rate(taskset)
-    excess = adb_hi_excess_bound(
-        taskset, drop_terminated_carryover=drop_terminated_carryover
-    )
+    rate = ev.rate
+    excess = ev.adb_excess(drop_terminated_carryover=drop_terminated_carryover)
     demand_zero = float(demand(0.0))
     if demand_zero <= _tol(0.0):
         return ResettingResult(0.0, s, True, demand_zero)
@@ -166,23 +202,22 @@ def resetting_time(
     # The envelope gives ADB(h) <= rate*h + B* = s*h at h = B*/(s - rate),
     # so the first crossing lies at or before this horizon.
     horizon = excess / (s - rate)
-    if pts.candidate_density(taskset, "adb") <= 0.0:
+    if ev.candidate_density("adb") <= 0.0:
         # Every task is terminated: the arrived demand is the constant
         # carry-over block, and the crossing is exactly demand / s.
         return ResettingResult(demand_zero / s, s, False, demand_zero)
     prev_delta = 0.0
     prev_demand = demand_zero
     window_lo = 0.0
-    step = min(pts.initial_window(taskset), max(horizon, 1e-12))
+    step = min(ev.initial_window(), max(horizon, 1e-12))
     # Scan past the horizon until the first breakpoint beyond the crossing
     # has been processed (the interior-crossing logic then locates it); a
     # breakpoint is guaranteed within two periods past the horizon.
-    scan_end = horizon + 2.0 * pts.max_finite_period(taskset) + 1e-9
+    scan_end = horizon + 2.0 * ev.max_finite_period() + 1e-9
     budget = CandidateBudget(max_candidates, operation="resetting_time")
 
     while window_lo <= scan_end:
-        window_hi = pts.clamp_window(
-            taskset,
+        window_hi = ev.clamp_window(
             window_lo,
             min(window_lo + step, scan_end * (1.0 + 1e-9) + 1e-12),
             kind="adb",
@@ -191,9 +226,7 @@ def resetting_time(
             f"s={s:.6g}, demand rate={rate:.6g}, crossing horizon={horizon:.6g}, "
             f"scan reached Delta={window_lo:.6g} of {scan_end:.6g}"
         )
-        breaks = pts.breakpoints_in(
-            taskset, window_lo, window_hi, kind="adb", budget=budget
-        )
+        breaks = ev.breakpoints_in(window_lo, window_hi, kind="adb", budget=budget)
         if breaks.size:
             values = np.asarray(demand(breaks), dtype=float)
             prevs = np.concatenate(([prev_delta], breaks[:-1]))
@@ -247,14 +280,20 @@ def resetting_curve(
     speedups,
     *,
     drop_terminated_carryover: bool = False,
+    engine: str = "compiled",
 ) -> "list[ResettingResult]":
     """Evaluate :func:`resetting_time` over an iterable of speedups.
 
-    Convenience used by the Figure 3b / Figure 4b parametric sweeps.
+    Convenience used by the Figure 3b / Figure 4b parametric sweeps; the
+    compiled engine reuses one :class:`CompiledTaskSet` across the whole
+    curve.
     """
     return [
         resetting_time(
-            taskset, float(s), drop_terminated_carryover=drop_terminated_carryover
+            taskset,
+            float(s),
+            drop_terminated_carryover=drop_terminated_carryover,
+            engine=engine,
         )
         for s in speedups
     ]

@@ -14,16 +14,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
-import numpy as np
-
-from repro.analysis import points as pts
-from repro.analysis.dbf import total_dbf_lo
+from repro.analysis.kernels import MEMO, CompiledTaskSet, get_evaluator
 from repro.analysis.resetting import ResettingResult, resetting_time
 from repro.analysis.result import decode_float, encode_float
 from repro.analysis.speedup import SpeedupResult, min_speedup, speedup_schedulable
-from repro.model.task import Criticality
 from repro.model.taskset import TaskSet
 
 _RTOL = 1e-9
@@ -52,45 +48,71 @@ def _scan_horizon(deadline_periods, speed: float, rate: float, excess: float) ->
     return min(direct, 1e4 * max(periods) + max_d)
 
 
-def lo_mode_schedulable(taskset: TaskSet, speed: float = 1.0) -> bool:
+def lo_mode_schedulable(
+    taskset: Union[TaskSet, CompiledTaskSet],
+    speed: float = 1.0,
+    *,
+    engine: str = "compiled",
+) -> bool:
     """Exact EDF demand test for LO mode at the given processor speed."""
     if speed <= 0.0:
         return len(taskset) == 0
     if len(taskset) == 0:
         return True
-    rate = sum(t.utilization(Criticality.LO) for t in taskset)
+    ev = get_evaluator(taskset, engine)
+    memo_key = None
+    if isinstance(ev, CompiledTaskSet):
+        memo_key = ("lo_mode_schedulable", ev.memo_token, speed)
+        cached = MEMO.lookup(memo_key)
+        if cached is not None:
+            return cached
+    verdict = _lo_mode_scan(ev, speed)
+    if memo_key is not None:
+        MEMO.store(memo_key, verdict)
+    return verdict
+
+
+def _lo_mode_scan(ev, speed: float) -> bool:
+    """The LO-mode demand scan over an engine evaluator."""
+    rate = ev.lo_rate
     if rate > speed * (1.0 + _RTOL):
         return False
     # dbf_LO(Delta) <= rate*Delta + B with B = sum U_i*(T_i - D_i), so any
     # violation of the supply line happens before B/(speed - rate).  For
     # implicit deadlines B = 0: the utilization test above was exact.
-    excess = sum(
-        t.utilization(Criticality.LO) * max(t.t_lo - t.d_lo, 0.0) for t in taskset
-    )
+    excess = ev.lo_excess
     if excess <= 0.0:
         return True
     horizon = _scan_horizon(
-        [(t.d_lo, t.t_lo) for t in taskset], speed, rate, excess
+        [(float(d), float(p)) for d, p in zip(ev.d_lo, ev.t_lo)],
+        speed,
+        rate,
+        excess,
     )
     window_lo = 0.0
-    step = 2.0 * max(t.t_lo for t in taskset)
-    density = sum(1.0 / t.t_lo for t in taskset)
+    step = 2.0 * ev.lo_max_period
+    density = ev.lo_density
     max_window = 200_000 / density if density > 0 else math.inf
     while window_lo < horizon:
         window_hi = min(window_lo + step, horizon, window_lo + max_window)
-        candidates = pts.dbf_lo_breakpoints_in(taskset, window_lo, window_hi)
+        candidates = ev.breakpoints_in(window_lo, window_hi, kind="lo")
         if candidates.size:
-            demand = np.asarray(total_dbf_lo(taskset, candidates), dtype=float)
-            if np.any(demand > speed * candidates * (1.0 + _RTOL) + _RTOL):
+            # Engine-dispatched: the compiled engine stripe-prunes the
+            # supply comparison (kernels.CompiledTaskSet.lo_demand_ok),
+            # the scalar engine evaluates every candidate; the verdict is
+            # identical either way.
+            if not ev.lo_demand_ok(candidates, speed, _RTOL):
                 return False
         window_lo = window_hi
         step *= 2.0
     return True
 
 
-def hi_mode_schedulable(taskset: TaskSet, s: float) -> bool:
+def hi_mode_schedulable(
+    taskset: Union[TaskSet, CompiledTaskSet], s: float, *, engine: str = "compiled"
+) -> bool:
     """Theorem-2 test: HI mode meets all deadlines at speedup ``s``."""
-    return speedup_schedulable(taskset, s)
+    return speedup_schedulable(taskset, s, engine=engine)
 
 
 @dataclass(frozen=True)
@@ -185,14 +207,17 @@ def system_schedulable(
     s: Optional[float] = None,
     *,
     drop_terminated_carryover: bool = False,
+    engine: str = "compiled",
 ) -> SchedulabilityReport:
     """Evaluate the complete protocol of Section II for ``taskset``.
 
     With ``s`` given, HI mode is checked at that speedup and the
     resetting time is computed; otherwise only ``s_min`` is reported.
+    On the compiled engine all three analyses share one
+    :class:`~repro.analysis.kernels.CompiledTaskSet`.
     """
-    lo_ok = lo_mode_schedulable(taskset)
-    s_min = min_speedup(taskset)
+    lo_ok = lo_mode_schedulable(taskset, engine=engine)
+    s_min = min_speedup(taskset, engine=engine)
     if s is None:
         return SchedulabilityReport(
             lo_ok=lo_ok,
@@ -203,7 +228,12 @@ def system_schedulable(
         )
     hi_ok = s_min.s_min <= s * (1.0 + _RTOL)
     reset = (
-        resetting_time(taskset, s, drop_terminated_carryover=drop_terminated_carryover)
+        resetting_time(
+            taskset,
+            s,
+            drop_terminated_carryover=drop_terminated_carryover,
+            engine=engine,
+        )
         if hi_ok
         else None
     )

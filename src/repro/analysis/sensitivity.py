@@ -24,6 +24,7 @@ import math
 from dataclasses import replace
 from typing import Optional
 
+from repro.analysis.kernels import compile_taskset
 from repro.analysis.resetting import resetting_time
 from repro.analysis.schedulability import lo_mode_schedulable
 from repro.analysis.speedup import min_speedup
@@ -33,17 +34,26 @@ from repro.model.transform import scale_wcet_uncertainty
 
 
 def _gamma_feasible(
-    base: TaskSet, gamma: float, s: float, reset_budget: float
+    base: TaskSet, gamma: float, s: float, reset_budget: float, engine: str
 ) -> bool:
-    """Does the design hold with every HI task's C(HI) = gamma * C(LO)?"""
+    """Does the design hold with every HI task's C(HI) = gamma * C(LO)?
+
+    The compiled engine rescales one column of a shared snapshot per
+    probe; repeated probes (bisection endpoints, the shared ``gamma = 1``
+    check) additionally hit the fingerprint memo inside
+    :func:`min_speedup` / :func:`resetting_time`.
+    """
     try:
-        scaled = scale_wcet_uncertainty(base, gamma)
+        if engine == "compiled":
+            scaled = compile_taskset(base).with_wcet_uncertainty(gamma)
+        else:
+            scaled = scale_wcet_uncertainty(base, gamma)
     except Exception:
         return False  # C(HI) would exceed some deadline: structurally out
-    if min_speedup(scaled).s_min > s * (1.0 + 1e-9):
+    if min_speedup(scaled, engine=engine).s_min > s * (1.0 + 1e-9):
         return False
     if math.isfinite(reset_budget):
-        if resetting_time(scaled, s).delta_r > reset_budget * (1.0 + 1e-9):
+        if resetting_time(scaled, s, engine=engine).delta_r > reset_budget * (1.0 + 1e-9):
             return False
     return True
 
@@ -55,6 +65,7 @@ def max_tolerable_gamma(
     reset_budget: float = math.inf,
     gamma_cap: float = 20.0,
     tol: float = 1e-3,
+    engine: str = "compiled",
 ) -> Optional[float]:
     """Largest uniform ``gamma`` schedulable at speedup ``s``.
 
@@ -64,33 +75,33 @@ def max_tolerable_gamma(
     """
     if s <= 0.0:
         raise ValueError(f"speedup must be positive, got {s}")
-    if not _gamma_feasible(taskset, 1.0, s, reset_budget):
+    if not _gamma_feasible(taskset, 1.0, s, reset_budget, engine):
         return None
     lo, hi = 1.0, gamma_cap
-    if _gamma_feasible(taskset, hi, s, reset_budget):
+    if _gamma_feasible(taskset, hi, s, reset_budget, engine):
         return hi
     while hi - lo > tol * hi:
         mid = 0.5 * (lo + hi)
-        if _gamma_feasible(taskset, mid, s, reset_budget):
+        if _gamma_feasible(taskset, mid, s, reset_budget, engine):
             lo = mid
         else:
             hi = mid
     return lo
 
 
-def min_speedup_margin(taskset: TaskSet, s: float) -> float:
+def min_speedup_margin(taskset: TaskSet, s: float, *, engine: str = "compiled") -> float:
     """Slack between the configured speedup and the exact requirement.
 
     Positive values are headroom; negative means the design is broken.
     ``-inf`` when the requirement itself is infinite.
     """
-    requirement = min_speedup(taskset).s_min
+    requirement = min_speedup(taskset, engine=engine).s_min
     if math.isinf(requirement):
         return -math.inf
     return s - requirement
 
 
-def _load_feasible(base: TaskSet, factor: float, s: float) -> bool:
+def _load_feasible(base: TaskSet, factor: float, s: float, engine: str) -> bool:
     def inflate(task: MCTask) -> MCTask:
         c_lo = task.c_lo * factor
         c_hi = task.c_hi * factor
@@ -102,9 +113,9 @@ def _load_feasible(base: TaskSet, factor: float, s: float) -> bool:
     if any(t is None for t in inflated):
         return False
     scaled = TaskSet(inflated, name=f"{base.name}|x{factor:g}")
-    if not lo_mode_schedulable(scaled):
+    if not lo_mode_schedulable(scaled, engine=engine):
         return False
-    return min_speedup(scaled).s_min <= s * (1.0 + 1e-9)
+    return min_speedup(scaled, engine=engine).s_min <= s * (1.0 + 1e-9)
 
 
 def max_tolerable_load_scale(
@@ -113,6 +124,7 @@ def max_tolerable_load_scale(
     *,
     cap: float = 10.0,
     tol: float = 1e-3,
+    engine: str = "compiled",
 ) -> Optional[float]:
     """Largest uniform WCET inflation (both levels) the design survives.
 
@@ -123,14 +135,14 @@ def max_tolerable_load_scale(
     """
     if s <= 0.0:
         raise ValueError(f"speedup must be positive, got {s}")
-    if not _load_feasible(taskset, 1.0, s):
+    if not _load_feasible(taskset, 1.0, s, engine):
         return None
     lo, hi = 1.0, cap
-    if _load_feasible(taskset, hi, s):
+    if _load_feasible(taskset, hi, s, engine):
         return hi
     while hi - lo > tol * hi:
         mid = 0.5 * (lo + hi)
-        if _load_feasible(taskset, mid, s):
+        if _load_feasible(taskset, mid, s, engine):
             lo = mid
         else:
             hi = mid

@@ -25,19 +25,30 @@ As ``Delta -> inf`` the ratio tends to ``rate``, so the result is
 stays at or below ``rate`` the scan is cut off once the envelope gap
 ``B/Delta`` drops below a relative tolerance; the returned
 :class:`SpeedupResult` then carries a certified upper bound.
+
+Demand evaluation goes through :mod:`repro.analysis.kernels`: the
+default ``engine="compiled"`` uses the fused struct-of-arrays kernels
+(with fingerprint-keyed memoisation of whole results), while
+``engine="scalar"`` walks the per-task oracle loops of
+:mod:`repro.analysis.dbf` — both produce bit-identical results.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
-from repro.analysis import points as pts
 from repro.analysis.budget import AnalysisBudgetExceeded
-from repro.analysis.dbf import dbf_hi_excess_bound, hi_mode_rate, total_dbf_hi
+from repro.analysis.kernels import (
+    MEMO,
+    PERF,
+    CompiledTaskSet,
+    Evaluator,
+    get_evaluator,
+)
 from repro.analysis.result import decode_float, encode_float
 from repro.model.taskset import TaskSet
 
@@ -63,6 +74,11 @@ class SpeedupResult:
         when ``exact``).
     candidates_examined:
         Number of breakpoints evaluated (diagnostic).
+    perf:
+        Kernel perf counters accumulated by this computation on the
+        compiled engine (``None`` on the scalar path).  Excluded from
+        equality and serialisation: the analysis outcome is the other
+        five fields.
     """
 
     s_min: float
@@ -70,6 +86,7 @@ class SpeedupResult:
     exact: bool
     upper_bound: float
     candidates_examined: int
+    perf: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     @property
     def requires_speedup(self) -> bool:
@@ -95,6 +112,7 @@ class SpeedupResult:
             "exact": self.exact,
             "upper_bound": self.upper_bound,
             "candidates_examined": self.candidates_examined,
+            "perf": self.perf,
         }
 
     def to_dict(self) -> Dict[str, Any]:
@@ -128,65 +146,46 @@ DEFAULT_RTOL = 1e-9
 DEFAULT_MAX_CANDIDATES = 2_000_000
 
 
-def _zero_interval_demand(taskset: TaskSet) -> bool:
+def _zero_interval_demand(ev: Evaluator) -> bool:
     """True when ``sum DBF_HI(tau_i, 0) > 0`` (infinite speedup needed)."""
-    demand = float(total_dbf_hi(taskset, 0.0))
-    return demand > 1e-12
+    return float(ev.total_dbf_hi(0.0)) > 1e-12
 
 
-def min_speedup(
-    taskset: TaskSet,
+def _supremum_scan(
+    ev: Evaluator,
     *,
-    rtol: float = DEFAULT_RTOL,
-    max_candidates: int = DEFAULT_MAX_CANDIDATES,
-    on_budget: str = "inexact",
+    rtol: float,
+    max_candidates: int,
+    on_budget: str,
+    window_lo: float,
+    window_hi: float,
+    best_ratio: float = 0.0,
+    best_delta: Optional[float] = None,
+    examined: int = 0,
 ) -> SpeedupResult:
-    """Compute Theorem 2's minimum HI-mode speedup for ``taskset``.
+    """Run (or resume) the Eq.-8 supremum scan from explicit scan state.
 
-    Parameters
-    ----------
-    taskset:
-        The dual-criticality task set (already carrying its LO-mode
-        deadline preparation and HI-mode degradation parameters).
-    rtol:
-        Relative tolerance used when the supremum coincides with the
-        asymptotic demand rate.
-    max_candidates:
-        Budget on examined breakpoints; exceeding it returns an inexact
-        result with a certified ``upper_bound`` (default), or raises
-        :class:`~repro.analysis.budget.AnalysisBudgetExceeded` with
-        ``on_budget="raise"``.
-    on_budget:
-        ``"inexact"`` or ``"raise"``.
+    ``window_lo``/``best_ratio``/``best_delta``/``examined`` let a caller
+    that already examined a prefix of the breakpoints — e.g.
+    :func:`speedup_schedulable` after exhausting its direct-scan budget —
+    continue from where it stopped instead of rescanning from zero.
     """
-    if on_budget not in ("inexact", "raise"):
-        raise ValueError(f"on_budget must be 'inexact' or 'raise', got {on_budget!r}")
-    if len(taskset) == 0:
-        return SpeedupResult(0.0, None, True, 0.0, 0)
-    if _zero_interval_demand(taskset):
-        return SpeedupResult(math.inf, None, True, math.inf, 0)
-
-    rate = hi_mode_rate(taskset)
-    excess = dbf_hi_excess_bound(taskset)
-    if excess == 0.0:  # every task terminated: no HI-mode demand at all
-        return SpeedupResult(0.0, None, True, 0.0, 0)
-
-    best_ratio = 0.0
-    best_delta: Optional[float] = None
-    examined = 0
-    window_lo = 0.0
-    window_hi = pts.initial_window(taskset)
+    rate = ev.rate
+    excess = ev.dbf_excess
 
     while True:
-        window_hi = pts.clamp_window(taskset, window_lo, window_hi, kind="dbf")
-        candidates = pts.breakpoints_in(taskset, window_lo, window_hi, kind="dbf")
+        window_hi = ev.clamp_window(window_lo, window_hi, kind="dbf")
+        candidates = ev.breakpoints_in(window_lo, window_hi, kind="dbf")
         if candidates.size:
-            demand = np.asarray(total_dbf_hi(taskset, candidates), dtype=float)
-            ratios = demand / candidates
-            idx = int(np.argmax(ratios))
-            if ratios[idx] > best_ratio:
-                best_ratio = float(ratios[idx])
-                best_delta = float(candidates[idx])
+            # The engine evaluates the window's ratio peak; the compiled
+            # engine prunes stripes that provably cannot beat best_ratio
+            # (kernels.CompiledTaskSet.window_peak), the scalar engine
+            # evaluates every candidate.  Both yield the identical
+            # (best_ratio, best_delta) trajectory.
+            peak_ratio, peak_delta = ev.window_peak(candidates, best_ratio)
+            if peak_ratio > best_ratio:
+                best_ratio = peak_ratio
+                best_delta = peak_delta
             examined += int(candidates.size)
 
         # Envelope pruning: any Delta > window_hi has ratio <= rate + B/Delta.
@@ -222,13 +221,78 @@ def min_speedup(
             window_hi = 2.0 * window_hi
 
 
+def min_speedup(
+    taskset: Union[TaskSet, CompiledTaskSet],
+    *,
+    rtol: float = DEFAULT_RTOL,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    on_budget: str = "inexact",
+    engine: str = "compiled",
+) -> SpeedupResult:
+    """Compute Theorem 2's minimum HI-mode speedup for ``taskset``.
+
+    Parameters
+    ----------
+    taskset:
+        The dual-criticality task set (already carrying its LO-mode
+        deadline preparation and HI-mode degradation parameters); a
+        pre-compiled :class:`~repro.analysis.kernels.CompiledTaskSet`
+        is accepted directly on the compiled engine.
+    rtol:
+        Relative tolerance used when the supremum coincides with the
+        asymptotic demand rate.
+    max_candidates:
+        Budget on examined breakpoints; exceeding it returns an inexact
+        result with a certified ``upper_bound`` (default), or raises
+        :class:`~repro.analysis.budget.AnalysisBudgetExceeded` with
+        ``on_budget="raise"``.
+    on_budget:
+        ``"inexact"`` or ``"raise"``.
+    engine:
+        ``"compiled"`` (fused kernels, memoised per task-set content) or
+        ``"scalar"`` (per-task oracle loops; never memoised).
+    """
+    if on_budget not in ("inexact", "raise"):
+        raise ValueError(f"on_budget must be 'inexact' or 'raise', got {on_budget!r}")
+    if len(taskset) == 0:
+        return SpeedupResult(0.0, None, True, 0.0, 0)
+    ev = get_evaluator(taskset, engine)
+
+    memo_key = None
+    if isinstance(ev, CompiledTaskSet):
+        memo_key = ("min_speedup", ev.memo_token, rtol, max_candidates, on_budget)
+        cached = MEMO.lookup(memo_key)
+        if cached is not None:
+            return cached
+
+    before = PERF.snapshot() if memo_key is not None else None
+    if _zero_interval_demand(ev):
+        result = SpeedupResult(math.inf, None, True, math.inf, 0)
+    elif ev.dbf_excess == 0.0:  # every task terminated: no HI-mode demand
+        result = SpeedupResult(0.0, None, True, 0.0, 0)
+    else:
+        result = _supremum_scan(
+            ev,
+            rtol=rtol,
+            max_candidates=max_candidates,
+            on_budget=on_budget,
+            window_lo=0.0,
+            window_hi=ev.initial_window(),
+        )
+    if memo_key is not None:
+        result = replace(result, perf=PERF.delta_since(before))
+        MEMO.store(memo_key, result)
+    return result
+
+
 def speedup_schedulable(
-    taskset: TaskSet,
+    taskset: Union[TaskSet, CompiledTaskSet],
     s: float,
     *,
     rtol: float = DEFAULT_RTOL,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
     on_budget: str = "inexact",
+    engine: str = "compiled",
 ) -> bool:
     """HI-mode schedulability test at a *given* speedup ``s``.
 
@@ -236,18 +300,19 @@ def speedup_schedulable(
     (Theorem 2 rearranged), using a direct bounded scan: beyond
     ``Delta > B / (s - rate)`` the envelope guarantees satisfaction.
     Returns False when ``s < rate`` (long-run overload).  On budget
-    exhaustion, ``on_budget`` selects between delegating to
-    :func:`min_speedup`'s certified verdict (``"inexact"``) and raising
+    exhaustion, ``on_budget`` selects between resuming the certified
+    supremum scan from the current scan state (``"inexact"``) and raising
     :class:`~repro.analysis.budget.AnalysisBudgetExceeded` (``"raise"``).
     """
     if on_budget not in ("inexact", "raise"):
         raise ValueError(f"on_budget must be 'inexact' or 'raise', got {on_budget!r}")
     if len(taskset) == 0:
         return True
-    if _zero_interval_demand(taskset):
+    ev = get_evaluator(taskset, engine)
+    if _zero_interval_demand(ev):
         return False
-    rate = hi_mode_rate(taskset)
-    excess = dbf_hi_excess_bound(taskset)
+    rate = ev.rate
+    excess = ev.dbf_excess
     if excess == 0.0:
         return True
     if s < rate * (1.0 - rtol):
@@ -255,18 +320,24 @@ def speedup_schedulable(
     if s <= 0.0:
         return False
     horizon = excess / max(s - rate, rtol * max(1.0, s))
-    window_lo, step = 0.0, pts.initial_window(taskset)
+    window_lo, step = 0.0, ev.initial_window()
     examined = 0
+    best_ratio, best_delta = 0.0, None
     while window_lo < horizon:
-        window_hi = pts.clamp_window(
-            taskset, window_lo, min(window_lo + step, horizon), kind="dbf"
+        window_hi = ev.clamp_window(
+            window_lo, min(window_lo + step, horizon), kind="dbf"
         )
-        candidates = pts.breakpoints_in(taskset, window_lo, window_hi, kind="dbf")
+        candidates = ev.breakpoints_in(window_lo, window_hi, kind="dbf")
         if candidates.size:
-            demand = np.asarray(total_dbf_hi(taskset, candidates), dtype=float)
+            demand = np.asarray(ev.total_dbf_hi(candidates), dtype=float)
             slack = s * candidates * (1.0 + rtol) + rtol - demand
             if np.any(slack < 0.0):
                 return False
+            ratios = demand / candidates
+            idx = int(np.argmax(ratios))
+            if ratios[idx] > best_ratio:
+                best_ratio = float(ratios[idx])
+                best_delta = float(candidates[idx])
             examined += int(candidates.size)
             if examined >= max_candidates:
                 if on_budget == "raise":
@@ -277,10 +348,21 @@ def speedup_schedulable(
                         f"s={s:.6g}, demand rate {rate:.6g}, "
                         f"scan reached Delta={window_hi:.6g} of {horizon:.6g}",
                     )
-                # Fall back to the exact computation's verdict.
-                return min_speedup(taskset, rtol=rtol, max_candidates=max_candidates).s_min <= s * (
-                    1.0 + rtol
+                # Every breakpoint up to window_hi already passed the
+                # supply-line test, so the supremum over the examined
+                # prefix is best_ratio <= s; resume the certified scan
+                # from here instead of rescanning from zero.
+                cont = _supremum_scan(
+                    ev,
+                    rtol=rtol,
+                    max_candidates=max_candidates,
+                    on_budget="inexact",
+                    window_lo=window_hi,
+                    window_hi=2.0 * window_hi,
+                    best_ratio=best_ratio,
+                    best_delta=best_delta,
                 )
+                return cont.s_min <= s * (1.0 + rtol)
         window_lo = window_hi
         step *= 2.0
     return True

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis.kernels import MEMO, compile_taskset
 from repro.analysis.schedulability import lo_mode_schedulable
 from repro.model.task import Criticality, ModelError
 from repro.model.taskset import TaskSet
@@ -58,38 +59,67 @@ def structural_floor(taskset: TaskSet) -> float:
 
 
 def exact_preparation_factor(
-    taskset: TaskSet, *, tol: float = 1e-4
+    taskset: TaskSet, *, tol: float = 1e-4, engine: str = "compiled"
 ) -> Optional[float]:
     """Minimal ``x`` under the exact LO-mode demand test, via bisection.
 
     LO-mode feasibility is monotone non-decreasing in ``x`` (longer LO
     deadlines only reduce the demand in every interval), so bisection on
     ``(floor, 1]`` is sound.  Returns ``None`` when even ``x = 1`` fails.
+    On the compiled engine each probe rescales one column of a shared
+    :class:`~repro.analysis.kernels.CompiledTaskSet` instead of
+    rebuilding (and re-validating) a task set.
     """
     if not taskset.hi_tasks:
-        return 1.0 if lo_mode_schedulable(taskset) else None
+        return 1.0 if lo_mode_schedulable(taskset, engine=engine) else None
 
-    def feasible(x: float) -> bool:
-        return lo_mode_schedulable(shorten_hi_deadlines(taskset, x))
+    memo_key = None
+    if engine == "compiled":
+        base = compile_taskset(taskset)
+        # The whole bisection is deterministic in (content, tol): sweeps
+        # that re-tune the same base set (shrink ladders, sensitivity
+        # grids) skip the repeated probe sequence entirely.
+        memo_key = ("exact_x", base.memo_token, tol)
+        cached = MEMO.lookup(memo_key)
+        if cached is not None:
+            return cached
 
+        def feasible(x: float) -> bool:
+            return lo_mode_schedulable(base.with_hi_lo_deadline_factor(x))
+
+    else:
+
+        def feasible(x: float) -> bool:
+            return lo_mode_schedulable(shorten_hi_deadlines(taskset, x), engine=engine)
+
+    result: Optional[float]
     hi = 1.0
     if not feasible(hi):
-        return None
-    lo = structural_floor(taskset)
-    lo = max(lo, 1e-9)
-    if feasible(lo):
-        return lo
-    while hi - lo > tol * hi:
-        mid = 0.5 * (lo + hi)
-        if feasible(mid):
-            hi = mid
+        result = None
+    else:
+        lo = structural_floor(taskset)
+        lo = max(lo, 1e-9)
+        if feasible(lo):
+            result = lo
         else:
-            lo = mid
-    return hi
+            while hi - lo > tol * hi:
+                mid = 0.5 * (lo + hi)
+                if feasible(mid):
+                    hi = mid
+                else:
+                    lo = mid
+            result = hi
+    if memo_key is not None:
+        MEMO.store(memo_key, result)
+    return result
 
 
 def min_preparation_factor(
-    taskset: TaskSet, *, method: str = "density", tol: float = 1e-4
+    taskset: TaskSet,
+    *,
+    method: str = "density",
+    tol: float = 1e-4,
+    engine: str = "compiled",
 ) -> Optional[float]:
     """Minimal feasible overrun-preparation factor ``x``.
 
@@ -103,11 +133,15 @@ def min_preparation_factor(
         (bisection against the demand-bound test).
     tol:
         Relative bisection tolerance for the exact method.
+    engine:
+        Demand-evaluation engine for the exact method (``"compiled"`` or
+        ``"scalar"``, see :mod:`repro.analysis.kernels`); the density
+        method is closed-form and ignores it.
 
     Returns ``None`` when LO mode is infeasible for every ``x <= 1``.
     """
     if method == "density":
         return density_preparation_factor(taskset)
     if method == "exact":
-        return exact_preparation_factor(taskset, tol=tol)
+        return exact_preparation_factor(taskset, tol=tol, engine=engine)
     raise ModelError(f"unknown method: {method!r}")

@@ -1,9 +1,10 @@
 """Content-addressed result cache for the batch-analysis pipeline.
 
 Every :class:`~repro.pipeline.request.AnalysisRequest` maps to a
-canonical JSON payload — tasks sorted by name, options in a fixed field
-order, floats normalised through ``repr`` — whose SHA-256 digest is the
-request's *key*.  Two requests with the same key are guaranteed to
+canonical payload — the task set's binary content fingerprint (tasks
+sorted by name, parameters as IEEE-754 bytes) plus the options in a
+fixed field order — whose SHA-256 digest is the request's *key*.  Two
+requests with the same key are guaranteed to
 produce the same :class:`~repro.pipeline.request.AnalysisReport` (the
 analysis is deterministic), so the key doubles as
 
@@ -14,71 +15,28 @@ analysis is deterministic), so the key doubles as
 The on-disk layout is one JSON document per key under
 ``<directory>/<key[:2]>/<key>.json`` so huge populations do not pile a
 million files into one directory.
+
+The canonicalisation itself lives in :mod:`repro.model.fingerprint`
+(shared with the analysis layer's compiled-kernel cache and memo); this
+module re-exports it unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
-import math
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.model.fingerprint import (  # noqa: F401 - canonical home + re-exports
+    FINGERPRINT_VERSION,
+    canonical_number as _canonical_number,
+    canonical_taskset_payload,
+    digest_payload as _digest,
+    taskset_fingerprint,
+)
 from repro.model.taskset import TaskSet
 
 PathLike = Union[str, Path]
-
-#: Version stamped into every canonical payload: bump when the payload
-#: layout (and therefore every key) changes incompatibly.
-FINGERPRINT_VERSION = 1
-
-
-def _canonical_number(value: Optional[float]) -> Optional[str]:
-    """Normalise a float for hashing: exact ``repr``, stable inf/nan."""
-    if value is None:
-        return None
-    value = float(value)
-    if math.isnan(value):
-        return "nan"
-    if math.isinf(value):
-        return "inf" if value > 0 else "-inf"
-    return repr(value)
-
-
-def canonical_taskset_payload(taskset: TaskSet) -> Dict[str, Any]:
-    """The task set as a canonical, order-independent dictionary.
-
-    Tasks are sorted by name and every timing parameter goes through
-    :func:`_canonical_number`, so the payload (and hence the hash) is
-    invariant under task reordering and float formatting, but sensitive
-    to any actual parameter change.  The task-set *name* is deliberately
-    excluded: renaming a set does not change its analysis.
-    """
-    tasks = []
-    for task in sorted(taskset, key=lambda t: t.name):
-        tasks.append(
-            {
-                "name": task.name,
-                "crit": task.crit.value,
-                "c_lo": _canonical_number(task.c_lo),
-                "c_hi": _canonical_number(task.c_hi),
-                "d_lo": _canonical_number(task.d_lo),
-                "d_hi": _canonical_number(task.d_hi),
-                "t_lo": _canonical_number(task.t_lo),
-                "t_hi": _canonical_number(task.t_hi),
-            }
-        )
-    return {"fingerprint_version": FINGERPRINT_VERSION, "tasks": tasks}
-
-
-def _digest(payload: Dict[str, Any]) -> str:
-    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
-
-
-def taskset_fingerprint(taskset: TaskSet) -> str:
-    """SHA-256 content hash of the canonical task-set payload."""
-    return _digest(canonical_taskset_payload(taskset))
 
 
 def request_fingerprint(taskset: TaskSet, options: Dict[str, Any]) -> str:
@@ -86,11 +44,16 @@ def request_fingerprint(taskset: TaskSet, options: Dict[str, Any]) -> str:
 
     ``options`` must already be JSON-ready (the request's
     ``options_payload``); float-valued entries are canonicalised here.
+    The task set enters through its binary content fingerprint, so the
+    request key inherits the same invariances (task order, set name).
     """
-    payload = canonical_taskset_payload(taskset)
-    payload["options"] = {
-        key: _canonical_number(value) if isinstance(value, float) else value
-        for key, value in sorted(options.items())
+    payload = {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "taskset": taskset_fingerprint(taskset),
+        "options": {
+            key: _canonical_number(value) if isinstance(value, float) else value
+            for key, value in sorted(options.items())
+        },
     }
     return _digest(payload)
 

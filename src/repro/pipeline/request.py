@@ -94,6 +94,11 @@ class AnalysisRequest:
         Ablation switch forwarded to the resetting-time analysis.
     max_candidates:
         Breakpoint budget forwarded to the scans (``None`` = defaults).
+    engine:
+        Demand-evaluation engine (``"compiled"`` fused kernels or
+        ``"scalar"`` per-task oracle, see :mod:`repro.analysis.kernels`).
+        Both produce byte-identical reports; the scalar engine exists as
+        the reference the compiled path is property-tested against.
     """
 
     taskset: TaskSet
@@ -108,6 +113,7 @@ class AnalysisRequest:
     per_task: bool = False
     drop_terminated_carryover: bool = False
     max_candidates: Optional[int] = None
+    engine: str = "compiled"
 
     def __post_init__(self) -> None:
         if not isinstance(self.taskset, TaskSet):
@@ -134,6 +140,10 @@ class AnalysisRequest:
             raise ModelError(
                 f"max_candidates must be positive, got {self.max_candidates}"
             )
+        if self.engine not in ("compiled", "scalar"):
+            raise ModelError(
+                f'engine must be "compiled" or "scalar", got {self.engine!r}'
+            )
 
     @property
     def tunes_configuration(self) -> bool:
@@ -141,7 +151,12 @@ class AnalysisRequest:
         return self.x is not None or self.auto_x is not None
 
     def options_payload(self) -> Dict[str, Any]:
-        """The non-taskset fields as a JSON-ready dict (hashed into the key)."""
+        """The non-taskset fields as a JSON-ready dict (hashed into the key).
+
+        ``engine`` is deliberately excluded: both engines produce
+        byte-identical reports, so the cache key addresses the analysis
+        content, not the implementation that computed it.
+        """
         return {
             "speedup": self.speedup,
             "reset_budget": self.reset_budget,
@@ -384,7 +399,9 @@ def evaluate_request(request: AnalysisRequest) -> AnalysisReport:
         # by the tuning outcome, not by a second demand test.
         x = request.x
         if x is None:
-            x = min_preparation_factor(taskset, method=request.auto_x)
+            x = min_preparation_factor(
+                taskset, method=request.auto_x, engine=request.engine
+            )
         if x is None or (taskset.hi_tasks and x >= 1.0):
             # x = 1 leaves no room for overrun (only matters for sets with
             # HI tasks); no finite configuration exists.
@@ -408,9 +425,11 @@ def evaluate_request(request: AnalysisRequest) -> AnalysisReport:
         else not request.tunes_configuration
     )
     if run_lo_test:
-        lo_ok = lo_mode_schedulable(configured)
+        lo_ok = lo_mode_schedulable(configured, engine=request.engine)
 
-    speedup_result = min_speedup(configured, **_budget_kwargs(request))
+    speedup_result = min_speedup(
+        configured, engine=request.engine, **_budget_kwargs(request)
+    )
 
     hi_ok: Optional[bool] = None
     if request.speedup is not None:
@@ -427,6 +446,7 @@ def evaluate_request(request: AnalysisRequest) -> AnalysisReport:
             configured,
             request.speedup,
             drop_terminated_carryover=request.drop_terminated_carryover,
+            engine=request.engine,
             **_budget_kwargs(request),
         )
 
@@ -447,7 +467,7 @@ def evaluate_request(request: AnalysisRequest) -> AnalysisReport:
     if request.per_task:
         from repro.analysis.per_task_tuning import tune_per_task_deadlines
 
-        tuned = tune_per_task_deadlines(taskset)
+        tuned = tune_per_task_deadlines(taskset, engine=request.engine)
         if tuned is not None:
             per_task = {
                 "s_min": tuned.s_min,
