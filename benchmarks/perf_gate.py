@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Performance regression gate against the committed kernel baseline.
+
+Re-times the ``bench_kernels`` scenarios on the compiled engine (the
+production path) and compares each median runtime against the
+``compiled_ms`` figures recorded in the committed ``BENCH_kernels.json``.
+A readable delta table is always printed; the gate fails when any
+scenario's median regresses by more than the threshold.
+
+Unlike ``bench_kernels.py --quick``, the gate always runs the *full*
+workloads — the committed baseline was measured on them, and shrunken
+workloads would make every delta meaningless.  ``--quick`` instead
+relaxes the verdict for shared CI runners: regressions beyond the
+threshold (default 25%) only warn, and the gate hard-fails only beyond
+``--hard-threshold`` (default 100%, i.e. a >2x slowdown).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py            # local gate
+    PYTHONPATH=src python benchmarks/perf_gate.py --quick    # CI smoke
+
+Exit codes: 0 within budget (or warn-only in ``--quick``), 1 regression
+over the hard limit, 2 baseline missing/unusable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_kernels import Scenario, _reset_caches, build_scenarios  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernels.json"
+
+
+def load_baseline(path: Path) -> Optional[Dict[str, float]]:
+    """Map scenario name -> committed compiled-engine milliseconds."""
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+    if payload.get("quick"):
+        # A --quick rerun overwrote the committed full-run baseline;
+        # its shrunken workloads are not comparable.
+        return None
+    return {
+        run["name"]: float(run["compiled_ms"])
+        for run in payload.get("runs", [])
+        if "compiled_ms" in run
+    }
+
+
+def median_compiled_ms(scenario: Scenario, reps: int) -> float:
+    """Median cold-cache compiled-engine wall time over ``reps`` runs."""
+    samples = []
+    for _ in range(reps):
+        _reset_caches(scenario.tasksets)
+        t0 = time.perf_counter()
+        scenario.run("compiled")
+        samples.append((time.perf_counter() - t0) * 1e3)
+    return statistics.median(samples)
+
+
+def format_table(rows: List[Dict[str, Any]]) -> str:
+    header = (
+        f"{'scenario':<22}{'baseline':>12}{'median':>12}{'delta':>9}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<22}{row['baseline_ms']:>10.1f}ms"
+            f"{row['median_ms']:>10.1f}ms{row['delta_pct']:>+8.1f}%"
+            f"  [{row['verdict']}]"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: regressions over --threshold warn; only over "
+        "--hard-threshold fail (absorbs shared-runner noise)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=5, help="median-of-N repetitions"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="regression %% that fails the gate (warns in --quick)",
+    )
+    parser.add_argument(
+        "--hard-threshold",
+        type=float,
+        default=100.0,
+        help="regression %% that fails even in --quick",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed bench_kernels JSON to gate against",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline)
+    if not baseline:
+        print(
+            f"perf_gate: no usable full-run baseline at {args.baseline} "
+            "(run bench_kernels.py without --quick to record one)",
+            file=sys.stderr,
+        )
+        return 2
+
+    rows: List[Dict[str, Any]] = []
+    warnings: List[str] = []
+    failures: List[str] = []
+    for scenario in build_scenarios(quick=False):
+        base_ms = baseline.get(scenario.name)
+        if base_ms is None:
+            warnings.append(f"{scenario.name}: not in baseline, skipped")
+            continue
+        median_ms = median_compiled_ms(scenario, args.reps)
+        delta_pct = 100.0 * (median_ms - base_ms) / base_ms
+        if delta_pct > args.hard_threshold:
+            verdict = "FAIL"
+            failures.append(
+                f"{scenario.name}: median {median_ms:.1f}ms vs baseline "
+                f"{base_ms:.1f}ms ({delta_pct:+.1f}% > hard limit "
+                f"{args.hard_threshold:g}%)"
+            )
+        elif delta_pct > args.threshold:
+            if args.quick:
+                verdict = "warn"
+                warnings.append(
+                    f"{scenario.name}: {delta_pct:+.1f}% over the "
+                    f"{args.threshold:g}% budget (tolerated in --quick)"
+                )
+            else:
+                verdict = "FAIL"
+                failures.append(
+                    f"{scenario.name}: median {median_ms:.1f}ms vs baseline "
+                    f"{base_ms:.1f}ms ({delta_pct:+.1f}% > {args.threshold:g}%)"
+                )
+        else:
+            verdict = "ok"
+        rows.append(
+            {
+                "name": scenario.name,
+                "baseline_ms": base_ms,
+                "median_ms": median_ms,
+                "delta_pct": delta_pct,
+                "verdict": verdict,
+            }
+        )
+
+    print(format_table(rows))
+    for warning in warnings:
+        print(f"WARN: {warning}", file=sys.stderr)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

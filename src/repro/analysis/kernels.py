@@ -80,6 +80,7 @@ from repro.analysis.dbf import (
 from repro.model.fingerprint import digest_task_rows, taskset_fingerprint
 from repro.model.task import Criticality, ModelError
 from repro.model.taskset import TaskSet
+from repro.obs import trace
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -993,7 +994,8 @@ def compile_taskset(taskset: Union[TaskSet, CompiledTaskSet]) -> CompiledTaskSet
     fingerprint = taskset_fingerprint(taskset)
     compiled = _COMPILED_REGISTRY.get(fingerprint)
     if compiled is None:
-        compiled = CompiledTaskSet._from_taskset(taskset, fingerprint)
+        with trace.span("kernels.compile", n_tasks=len(taskset)):
+            compiled = CompiledTaskSet._from_taskset(taskset, fingerprint)
         _COMPILED_REGISTRY.put(fingerprint, compiled)
     try:
         setattr(taskset, _COMPILED_ATTR, compiled)

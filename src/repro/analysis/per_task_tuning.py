@@ -30,6 +30,7 @@ from repro.analysis.tuning import min_preparation_factor
 from repro.model.task import MCTask
 from repro.model.taskset import TaskSet
 from repro.model.transform import shorten_hi_deadlines
+from repro.obs import trace
 
 
 @dataclass
@@ -122,6 +123,30 @@ def tune_per_task_deadlines(
     """
     if not 0.0 < shrink < 1.0:
         raise ValueError(f"shrink must be in (0, 1), got {shrink}")
+    with trace.span("per_task.tune", engine=engine, n_tasks=len(taskset)) as sp:
+        result = _tune_per_task_deadlines(
+            taskset,
+            shrink=shrink,
+            max_moves=max_moves,
+            min_relative_gain=min_relative_gain,
+            x_method=x_method,
+            engine=engine,
+        )
+        if result is not None:
+            sp.add("moves", len(result.moves))
+            sp.add("probes", len(result.history))
+    return result
+
+
+def _tune_per_task_deadlines(
+    taskset: TaskSet,
+    *,
+    shrink: float,
+    max_moves: int,
+    min_relative_gain: float,
+    x_method: str,
+    engine: str,
+) -> Optional[TuningResult]:
     compiled = engine == "compiled"
     x = min_preparation_factor(taskset, method=x_method, engine=engine)
     if x is None:

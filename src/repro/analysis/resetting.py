@@ -32,6 +32,7 @@ from repro.analysis.budget import CandidateBudget
 from repro.analysis.kernels import MEMO, CompiledTaskSet, get_evaluator
 from repro.analysis.result import decode_float, encode_float
 from repro.model.taskset import TaskSet
+from repro.obs import trace
 
 #: Default cap on the number of breakpoints examined by the scan.
 DEFAULT_MAX_CANDIDATES = 2_000_000
@@ -166,12 +167,13 @@ def resetting_time(
         cached = MEMO.lookup(memo_key)
         if cached is not None:
             return cached
-    result = _resetting_scan(
-        ev,
-        s,
-        drop_terminated_carryover=drop_terminated_carryover,
-        max_candidates=max_candidates,
-    )
+    with trace.span("resetting.scan", engine=engine, n_tasks=len(taskset)):
+        result = _resetting_scan(
+            ev,
+            s,
+            drop_terminated_carryover=drop_terminated_carryover,
+            max_candidates=max_candidates,
+        )
     if memo_key is not None:
         MEMO.store(memo_key, result)
     return result

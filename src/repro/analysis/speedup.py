@@ -51,6 +51,7 @@ from repro.analysis.kernels import (
 )
 from repro.analysis.result import decode_float, encode_float
 from repro.model.taskset import TaskSet
+from repro.obs import trace
 
 
 @dataclass(frozen=True)
@@ -266,19 +267,21 @@ def min_speedup(
             return cached
 
     before = PERF.snapshot() if memo_key is not None else None
-    if _zero_interval_demand(ev):
-        result = SpeedupResult(math.inf, None, True, math.inf, 0)
-    elif ev.dbf_excess == 0.0:  # every task terminated: no HI-mode demand
-        result = SpeedupResult(0.0, None, True, 0.0, 0)
-    else:
-        result = _supremum_scan(
-            ev,
-            rtol=rtol,
-            max_candidates=max_candidates,
-            on_budget=on_budget,
-            window_lo=0.0,
-            window_hi=ev.initial_window(),
-        )
+    with trace.span("speedup.min_speedup", engine=engine, n_tasks=len(taskset)) as sp:
+        if _zero_interval_demand(ev):
+            result = SpeedupResult(math.inf, None, True, math.inf, 0)
+        elif ev.dbf_excess == 0.0:  # every task terminated: no HI-mode demand
+            result = SpeedupResult(0.0, None, True, 0.0, 0)
+        else:
+            result = _supremum_scan(
+                ev,
+                rtol=rtol,
+                max_candidates=max_candidates,
+                on_budget=on_budget,
+                window_lo=0.0,
+                window_hi=ev.initial_window(),
+            )
+        sp.add("candidates", result.candidates_examined)
     if memo_key is not None:
         result = replace(result, perf=PERF.delta_since(before))
         MEMO.store(memo_key, result)
@@ -323,46 +326,48 @@ def speedup_schedulable(
     window_lo, step = 0.0, ev.initial_window()
     examined = 0
     best_ratio, best_delta = 0.0, None
-    while window_lo < horizon:
-        window_hi = ev.clamp_window(
-            window_lo, min(window_lo + step, horizon), kind="dbf"
-        )
-        candidates = ev.breakpoints_in(window_lo, window_hi, kind="dbf")
-        if candidates.size:
-            demand = np.asarray(ev.total_dbf_hi(candidates), dtype=float)
-            slack = s * candidates * (1.0 + rtol) + rtol - demand
-            if np.any(slack < 0.0):
-                return False
-            ratios = demand / candidates
-            idx = int(np.argmax(ratios))
-            if ratios[idx] > best_ratio:
-                best_ratio = float(ratios[idx])
-                best_delta = float(candidates[idx])
-            examined += int(candidates.size)
-            if examined >= max_candidates:
-                if on_budget == "raise":
-                    raise AnalysisBudgetExceeded(
-                        "speedup_schedulable",
-                        examined,
-                        max_candidates,
-                        f"s={s:.6g}, demand rate {rate:.6g}, "
-                        f"scan reached Delta={window_hi:.6g} of {horizon:.6g}",
+    with trace.span("speedup.schedulable", engine=engine) as sp:
+        while window_lo < horizon:
+            window_hi = ev.clamp_window(
+                window_lo, min(window_lo + step, horizon), kind="dbf"
+            )
+            candidates = ev.breakpoints_in(window_lo, window_hi, kind="dbf")
+            if candidates.size:
+                demand = np.asarray(ev.total_dbf_hi(candidates), dtype=float)
+                slack = s * candidates * (1.0 + rtol) + rtol - demand
+                sp.add("candidates", int(candidates.size))
+                if np.any(slack < 0.0):
+                    return False
+                ratios = demand / candidates
+                idx = int(np.argmax(ratios))
+                if ratios[idx] > best_ratio:
+                    best_ratio = float(ratios[idx])
+                    best_delta = float(candidates[idx])
+                examined += int(candidates.size)
+                if examined >= max_candidates:
+                    if on_budget == "raise":
+                        raise AnalysisBudgetExceeded(
+                            "speedup_schedulable",
+                            examined,
+                            max_candidates,
+                            f"s={s:.6g}, demand rate {rate:.6g}, "
+                            f"scan reached Delta={window_hi:.6g} of {horizon:.6g}",
+                        )
+                    # Every breakpoint up to window_hi already passed the
+                    # supply-line test, so the supremum over the examined
+                    # prefix is best_ratio <= s; resume the certified scan
+                    # from here instead of rescanning from zero.
+                    cont = _supremum_scan(
+                        ev,
+                        rtol=rtol,
+                        max_candidates=max_candidates,
+                        on_budget="inexact",
+                        window_lo=window_hi,
+                        window_hi=2.0 * window_hi,
+                        best_ratio=best_ratio,
+                        best_delta=best_delta,
                     )
-                # Every breakpoint up to window_hi already passed the
-                # supply-line test, so the supremum over the examined
-                # prefix is best_ratio <= s; resume the certified scan
-                # from here instead of rescanning from zero.
-                cont = _supremum_scan(
-                    ev,
-                    rtol=rtol,
-                    max_candidates=max_candidates,
-                    on_budget="inexact",
-                    window_lo=window_hi,
-                    window_hi=2.0 * window_hi,
-                    best_ratio=best_ratio,
-                    best_delta=best_delta,
-                )
-                return cont.s_min <= s * (1.0 + rtol)
-        window_lo = window_hi
-        step *= 2.0
+                    return cont.s_min <= s * (1.0 + rtol)
+            window_lo = window_hi
+            step *= 2.0
     return True

@@ -28,6 +28,7 @@ from repro.analysis.schedulability import lo_mode_schedulable
 from repro.model.task import Criticality, ModelError
 from repro.model.taskset import TaskSet
 from repro.model.transform import shorten_hi_deadlines
+from repro.obs import trace
 
 
 def density_preparation_factor(taskset: TaskSet) -> Optional[float]:
@@ -93,22 +94,28 @@ def exact_preparation_factor(
             return lo_mode_schedulable(shorten_hi_deadlines(taskset, x), engine=engine)
 
     result: Optional[float]
-    hi = 1.0
-    if not feasible(hi):
-        result = None
-    else:
-        lo = structural_floor(taskset)
-        lo = max(lo, 1e-9)
-        if feasible(lo):
-            result = lo
+    with trace.span("tuning.bisect", engine=engine, n_tasks=len(taskset)) as sp:
+
+        def probed(x: float) -> bool:
+            sp.add("probes")
+            return feasible(x)
+
+        hi = 1.0
+        if not probed(hi):
+            result = None
         else:
-            while hi - lo > tol * hi:
-                mid = 0.5 * (lo + hi)
-                if feasible(mid):
-                    hi = mid
-                else:
-                    lo = mid
-            result = hi
+            lo = structural_floor(taskset)
+            lo = max(lo, 1e-9)
+            if probed(lo):
+                result = lo
+            else:
+                while hi - lo > tol * hi:
+                    mid = 0.5 * (lo + hi)
+                    if probed(mid):
+                        hi = mid
+                    else:
+                        lo = mid
+                result = hi
     if memo_key is not None:
         MEMO.store(memo_key, result)
     return result

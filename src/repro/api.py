@@ -60,6 +60,7 @@ from repro.io import (
     taskset_to_json,
 )
 from repro.model.taskset import TaskSet
+from repro.obs import MetricsRegistry, ProgressLine, trace
 from repro.pipeline.cache import ResultCache, taskset_fingerprint
 from repro.pipeline.request import (
     AnalysisFailure,
@@ -78,6 +79,8 @@ __all__ = [
     "BatchRunner",
     "BatchStats",
     "ClosedFormBounds",
+    "MetricsRegistry",
+    "ProgressLine",
     "ResettingResult",
     "ResultCache",
     "SchedulabilityReport",
@@ -106,6 +109,7 @@ __all__ = [
     "taskset_fingerprint",
     "taskset_from_json",
     "taskset_to_json",
+    "trace",
     "tune_per_task_deadlines",
 ]
 

@@ -184,21 +184,31 @@ def _run_batch(args, parser) -> str:
         parser.error(f"--tasksets: no .json task sets in {directory}")
     tasksets = [api.load_taskset(f) for f in files]
 
+    from repro.obs import MetricsRegistry, ProgressLine, trace
+
     checkpoint = args.resume if args.resume else args.checkpoint
+    metrics = MetricsRegistry() if args.metrics else None
+    progress_line = ProgressLine(label="analysed") if args.verbose else None
     runner = api.BatchRunner(
         jobs=args.jobs,
         cache=api.ResultCache(args.cache) if args.cache else None,
         checkpoint=checkpoint,
         resume=bool(args.resume),
-        progress=(
-            (lambda done, total: print(f"  {done}/{total} analysed", file=sys.stderr))
-            if args.verbose
-            else None
-        ),
+        progress=progress_line.update if progress_line is not None else None,
+        metrics=metrics,
     )
-    reports = api.analyze_many(
-        tasksets, speedup=args.speedup, budget=args.budget, runner=runner
-    )
+    if args.trace:
+        trace.enable()
+        trace.clear()
+    try:
+        reports = api.analyze_many(
+            tasksets, speedup=args.speedup, budget=args.budget, runner=runner
+        )
+    finally:
+        if progress_line is not None:
+            progress_line.close()
+        if args.trace:
+            trace.disable()
 
     header = (
         f"{'taskset':<24}{'lo':>4}{'s_min':>10}{'hi':>4}{'Delta_R':>10}"
@@ -233,8 +243,15 @@ def _run_batch(args, parser) -> str:
     out.append(
         f"{stats.total} analysed: {stats.computed} computed, "
         f"{stats.cache_hits} cache hits, {stats.resumed} resumed, "
-        f"{stats.failures} failures"
+        f"{stats.deduplicated} deduplicated, {stats.failures} failures"
     )
+    if metrics is not None:
+        metrics.write_json(args.metrics)
+        out.append(f"metrics written to {args.metrics} ({metrics.summary()})")
+    if args.trace:
+        spans = trace.write_jsonl(args.trace)
+        trace.clear()
+        out.append(f"{spans} trace spans written to {args.trace}")
     if args.csv:
         write_records_csv(args.csv, [r.to_record() for r in reports])
         out.append(f"records written to {args.csv}")
@@ -324,7 +341,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--verbose",
         action="store_true",
-        help="print per-item progress for 'batch' to stderr",
+        help="print per-item progress with rate and ETA for 'batch' to stderr",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="OUT.json",
+        help="write a unified metrics snapshot (batch stats, cache totals, "
+        "kernel perf counters, per-worker timings) for 'batch'",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        help="enable span tracing for 'batch' and write the spans as JSONL",
     )
     args = parser.parse_args(argv)
 

@@ -1,0 +1,259 @@
+"""Span-based tracing: nested wall-time, counts and tags per operation.
+
+The analysis stack is pseudo-polynomial, so per-stage cost varies wildly
+across task sets — a tuning bisection may dominate one item while the
+resetting scan dominates the next.  Spans make that visible::
+
+    from repro.obs import trace
+
+    with trace.span("tuning.bisect", engine="compiled") as sp:
+        ...
+        sp.add("probes")          # bump a counter on the open span
+
+Tracing is **off by default** and costs one attribute check plus a
+shared no-op context manager per instrumented call while disabled, so
+instrumentation can stay in hot analysis paths permanently.  When
+enabled (:func:`enable`), every closed span appends one JSON-ready
+record to the process-wide tracer:
+
+``{"name", "path", "depth", "tags", "counts", "t_start", "duration_s"}``
+
+``path`` is the ``/``-joined chain of open span names (spans nest via a
+thread-local stack), so a record is self-describing without record
+pointers.  ``t_start`` and ``duration_s`` are the only timing fields;
+everything else is a deterministic function of the work performed —
+:func:`strip_timing` removes them so tests can compare traces across
+runs and job counts.
+
+Worker processes each own a tracer (module state is per-process); the
+batch runner enables tracing inside the worker, drains the records and
+ships them back with each chunk, exactly like the kernel perf counters.
+
+This module deliberately imports nothing from the rest of ``repro`` —
+the observability layer observes; it does not participate.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Version stamped into every span record written to JSONL.
+TRACE_SCHEMA_VERSION = 1
+
+#: The record fields that depend on the clock rather than on the work
+#: performed; :func:`strip_timing` removes exactly these.
+TIMING_FIELDS = ("t_start", "duration_s")
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def add(self, key: str = "count", value: int = 1) -> None:
+        pass
+
+    def tag(self, **tags: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; use as a context manager (see module docstring)."""
+
+    __slots__ = ("name", "tags", "counts", "_tracer", "_t0", "_path", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, Any]) -> None:
+        self.name = name
+        self.tags = tags
+        self.counts: Dict[str, int] = {}
+        self._tracer = tracer
+        self._t0 = 0.0
+        self._path = name
+        self._depth = 0
+
+    def add(self, key: str = "count", value: int = 1) -> None:
+        """Bump a named counter on this span."""
+        self.counts[key] = self.counts.get(key, 0) + value
+
+    def tag(self, **tags: Any) -> None:
+        """Attach (JSON-ready) key/value tags to this span."""
+        self.tags.update(tags)
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        if stack:
+            parent = stack[-1]
+            self._path = f"{parent._path}/{self.name}"
+            self._depth = parent._depth + 1
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.tags["error"] = exc_type.__name__
+        self._tracer._record(
+            {
+                "name": self.name,
+                "path": self._path,
+                "depth": self._depth,
+                "tags": self.tags,
+                "counts": self.counts,
+                "t_start": self._t0,
+                "duration_s": duration,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Collects span records; one per process (see :data:`TRACER`)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._records: List[Dict[str, Any]] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- span lifecycle -------------------------------------------------
+    def span(self, name: str, **tags: Any) -> Union[Span, _NullSpan]:
+        """Open a span (or the shared no-op span while disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, tags)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # -- control --------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- record access --------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """Copy of the records collected so far (closed spans, in close order)."""
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Remove and return all collected records (worker hand-off)."""
+        with self._lock:
+            records, self._records = self._records, []
+        return records
+
+    def extend(self, records: List[Dict[str, Any]]) -> None:
+        """Append records drained from another tracer (worker hand-back)."""
+        with self._lock:
+            self._records.extend(records)
+
+    def clear(self) -> None:
+        self.drain()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def write_jsonl(self, path: PathLike) -> int:
+        """Write one JSON object per record; returns the record count.
+
+        The first line is a header carrying the schema version, so a
+        reader never has to guess the layout.
+        """
+        records = self.records()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            fh.write(
+                json.dumps(
+                    {"trace_schema_version": TRACE_SCHEMA_VERSION, "spans": len(records)}
+                )
+                + "\n"
+            )
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+def strip_timing(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A record (or header line) without its wall-clock fields.
+
+    Everything that survives is a deterministic function of the work
+    performed, so stripped traces compare equal across runs.
+    """
+    return {key: value for key, value in record.items() if key not in TIMING_FIELDS}
+
+
+#: The process-wide tracer every instrumented module uses.
+TRACER = Tracer()
+
+
+# Module-level conveniences so call sites read `trace.span(...)`.
+def span(name: str, **tags: Any) -> Union[Span, _NullSpan]:
+    """Open a span on the process tracer (no-op while disabled)."""
+    if not TRACER.enabled:
+        return NULL_SPAN
+    return Span(TRACER, name, tags)
+
+
+def enable() -> None:
+    """Turn span collection on (process-wide)."""
+    TRACER.enable()
+
+
+def disable() -> None:
+    """Turn span collection off (instrumentation reverts to no-ops)."""
+    TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return TRACER.enabled
+
+
+def records() -> List[Dict[str, Any]]:
+    return TRACER.records()
+
+
+def drain() -> List[Dict[str, Any]]:
+    return TRACER.drain()
+
+
+def extend(new_records: List[Dict[str, Any]]) -> None:
+    TRACER.extend(new_records)
+
+
+def clear() -> None:
+    TRACER.clear()
+
+
+def write_jsonl(path: PathLike) -> int:
+    return TRACER.write_jsonl(path)

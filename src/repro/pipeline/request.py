@@ -39,6 +39,7 @@ from repro.analysis.tuning import min_preparation_factor
 from repro.model.task import ModelError
 from repro.model.taskset import TaskSet
 from repro.model.transform import apply_uniform_scaling
+from repro.obs import trace
 from repro.pipeline.cache import request_fingerprint
 
 _RTOL = 1e-9
@@ -385,8 +386,17 @@ def evaluate_request(request: AnalysisRequest) -> AnalysisReport:
 
     Exceptions propagate to the caller; :class:`~repro.pipeline.runner.
     BatchRunner` converts them into :class:`AnalysisFailure` records so a
-    single degenerate task set never kills a sweep.
+    single degenerate task set never kills a sweep.  The whole evaluation
+    runs under a ``pipeline.evaluate`` span, so per-stage spans (tuning,
+    speedup, resetting) nest beneath it when tracing is on.
     """
+    with trace.span(
+        "pipeline.evaluate", taskset=request.taskset.name, engine=request.engine
+    ):
+        return _evaluate_request(request)
+
+
+def _evaluate_request(request: AnalysisRequest) -> AnalysisReport:
     taskset = request.taskset
     x_applied: Optional[float] = None
     y_applied: Optional[float] = None

@@ -16,7 +16,21 @@
   failure record on that item's report, never a crashed sweep;
 * **checkpoint/resume** — every completed item is appended to a JSONL
   checkpoint; a rerun with ``resume=True`` skips everything already on
-  disk, which makes paper-scale sweeps interruptible.
+  disk, which makes paper-scale sweeps interruptible.  The file is
+  truncated on a non-resume run and compacted (duplicate keys last-wins,
+  infrastructure failures dropped) on resume, so it never grows without
+  bound.  A checkpointed failure whose stage is *infrastructural* (a
+  worker process died mid-chunk) is transient, not a verdict: resume
+  recomputes those items instead of resurfacing the failure as final.
+* **observability** — pass a :class:`~repro.obs.metrics.MetricsRegistry`
+  to collect one unified snapshot of batch statistics, cache hit/miss
+  totals, kernel perf counters and per-worker chunk timings.  Kernel
+  counters are per process, so each worker snapshots its own
+  :data:`~repro.analysis.kernels.PERF` around the chunk and ships the
+  delta back with the results; the registry sums them, making the
+  counter totals independent of the job count.  Span tracing
+  (:mod:`repro.obs.trace`), when enabled in the parent, is enabled
+  inside each worker and the recorded spans travel back the same way.
 
 The evaluation itself (:func:`~repro.pipeline.request.evaluate_request`)
 is deterministic and order-independent, so ``jobs=1`` and ``jobs=N``
@@ -28,6 +42,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,6 +60,8 @@ from typing import (
     Union,
 )
 
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.cache import ResultCache
 from repro.pipeline.request import (
     AnalysisFailure,
@@ -85,26 +103,66 @@ def evaluate_captured(request: AnalysisRequest) -> AnalysisReport:
         )
 
 
+#: Failure stages that describe the batch machinery rather than the
+#: analysis verdict.  They are transient: resume recomputes them and
+#: checkpoint compaction drops them.
+INFRASTRUCTURE_STAGES = frozenset({"worker"})
+
+
+def _is_infrastructure_failure(payload: Dict[str, Any]) -> bool:
+    """True when a report payload records a transient machinery failure."""
+    failure = payload.get("failure")
+    return failure is not None and failure.get("stage") in INFRASTRUCTURE_STAGES
+
+
 def _worker_chunk(
     chunk: Sequence[Tuple[int, AnalysisRequest]],
-) -> List[Tuple[int, Dict[str, Any]]]:
+    trace_enabled: bool = False,
+) -> Tuple[List[Tuple[int, Dict[str, Any]]], Dict[str, Any]]:
     """Process-pool entry point: evaluate a chunk, return JSON payloads.
 
     Workers hand back plain dictionaries (the ``to_dict`` encoding), the
     same currency the cache and checkpoint use, so nothing
     analysis-specific ever crosses the process boundary on the way out.
+    Alongside the results travels a metadata dict with the worker's
+    kernel perf-counter delta for the chunk (kernel counters are per
+    process and forked workers inherit the parent's totals, hence the
+    delta), the chunk wall time, and — when the parent had tracing on —
+    the span records the chunk produced.
     """
-    return [(index, evaluate_captured(request).to_dict()) for index, request in chunk]
+    from repro.analysis.kernels import PERF
+
+    if trace_enabled:
+        trace.enable()
+        trace.drain()  # discard records inherited from the parent via fork
+    perf_before = PERF.snapshot()
+    t0 = time.perf_counter()
+    results = [
+        (index, evaluate_captured(request).to_dict()) for index, request in chunk
+    ]
+    meta = {
+        "pid": os.getpid(),
+        "items": len(chunk),
+        "seconds": time.perf_counter() - t0,
+        "perf": PERF.delta_since(perf_before),
+        "spans": trace.drain() if trace_enabled else [],
+    }
+    return results, meta
 
 
 @dataclass
 class BatchStats:
-    """Bookkeeping for one :meth:`BatchRunner.run` call."""
+    """Bookkeeping for one :meth:`BatchRunner.run` call.
+
+    The five settle paths reconcile exactly:
+    ``computed + cache_hits + resumed + deduplicated == total``.
+    """
 
     total: int = 0
     computed: int = 0
     cache_hits: int = 0
     resumed: int = 0
+    deduplicated: int = 0
     failures: int = 0
 
     def to_dict(self) -> Dict[str, int]:
@@ -113,6 +171,7 @@ class BatchStats:
             "computed": self.computed,
             "cache_hits": self.cache_hits,
             "resumed": self.resumed,
+            "deduplicated": self.deduplicated,
             "failures": self.failures,
         }
 
@@ -140,6 +199,10 @@ class BatchRunner:
     progress:
         ``progress(done, total)`` callback, invoked after every settled
         item (cache hit, resumed, computed, or failed).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; the run
+        folds in batch stats, cache totals, kernel perf deltas (summed
+        across workers) and per-worker chunk timings.
     """
 
     jobs: int = 1
@@ -148,6 +211,7 @@ class BatchRunner:
     resume: bool = False
     chunk_size: Optional[int] = None
     progress: Optional[ProgressCallback] = None
+    metrics: Optional[MetricsRegistry] = None
     stats: BatchStats = field(default_factory=BatchStats)
 
     def __post_init__(self) -> None:
@@ -160,7 +224,14 @@ class BatchRunner:
     # Checkpoint plumbing
     # ------------------------------------------------------------------
     def _load_checkpoint(self) -> Dict[str, Dict[str, Any]]:
-        """Completed payloads by key; tolerant of a torn final line."""
+        """Completed payloads by key; tolerant of a torn final line.
+
+        Duplicate keys resolve last-wins (an append-mode file can hold a
+        failed attempt followed by a later success).  Infrastructure
+        failures — a worker process died mid-chunk, not an analysis
+        verdict — are dropped entirely so resume recomputes those items
+        instead of resurfacing a transient failure as final.
+        """
         completed: Dict[str, Dict[str, Any]] = {}
         if not self.resume or self.checkpoint is None:
             return completed
@@ -177,23 +248,61 @@ class BatchRunner:
                 continue  # torn write from a killed run: recompute that item
             if entry.get("checkpoint_version") != CHECKPOINT_VERSION:
                 continue
+            if _is_infrastructure_failure(entry["report"]):
+                completed.pop(entry["key"], None)
+                continue
             completed[entry["key"]] = entry["report"]
         return completed
+
+    def _open_checkpoint(self, completed: Dict[str, Dict[str, Any]]):
+        """Open the checkpoint for appending new entries.
+
+        Not resuming: truncate — stale entries from an unrelated earlier
+        run must not leak into a later resume.  Resuming: rewrite the
+        file as one compacted entry per surviving key (atomically, via a
+        temp file) before reopening for append, so duplicates and
+        infrastructure failures don't accumulate across interruptions.
+        """
+        if self.checkpoint is None:
+            return None
+        path = Path(self.checkpoint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if self.resume and path.exists():
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            with tmp.open("w") as fh:
+                for key, payload in completed.items():
+                    entry = {
+                        "checkpoint_version": CHECKPOINT_VERSION,
+                        "key": key,
+                        "report": payload,
+                    }
+                    fh.write(json.dumps(entry) + "\n")
+            tmp.replace(path)
+            return path.open("a")
+        return path.open("w")
 
     # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[AnalysisRequest]) -> List[AnalysisReport]:
         """Evaluate every request, returning reports in request order."""
+        from repro.analysis.kernels import PERF
+
         requests = list(requests)
         self.stats = BatchStats(total=len(requests))
         payloads: List[Optional[Dict[str, Any]]] = [None] * len(requests)
 
+        perf_before = PERF.snapshot()
+        cache_lookups_before = (
+            (self.cache.hits, self.cache.misses) if self.cache is not None else (0, 0)
+        )
+        t_run = time.perf_counter()
         resumed = self._load_checkpoint()
 
         # Settle cache/checkpoint hits and dedup the rest by key: a
         # population containing the same configured task set twice costs
-        # one evaluation.
+        # one evaluation.  A failure payload counts as a failure however
+        # it arrives — computed, cached or resumed.
         pending: Dict[str, List[int]] = {}
         pending_request: Dict[str, AnalysisRequest] = {}
         for index, request in enumerate(requests):
@@ -202,12 +311,16 @@ class BatchRunner:
             if payload is not None:
                 payloads[index] = payload
                 self.stats.resumed += 1
+                if payload.get("failure") is not None:
+                    self.stats.failures += 1
                 continue
             if self.cache is not None:
                 payload = self.cache.get(key)
                 if payload is not None:
                     payloads[index] = payload
                     self.stats.cache_hits += 1
+                    if payload.get("failure") is not None:
+                        self.stats.failures += 1
                     continue
             if key in pending:
                 pending[key].append(index)
@@ -219,11 +332,7 @@ class BatchRunner:
         if self.progress is not None and done:
             self.progress(done, len(requests))
 
-        checkpoint_file = None
-        if self.checkpoint is not None:
-            path = Path(self.checkpoint)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            checkpoint_file = path.open("a")
+        checkpoint_file = self._open_checkpoint(resumed)
 
         def settle(key: str, payload: Dict[str, Any]) -> None:
             nonlocal done
@@ -231,6 +340,7 @@ class BatchRunner:
                 payloads[index] = payload
             done += len(pending[key])
             self.stats.computed += 1
+            self.stats.deduplicated += len(pending[key]) - 1
             if payload.get("failure") is not None:
                 self.stats.failures += 1
             if self.cache is not None:
@@ -250,12 +360,29 @@ class BatchRunner:
         try:
             if self.jobs == 1 or len(work) <= 1:
                 for key, request in work:
+                    t0 = time.perf_counter()
                     settle(key, evaluate_captured(request).to_dict())
+                    if self.metrics is not None:
+                        self.metrics.record_chunk(
+                            "inline", 1, time.perf_counter() - t0
+                        )
             else:
                 self._run_parallel(work, settle)
         finally:
             if checkpoint_file is not None:
                 checkpoint_file.close()
+
+        if self.metrics is not None:
+            # The main-process kernel delta covers the inline path (and is
+            # zero under a pool); worker deltas were folded in per chunk.
+            self.metrics.record_kernel_perf(PERF.delta_since(perf_before))
+            self.metrics.record_batch_stats(self.stats.to_dict())
+            if self.cache is not None:
+                self.metrics.record_cache(
+                    self.cache.hits - cache_lookups_before[0],
+                    self.cache.misses - cache_lookups_before[1],
+                )
+            self.metrics.timing("batch.wall_seconds", time.perf_counter() - t_run)
 
         return [AnalysisReport.from_dict(payload) for payload in payloads]
 
@@ -270,9 +397,11 @@ class BatchRunner:
             1, min(32, math.ceil(len(indexed) / (self.jobs * 4)))
         )
         chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
+        trace_enabled = trace.is_enabled()
         with ProcessPoolExecutor(max_workers=self.jobs) as executor:
             futures = {
-                executor.submit(_worker_chunk, chunk): chunk for chunk in chunks
+                executor.submit(_worker_chunk, chunk, trace_enabled): chunk
+                for chunk in chunks
             }
             remaining = set(futures)
             while remaining:
@@ -290,7 +419,15 @@ class BatchRunner:
                             )
                             settle(keys[i], failed.to_dict())
                         continue
-                    for i, payload in future.result():
+                    results, meta = future.result()
+                    if self.metrics is not None:
+                        self.metrics.record_chunk(
+                            f"pid{meta['pid']}", meta["items"], meta["seconds"]
+                        )
+                        self.metrics.record_kernel_perf(meta["perf"])
+                    if meta["spans"]:
+                        trace.extend(meta["spans"])
+                    for i, payload in results:
                         settle(keys[i], payload)
 
     # ------------------------------------------------------------------
@@ -336,6 +473,7 @@ def run_batch(
     resume: bool = False,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[AnalysisReport]:
     """One-shot convenience wrapper around :class:`BatchRunner`."""
     runner = BatchRunner(
@@ -345,5 +483,6 @@ def run_batch(
         resume=resume,
         chunk_size=chunk_size,
         progress=progress,
+        metrics=metrics,
     )
     return runner.run(requests)
