@@ -48,7 +48,9 @@ class PiecewiseLinear:
 
     def __post_init__(self) -> None:
         starts = np.asarray(self.starts, dtype=float)
-        if starts.size == 0 or starts[0] != 0.0:
+        # Exact by design: the domain contract is that the first segment
+        # starts at literal 0.0; any other bit pattern is caller error.
+        if starts.size == 0 or starts[0] != 0.0:  # repro-lint: ignore[RL002]
             raise ValueError("curve must start at 0")
         if np.any(np.diff(starts) <= 0):
             raise ValueError("segment starts must be strictly increasing")

@@ -437,9 +437,10 @@ class CompiledTaskSet:
             pieces_per = [p[keep_gap], p[keep_gap2], p]
         else:
             # ADB offsets also include 0.0 for every task; dedup the gap
-            # offsets against it exactly like the scalar set literal.
-            keep_gap &= gap != 0.0
-            keep_gap2 &= gap2 != 0.0
+            # offsets against it exactly like the scalar set literal —
+            # exact comparison IS the spec here (bit parity with dbf.py).
+            keep_gap &= gap != 0.0  # repro-lint: ignore[RL002]
+            keep_gap2 &= gap2 != 0.0  # repro-lint: ignore[RL002]
             counts = keep_gap.astype(np.int64) + keep_gap2 + 2
             zeros = np.zeros_like(p)
             pieces_off = [zeros, gap[keep_gap], gap2[keep_gap2], p]
@@ -695,8 +696,12 @@ class CompiledTaskSet:
             )
             r_interior = d_interior / candidates[interior]
             at = int(np.argmax(r_interior))
+            # Exact tie-break: on ratio equality prefer the earlier
+            # breakpoint so the pruned scan reports the same critical
+            # delta as the scalar oracle's left-to-right argmax.
             if float(r_interior[at]) > peak or (
-                float(r_interior[at]) == peak and int(interior[at]) < peak_index
+                float(r_interior[at]) == peak  # repro-lint: ignore[RL002]
+                and int(interior[at]) < peak_index
             ):
                 peak = float(r_interior[at])
                 peak_index = int(interior[at])

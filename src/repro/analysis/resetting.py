@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Union
+from typing import Any, Dict, Iterable, Union
 
 import numpy as np
 
@@ -279,7 +279,7 @@ def _resetting_scan(
 
 def resetting_curve(
     taskset: TaskSet,
-    speedups,
+    speedups: Iterable[float],
     *,
     drop_terminated_carryover: bool = False,
     engine: str = "compiled",

@@ -23,7 +23,11 @@ they just implement the members (checked by ``tests/test_api.py``).
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Protocol, runtime_checkable
+from typing import Any, Dict, Optional, Protocol, Union, runtime_checkable
+
+#: JSON-safe float encoding: finite floats pass through, ``inf``/``nan``
+#: travel as strings, ``None`` means "not computed".
+EncodedFloat = Union[None, float, str]
 
 
 @runtime_checkable
@@ -42,12 +46,13 @@ class AnalysisResult(Protocol):
     def to_dict(self) -> Dict[str, Any]: ...
 
 
-def encode_float(value: float) -> Any:
+def encode_float(value: Optional[float]) -> EncodedFloat:
     """JSON-safe float encoding: ``inf``/``nan`` become strings.
 
     Plain finite floats pass through untouched so documents stay
     readable; the string forms round-trip through :func:`decode_float`
-    (and through ``float()`` itself).
+    (and through ``float()`` itself).  ``None`` (field not computed)
+    passes through unchanged.
     """
     if value is None:
         return None
@@ -59,7 +64,7 @@ def encode_float(value: float) -> Any:
     return "inf" if value > 0 else "-inf"
 
 
-def decode_float(value: Any) -> Any:
+def decode_float(value: Union[EncodedFloat, int]) -> Optional[float]:
     """Inverse of :func:`encode_float` (``None`` passes through)."""
     if value is None:
         return None

@@ -270,7 +270,9 @@ def min_speedup(
     with trace.span("speedup.min_speedup", engine=engine, n_tasks=len(taskset)) as sp:
         if _zero_interval_demand(ev):
             result = SpeedupResult(math.inf, None, True, math.inf, 0)
-        elif ev.dbf_excess == 0.0:  # every task terminated: no HI-mode demand
+        # dbf_excess is a sum of non-negative HI budgets, so exact zero
+        # is equivalent to <= 0 — no float equality needed.
+        elif ev.dbf_excess <= 0.0:  # every task terminated: no HI-mode demand
             result = SpeedupResult(0.0, None, True, 0.0, 0)
         else:
             result = _supremum_scan(
@@ -316,7 +318,7 @@ def speedup_schedulable(
         return False
     rate = ev.rate
     excess = ev.dbf_excess
-    if excess == 0.0:
+    if excess <= 0.0:  # sum of non-negative budgets: exact zero iff all zero
         return True
     if s < rate * (1.0 - rtol):
         return False

@@ -68,7 +68,7 @@ from repro.pipeline.request import (
     AnalysisRequest,
     evaluate_request,
 )
-from repro.pipeline.runner import BatchRunner, BatchStats
+from repro.pipeline.runner import BatchRunner, BatchStats, ProgressCallback
 
 __all__ = [
     "AnalysisBudgetExceeded",
@@ -172,7 +172,7 @@ def analyze_many(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     chunk_size: Optional[int] = None,
-    progress=None,
+    progress: Optional[ProgressCallback] = None,
     runner: Optional[BatchRunner] = None,
     **options: Any,
 ) -> List[AnalysisReport]:
@@ -211,7 +211,7 @@ def analyze_many(
 
 def demand_curve(
     taskset: TaskSet,
-    deltas,
+    deltas: Union[Sequence[float], np.ndarray],
     *,
     kind: str = "dbf_hi",
     drop_terminated_carryover: bool = False,

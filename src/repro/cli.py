@@ -9,6 +9,7 @@ Usage::
     repro-mc all [--quick]
     repro-mc analyze --taskset my_tasks.json [--speedup 2] [--budget 5000]
     repro-mc batch --tasksets dir/ --jobs N [--resume ckpt.jsonl]
+    repro-mc lint [paths ...] [--format json] [--write-baseline]
 
 ``--quick`` shrinks the synthetic population sizes so the whole
 evaluation finishes in about a minute (the benchmark harness under
@@ -19,6 +20,9 @@ task-set files through the parallel pipeline (:mod:`repro.pipeline`)
 with caching, checkpointing and per-file failure capture.  ``--jobs``
 fans the synthetic-population figures, the resilience sweep and
 ``batch`` over worker processes; results are identical to ``--jobs 1``.
+``lint`` runs the repro-lint static-analysis pack (:mod:`repro.lint`)
+over the given paths (default ``src``) and exits non-zero on any
+non-baselined finding.
 """
 
 from __future__ import annotations
@@ -274,10 +278,15 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "validate", "resilience", "all", "analyze", "batch",
+            "validate", "resilience", "all", "analyze", "batch", "lint",
         ],
         help="which artefact to regenerate (or 'analyze' a task-set file, "
-        "or 'batch'-analyse a directory of them)",
+        "'batch'-analyse a directory of them, or 'lint' the source tree)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories for 'lint' (default: src)",
     )
     parser.add_argument(
         "--quick",
@@ -354,10 +363,46 @@ def main(argv=None) -> int:
         metavar="OUT.jsonl",
         help="enable span tracing for 'batch' and write the spans as JSONL",
     )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="lint_format",
+        help="'lint' report format (default text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE.json",
+        help="'lint' baseline file (default lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current 'lint' findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="RL001,RL002,...",
+        help="comma-separated subset of lint rules to run (default: all)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    if args.experiment == "lint":
+        from repro.lint.cli import run_lint_command
+
+        return run_lint_command(
+            args.paths,
+            output_format=args.lint_format,
+            baseline_path=args.baseline,
+            update_baseline=args.write_baseline,
+            rules=args.rules,
+        )
+
+    if args.paths:
+        parser.error("positional paths are only accepted by 'lint'")
 
     if args.experiment == "batch":
         if not args.tasksets:

@@ -16,10 +16,14 @@ import csv
 import json
 import math
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Sequence, Union
 
 from repro.model.task import Criticality, MCTask
 from repro.model.taskset import TaskSet
+
+if TYPE_CHECKING:  # import-for-typing only: the runtime import would
+    # close the io -> pipeline -> analysis -> ... cycle
+    from repro.pipeline.request import AnalysisReport
 
 #: Current task-set document schema.  Version 2 renamed the version
 #: field to ``schema_version``; version-1 documents (``"version": 1``)
@@ -125,7 +129,7 @@ def load_taskset(path: PathLike) -> TaskSet:
     return taskset_from_json(Path(path).read_text())
 
 
-def report_to_json(report, *, indent: int = 2) -> str:
+def report_to_json(report: "AnalysisReport", *, indent: int = 2) -> str:
     """Serialize an :class:`~repro.pipeline.request.AnalysisReport`."""
     payload = {
         "format": "repro-mc-analysis-report",
@@ -135,7 +139,7 @@ def report_to_json(report, *, indent: int = 2) -> str:
     return json.dumps(payload, indent=indent)
 
 
-def report_from_json(text: str):
+def report_from_json(text: str) -> "AnalysisReport":
     """Parse an analysis report serialized by :func:`report_to_json`."""
     # Local import: repro.pipeline depends on the analysis layer, which
     # must stay importable without this module forming a cycle.
@@ -153,12 +157,12 @@ def report_from_json(text: str):
     return AnalysisReport.from_dict(payload["report"])
 
 
-def save_report(report, path: PathLike) -> None:
+def save_report(report: "AnalysisReport", path: PathLike) -> None:
     """Write an analysis report to a JSON file."""
     Path(path).write_text(report_to_json(report) + "\n")
 
 
-def load_report(path: PathLike):
+def load_report(path: PathLike) -> "AnalysisReport":
     """Read an analysis report from a JSON file."""
     return report_from_json(Path(path).read_text())
 

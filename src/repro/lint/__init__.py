@@ -1,0 +1,59 @@
+"""repro-lint: domain-specific static analysis for this reproduction.
+
+The analysis core makes promises the test suite can only sample:
+
+* Theorem 2 / Corollary 5 demand-bound comparisons are **exact** — a
+  float ``==`` in the wrong place silently turns a proof into a
+  coin-flip (RL002);
+* pipeline output is byte-identical for ``jobs=1`` and ``jobs=N`` and
+  cache keys are stable across runs, which requires every source of
+  entropy (wall clock, unseeded RNG, process identity) to stay out of
+  fingerprint-, cache- and counter-affecting code (RL003);
+* functions shipped to the :class:`~repro.pipeline.runner.BatchRunner`
+  process pool must be picklable and must not communicate through
+  module-level globals (RL004);
+* the layering that makes all of this auditable — ``repro.obs``
+  observes without participating, experiments speak only to the
+  ``repro.api`` facade — must hold in every module, not just the ones a
+  test happens to import (RL001);
+* the public API surface stays documented and fully typed, and
+  deprecated shims actually warn (RL005).
+
+``repro-lint`` enforces those invariants statically over the whole
+source tree.  It is a small AST engine (:mod:`repro.lint.engine`) with a
+rule registry (:mod:`repro.lint.rules`), per-line suppression comments
+(``# repro-lint: ignore[RL002]``), a committed JSON baseline for
+grandfathered findings (:mod:`repro.lint.baseline`) and text/JSON
+reporters (:mod:`repro.lint.report`).  The ``repro-mc lint`` subcommand
+(:mod:`repro.lint.cli`) is the entry point used by CI.
+"""
+
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    available_rules,
+    lint_file,
+    lint_paths,
+    register,
+)
+from repro.lint.report import render_json, render_text
+
+# Importing the rule pack registers every rule with the engine.
+from repro.lint import rules as _rules  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "available_rules",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

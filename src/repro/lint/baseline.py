@@ -1,0 +1,96 @@
+"""Committed baseline of grandfathered lint findings.
+
+A baseline lets a new rule land with the tree not yet clean: existing
+findings are recorded (``repro-mc lint --write-baseline``) and stop
+failing the build, while anything *new* still does.  Entries match on
+:attr:`~repro.lint.engine.Finding.baseline_key` (path + rule +
+message), deliberately ignoring line numbers so edits elsewhere in a
+file do not resurrect a grandfathered finding.
+
+The file is plain sorted JSON so diffs review like code: shrinking the
+baseline is progress, growing it is a decision someone signed off on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.lint.engine import Finding
+
+PathLike = Union[str, Path]
+
+#: Schema stamp; unknown versions are rejected rather than guessed at.
+BASELINE_VERSION = 1
+
+#: Default committed location, relative to the repository root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class Baseline:
+    """Set of grandfathered findings keyed by their baseline identity."""
+
+    def __init__(self, entries: Sequence[Dict[str, object]] = ()) -> None:
+        self._entries: Dict[str, Dict[str, object]] = {
+            str(entry["key"]): dict(entry) for entry in entries
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.baseline_key in self._entries
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, grandfathered)."""
+        fresh = [f for f in findings if f not in self]
+        old = [f for f in findings if f in self]
+        return fresh, old
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(
+            [
+                {"key": f.baseline_key, "rule": f.rule, "path": f.path,
+                 "message": f.message}
+                for f in findings
+            ]
+        )
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "baseline_version": BASELINE_VERSION,
+            "findings": [
+                self._entries[key] for key in sorted(self._entries)
+            ],
+        }
+
+
+def load_baseline(path: PathLike) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("baseline_version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline_version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return Baseline(payload.get("findings", []))
+
+
+def write_baseline(path: PathLike, findings: Sequence[Finding]) -> Baseline:
+    """Write ``findings`` as the new baseline and return it."""
+    baseline = Baseline.from_findings(findings)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(baseline.to_payload(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return baseline

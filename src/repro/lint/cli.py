@@ -1,0 +1,76 @@
+"""``repro-mc lint``: run the repro-lint rule pack from the command line.
+
+Usage::
+
+    repro-mc lint src/                      # text report, exit 1 on findings
+    repro-mc lint src/ --format json        # machine-readable (CI)
+    repro-mc lint src/ --rules RL001,RL003  # a subset of the pack
+    repro-mc lint src/ --write-baseline     # grandfather current findings
+    repro-mc lint src/ --baseline other.json
+
+Exit status is 0 when every finding is baselined (or there are none),
+1 otherwise — the contract the CI ``lint`` job relies on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import available_rules, iter_python_files, lint_paths
+from repro.lint.report import render_json, render_text
+
+
+def run_lint_command(
+    paths: Sequence[str],
+    *,
+    output_format: str = "text",
+    baseline_path: Optional[str] = None,
+    update_baseline: bool = False,
+    rules: Optional[str] = None,
+) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    targets = [Path(p) for p in (paths or ["src"])]
+    for target in targets:
+        if not target.exists():
+            print(f"repro-lint: path does not exist: {target}")
+            return 2
+
+    selected: Optional[List[str]] = None
+    if rules:
+        selected = [code.strip() for code in rules.split(",") if code.strip()]
+        unknown = sorted(set(selected) - set(available_rules()))
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s) {', '.join(unknown)}; "
+                f"available: {', '.join(available_rules())}"
+            )
+            return 2
+
+    checked = len(list(iter_python_files(targets)))
+    findings = lint_paths(targets, selected)
+
+    baseline_file = Path(baseline_path) if baseline_path else Path(
+        DEFAULT_BASELINE_NAME
+    )
+    if update_baseline:
+        write_baseline(baseline_file, findings)
+        print(
+            f"repro-lint: wrote {len(findings)} finding(s) to "
+            f"{baseline_file}"
+        )
+        return 0
+
+    baseline = load_baseline(baseline_file)
+    fresh, grandfathered = baseline.split(findings)
+
+    if output_format == "json":
+        print(render_json(fresh, grandfathered, checked_files=checked))
+    else:
+        print(render_text(fresh, grandfathered, checked_files=checked))
+    return 1 if fresh else 0

@@ -1,0 +1,287 @@
+"""Core of ``repro-lint``: findings, the rule registry, and the driver.
+
+A *rule* is a callable taking a :class:`LintContext` (one parsed source
+file plus project-wide lookups) and yielding :class:`Finding` records.
+Rules register themselves under a stable code (``RL001`` ...) via
+:func:`register`; the driver (:func:`lint_paths`) walks the requested
+paths, parses each ``*.py`` once, runs every selected rule, then drops
+findings suppressed by a ``# repro-lint: ignore[CODE]`` comment on the
+offending line.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) and
+imports nothing from the analysed packages, so linting can never be
+distorted by the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Suppression marker: ``# repro-lint: ignore`` silences every rule on
+#: that line, ``# repro-lint: ignore[RL002]`` (comma-separated codes
+#: allowed) silences just those rules.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    @property
+    def baseline_key(self) -> str:
+        """Identity used to match a finding against the baseline.
+
+        Line and column are deliberately excluded so unrelated edits
+        above a grandfathered finding do not un-baseline it; a file is
+        identified by path, rule and message text.
+        """
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one source file.
+
+    ``module`` is the dotted module name when the file lives under a
+    recognised package root (``.../src/repro/analysis/dbf.py`` →
+    ``repro.analysis.dbf``), else the stem.  ``project`` indexes every
+    file seen in this run by module name, letting cross-module rules
+    (layering, fork-safety traversal) resolve project imports without
+    re-reading the tree.
+    """
+
+    path: Path
+    source: str
+    tree: ast.Module
+    module: str
+    project: "ProjectIndex"
+    lines: List[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule=rule,
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class ProjectIndex:
+    """Lazy module-name → parsed-file index over the linted tree.
+
+    Rules that follow imports (RL004's transitive traversal, RL005's
+    re-export resolution) ask here; files outside the linted paths but
+    inside the same source root are parsed on demand, so a lint of
+    ``src/repro/pipeline`` can still traverse into ``repro.analysis``.
+    """
+
+    def __init__(self) -> None:
+        self._by_module: Dict[str, LintContext] = {}
+        self._roots: List[Path] = []
+
+    def add_root(self, root: Path) -> None:
+        if root not in self._roots:
+            self._roots.append(root)
+
+    def add(self, context: LintContext) -> None:
+        self._by_module[context.module] = context
+
+    def get(self, module: str) -> Optional[LintContext]:
+        """The context for ``module``, loading it from a root if needed."""
+        context = self._by_module.get(module)
+        if context is not None:
+            return context
+        relative = Path(*module.split("."))
+        for root in self._roots:
+            for candidate in (
+                root / relative.with_suffix(".py"),
+                root / relative / "__init__.py",
+            ):
+                if candidate.is_file():
+                    loaded = _parse_file(candidate, self)
+                    if loaded is not None:
+                        self._by_module[module] = loaded
+                        return loaded
+        return None
+
+
+Rule = Callable[[LintContext], Iterator[Finding]]
+
+#: code → (rule function, one-line summary); populated by :func:`register`.
+_REGISTRY: Dict[str, tuple] = {}
+
+
+def register(code: str, summary: str) -> Callable[[Rule], Rule]:
+    """Class/function decorator adding a rule to the registry."""
+
+    def deco(rule: Rule) -> Rule:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code!r}")
+        _REGISTRY[code] = (rule, summary)
+        return rule
+
+    return deco
+
+
+def available_rules() -> Dict[str, str]:
+    """Registered rule codes mapped to their one-line summaries."""
+    return {code: summary for code, (_rule, summary) in sorted(_REGISTRY.items())}
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name for ``path`` (``src`` layout aware)."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            parts = parts[parts.index(anchor):]
+            break
+    return ".".join(parts) if parts else path.stem
+
+
+def _source_root(path: Path) -> Optional[Path]:
+    """The directory that dotted imports resolve against, if any."""
+    resolved = path.resolve()
+    for parent in resolved.parents:
+        if parent.name == "repro":
+            return parent.parent
+    return None
+
+
+def _parse_file(path: Path, project: ProjectIndex) -> Optional[LintContext]:
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, UnicodeDecodeError):
+        return None
+    return LintContext(
+        path=path, source=source, tree=tree,
+        module=_module_name(path), project=project,
+    )
+
+
+def _suppressed_lines(context: LintContext) -> Dict[int, Optional[Set[str]]]:
+    """line → suppressed codes (``None`` means all rules) for one file.
+
+    Comments are found with :mod:`tokenize` rather than a substring
+    scan, so a marker inside a string literal does not suppress
+    anything.
+    """
+    suppressed: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(context.source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            line = token.start[0]
+            if codes is None:
+                suppressed[line] = None
+            else:
+                wanted = {code.strip() for code in codes.split(",") if code.strip()}
+                existing = suppressed.get(line)
+                if line not in suppressed:
+                    suppressed[line] = wanted
+                elif existing is not None:
+                    existing.update(wanted)
+    except (tokenize.TokenError, IndentationError, StopIteration):
+        pass
+    return suppressed
+
+
+def _is_suppressed(
+    finding: Finding, suppressed: Dict[int, Optional[Set[str]]]
+) -> bool:
+    codes = suppressed.get(finding.line, ...)
+    if codes is ...:
+        return False
+    return codes is None or finding.rule in codes
+
+
+def lint_file(
+    context: LintContext, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the selected rules over one parsed file."""
+    selected = sorted(rules) if rules is not None else sorted(_REGISTRY)
+    findings: List[Finding] = []
+    for code in selected:
+        entry = _REGISTRY.get(code)
+        if entry is None:
+            raise ValueError(
+                f"unknown lint rule {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+            )
+        rule, _summary = entry
+        findings.extend(rule(context))
+    suppressed = _suppressed_lines(context)
+    return [f for f in findings if not _is_suppressed(f, suppressed)]
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``*.py`` under ``paths`` (files accepted directly), sorted."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate.suffix == ".py" and candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Path], rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; findings in stable order."""
+    project = ProjectIndex()
+    contexts: List[LintContext] = []
+    for file_path in iter_python_files(paths):
+        root = _source_root(file_path)
+        if root is not None:
+            project.add_root(root)
+        context = _parse_file(file_path, project)
+        if context is not None:
+            contexts.append(context)
+            project.add(context)
+    findings: List[Finding] = []
+    for context in contexts:
+        findings.extend(lint_file(context, rules))
+    return sorted(findings, key=Finding.sort_key)

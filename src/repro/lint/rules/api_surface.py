@@ -1,0 +1,215 @@
+"""RL005: the public facade stays documented, typed, and honest.
+
+``repro.api`` is the one import downstream code is told to use, so its
+surface is held to a stricter standard than internal modules:
+
+* every function in ``repro.api`` — defined there or re-exported
+  through ``__all__`` — carries a docstring and complete type
+  annotations (every parameter and the return type); re-exported
+  classes carry a docstring.  This is what makes the mypy strict gate
+  meaningful at the boundary: an unannotated export laundered through
+  the facade would type-check as ``Any`` in every caller.
+* a module-level ``__getattr__`` (the deprecation-shim pattern — old
+  names resolving lazily with a warning) must actually call
+  ``warnings.warn(..., DeprecationWarning)``.  A shim that silently
+  forwards keeps dead spellings alive forever.
+
+Re-export chains are followed through the project index up to a small
+depth, so ``api -> pipeline.cache -> model.fingerprint`` still ends at
+the real definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.engine import Finding, LintContext, register
+
+CODE = "RL005"
+
+_API_MODULE = "repro.api"
+_MAX_CHAIN = 6
+
+
+def _exported_names(tree: ast.Module) -> List[str]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    value = node.value
+                    if isinstance(value, (ast.List, ast.Tuple)):
+                        return [
+                            elt.value
+                            for elt in value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)
+                        ]
+    return []
+
+
+def _top_level_defs(
+    tree: ast.Module,
+) -> Dict[str, ast.AST]:
+    defs: Dict[str, ast.AST] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defs[node.name] = node
+    return defs
+
+
+def _imports_of(tree: ast.Module) -> Dict[str, Tuple[str, str]]:
+    imports: Dict[str, Tuple[str, str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = (node.module, alias.name)
+    return imports
+
+
+def _missing_annotations(fn: ast.FunctionDef) -> List[str]:
+    missing: List[str] = []
+    args = fn.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.annotation is None and arg.arg not in ("self", "cls"):
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"*{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"**{args.kwarg.arg}")
+    if fn.returns is None:
+        missing.append("return")
+    return missing
+
+
+def _resolve_export(
+    context: LintContext, name: str
+) -> Optional[Tuple[LintContext, ast.AST]]:
+    """Follow re-export chains to the defining module, if resolvable."""
+    ctx: Optional[LintContext] = context
+    for _hop in range(_MAX_CHAIN):
+        if ctx is None:
+            return None
+        defs = _top_level_defs(ctx.tree)
+        node = defs.get(name)
+        if node is not None:
+            return ctx, node
+        target = _imports_of(ctx.tree).get(name)
+        if target is None or not target[0].startswith("repro"):
+            return None
+        ctx, name = context.project.get(target[0]), target[1]
+    return None
+
+
+def _check_function(
+    context: LintContext,
+    owner: LintContext,
+    fn: ast.FunctionDef,
+    exported_as: str,
+    anchor: ast.AST,
+) -> Iterator[Finding]:
+    """Findings anchor at ``anchor`` (the def, or the api.py import site
+    for re-exports) so path/line and suppressions stay in one file."""
+    where = (
+        "" if owner.module == _API_MODULE
+        else f" (defined in {owner.module})"
+    )
+    if ast.get_docstring(fn) is None:
+        yield context.finding(
+            CODE, anchor,
+            f"api export {exported_as!r}{where} has no docstring",
+        )
+    missing = _missing_annotations(fn)
+    if missing:
+        yield context.finding(
+            CODE, anchor,
+            f"api export {exported_as!r}{where} is missing type "
+            f"annotations for: {', '.join(missing)}",
+        )
+
+
+@register(CODE, "api-surface: every repro.api export is annotated and "
+                "documented; deprecation shims emit DeprecationWarning")
+def check_api_surface(context: LintContext) -> Iterator[Finding]:
+    # -- deprecation shims, anywhere in the tree ------------------------
+    if context.module.startswith("repro"):
+        for node in context.tree.body:
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "__getattr__"
+                and not _emits_deprecation_warning(node)
+            ):
+                yield context.finding(
+                    CODE, node,
+                    "module __getattr__ shim does not call "
+                    "warnings.warn(..., DeprecationWarning): deprecated "
+                    "names must warn",
+                )
+
+    if context.module != _API_MODULE:
+        return
+
+    defs = _top_level_defs(context.tree)
+    checked: set = set()
+
+    # Everything defined in api.py itself is public surface.
+    for name, node in defs.items():
+        if name.startswith("_"):
+            continue
+        checked.add(name)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from _check_function(context, context, node, name, node)
+        elif isinstance(node, ast.ClassDef) and ast.get_docstring(node) is None:
+            yield context.finding(
+                CODE, node, f"api export {name!r} has no docstring"
+            )
+
+    # Re-exports listed in __all__ resolve back to their definitions;
+    # findings anchor at the api.py import that brought the name in.
+    import_sites = _import_sites(context.tree)
+    for name in _exported_names(context.tree):
+        if name in checked:
+            continue
+        resolved = _resolve_export(context, name)
+        if resolved is None:
+            continue  # a module object or unresolvable chain: skip
+        owner, node = resolved
+        anchor = import_sites.get(name, context.tree.body[0])
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from _check_function(context, owner, node, name, anchor)
+        elif isinstance(node, ast.ClassDef) and ast.get_docstring(node) is None:
+            yield context.finding(
+                CODE, anchor,
+                f"api export {name!r} (defined in {owner.module}) has no "
+                f"docstring",
+            )
+
+
+def _import_sites(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Exported name → the import statement that binds it."""
+    sites: Dict[str, ast.AST] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                sites[alias.asname or alias.name] = node
+    return sites
+
+
+def _emits_deprecation_warning(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_warn = (
+            isinstance(func, ast.Attribute) and func.attr == "warn"
+        ) or (isinstance(func, ast.Name) and func.id == "warn")
+        if not is_warn:
+            continue
+        mentions = [
+            arg for arg in [*node.args, *[k.value for k in node.keywords]]
+            if isinstance(arg, ast.Name) and "Deprecation" in arg.id
+            or isinstance(arg, ast.Attribute) and "Deprecation" in arg.attr
+        ]
+        if mentions:
+            return True
+    return False

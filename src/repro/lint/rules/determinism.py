@@ -1,0 +1,163 @@
+"""RL003: no entropy in fingerprint-, cache- or counter-affecting code.
+
+The pipeline's contract is that ``jobs=1`` and ``jobs=N`` produce
+byte-identical reports, FINGERPRINT_VERSION=2 cache keys are stable
+across runs, and every ``counters`` entry in a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot is a pure function
+of the work performed.  One ``time.time()`` in a payload or one
+unseeded RNG in a generator breaks all three silently — the sweep still
+runs, the cache just stops hitting and the determinism tests chase a
+ghost.
+
+Inside the deterministic scope (model, analysis, pipeline, generator,
+sim, experiments, io, api and the obs counters module) the rule flags:
+
+* wall-clock and entropy reads whose *value* could reach an output:
+  ``time.time``/``time.time_ns``, ``datetime.now``/``utcnow``/
+  ``today``, ``os.urandom``, ``uuid.uuid1``/``uuid4`` and anything in
+  ``secrets``.  ``time.perf_counter``/``monotonic`` stay legal: timings
+  are real observability data and live in the snapshot's non-compared
+  ``timing`` section.
+* module-level RNG: every ``random.*`` call (global, order-dependent
+  state) and every ``numpy.random.*`` legacy call.  The blessed route
+  is an explicitly seeded generator — ``np.random.default_rng(seed)``
+  or ``random.Random(seed)`` — threaded through the call tree.
+* unseeded construction: ``np.random.default_rng()`` / ``SeedSequence()``
+  / ``random.Random()`` with no arguments draw OS entropy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.lint.engine import Finding, LintContext, register
+
+CODE = "RL003"
+
+#: Packages/modules whose outputs feed fingerprints, cache keys,
+#: deterministic counters, or published experiment numbers.
+_SCOPE_PREFIXES = (
+    "repro.model",
+    "repro.analysis",
+    "repro.pipeline",
+    "repro.generator",
+    "repro.sim",
+    "repro.experiments",
+    "repro.io",
+    "repro.api",
+    "repro.obs.metrics",
+)
+
+#: Fully-qualified callables that read the wall clock or OS entropy.
+_BANNED_CALLS: Dict[str, str] = {
+    "time.time": "wall-clock value in deterministic code",
+    "time.time_ns": "wall-clock value in deterministic code",
+    "datetime.datetime.now": "wall-clock value in deterministic code",
+    "datetime.datetime.utcnow": "wall-clock value in deterministic code",
+    "datetime.datetime.today": "wall-clock value in deterministic code",
+    "datetime.date.today": "wall-clock value in deterministic code",
+    "os.urandom": "OS entropy in deterministic code",
+    "uuid.uuid1": "host/time-derived identifier in deterministic code",
+    "uuid.uuid4": "OS entropy in deterministic code",
+}
+
+#: Constructors that are fine *with* a seed but draw OS entropy bare.
+_SEED_REQUIRED = {
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+#: numpy.random attributes that are generator plumbing, not the legacy
+#: global-state API.
+_NUMPY_RANDOM_OK = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+}
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in _SCOPE_PREFIXES
+    )
+
+
+def _alias_table(tree: ast.Module) -> Dict[str, str]:
+    """Local name → dotted origin for every top-level-ish import."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _dotted_path(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain to a dotted origin path, if static."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+@register(CODE, "determinism: wall clock, OS entropy or unseeded RNG in "
+                "fingerprint/cache/counter-affecting code")
+def check_determinism(context: LintContext) -> Iterator[Finding]:
+    if not _in_scope(context.module):
+        return
+    aliases = _alias_table(context.tree)
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = _dotted_path(node.func, aliases)
+        if path is None:
+            continue
+        reason = _BANNED_CALLS.get(path)
+        if reason is not None:
+            yield context.finding(CODE, node, f"call to {path}: {reason}")
+            continue
+        if path.startswith("secrets."):
+            yield context.finding(
+                CODE, node, f"call to {path}: OS entropy in deterministic code"
+            )
+            continue
+        if path in _SEED_REQUIRED and not node.args and not node.keywords:
+            yield context.finding(
+                CODE,
+                node,
+                f"unseeded {path}(): pass an explicit seed so results are "
+                f"reproducible",
+            )
+            continue
+        if path.startswith("numpy.random."):
+            tail = path[len("numpy.random."):]
+            if tail not in _NUMPY_RANDOM_OK:
+                yield context.finding(
+                    CODE,
+                    node,
+                    f"legacy global-state RNG numpy.random.{tail}: use a "
+                    f"seeded np.random.default_rng(seed) generator",
+                )
+            continue
+        if path.startswith("random.") and path != "random.Random":
+            yield context.finding(
+                CODE,
+                node,
+                f"module-level RNG {path}: global, order-dependent state; "
+                f"use a seeded random.Random(seed) or numpy generator",
+            )

@@ -1,0 +1,97 @@
+"""RL002: no float equality in the analysis package.
+
+Theorem 2 / Corollary 5 verdicts are comparisons between demand bounds;
+the whole point of the kernels' bit-exactness contract (compiled ==
+scalar oracle) is that those comparisons are *decisions*, not
+approximations.  An ``==``/``!=``/``is`` against a float-valued
+expression is how drift sneaks in: it may hold on one engine, one
+platform or one summation order and fail on another.
+
+Correct alternatives, in order of preference:
+
+* rewrite the comparison so exactness is structural — e.g. a sum of
+  non-negative terms ``x`` satisfies ``x == 0.0`` iff ``x <= 0.0``;
+* use ``fractions.Fraction`` for the comparison;
+* use the documented tolerance scheme (an explicit ``rtol``-style
+  slack, as in :mod:`repro.analysis.speedup`).
+
+Deliberate exact comparisons (the kernels' breakpoint dedup mirrors the
+scalar oracle's set-literal semantics, where exact equality *is* the
+spec) carry a ``# repro-lint: ignore[RL002]`` suppression with a
+justifying comment.
+
+Detection is a conservative syntactic heuristic — an operand is
+float-valued when it is a float literal, a ``float(...)``/``math.*``
+call, a true division, or an arithmetic expression containing one of
+those.  Names whose type the AST cannot see are not guessed at; the
+rule prefers silence to noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, LintContext, register
+
+CODE = "RL002"
+
+#: The rule only bites inside the exact-arithmetic package.
+_SCOPE_PREFIX = "repro.analysis"
+
+#: ``math`` attributes that return int/bool, not float.
+_MATH_NON_FLOAT = {"floor", "ceil", "gcd", "lcm", "isqrt", "comb", "perm",
+                   "factorial", "isfinite", "isinf", "isnan", "isclose"}
+
+
+def _is_float_valued(node: ast.AST) -> bool:
+    """Syntactic evidence that ``node`` evaluates to a float."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_valued(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division is float-valued for numbers
+        return _is_float_valued(node.left) or _is_float_valued(node.right)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "math"
+            and func.attr not in _MATH_NON_FLOAT
+        ):
+            return True
+    return False
+
+
+@register(CODE, "float-equality: analysis code compares floats with "
+                "==/!=/is instead of exact or toleranced arithmetic")
+def check_float_equality(context: LintContext) -> Iterator[Finding]:
+    if not (
+        context.module == _SCOPE_PREFIX
+        or context.module.startswith(_SCOPE_PREFIX + ".")
+    ):
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq, ast.Is, ast.IsNot)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if not (_is_float_valued(left) or _is_float_valued(right)):
+                continue
+            spelled = {
+                ast.Eq: "==", ast.NotEq: "!=", ast.Is: "is", ast.IsNot: "is not",
+            }[type(op)]
+            yield context.finding(
+                CODE,
+                node,
+                f"float-valued comparison with '{spelled}': use Fraction, "
+                f"a structural rewrite, or the documented tolerance scheme",
+            )

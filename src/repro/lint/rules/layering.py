@@ -1,0 +1,106 @@
+"""RL001: architectural layering.
+
+Two load-bearing boundaries, both previously enforced piecemeal (an
+ad-hoc AST test in ``tests/test_obs.py`` plus two ruff TID251 tables):
+
+* ``repro.obs`` **observes; it does not participate.**  Metrics and
+  trace records must never feed back into the numbers they describe, so
+  the observability package may import nothing from the rest of
+  ``repro`` — not the analysis stack, not the pipeline, not the facade.
+* ``repro.experiments`` speaks only to the stable :mod:`repro.api`
+  facade.  Importing ``repro.analysis`` internals from a figure script
+  couples every table to the analysis package layout and bypasses the
+  pipeline's caching/fingerprint discipline.
+
+The rule resolves relative imports against the importing package, so
+``from .. import analysis`` is caught just like the absolute spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.lint.engine import Finding, LintContext, register
+
+CODE = "RL001"
+
+#: (prefix of the importing module, banned import prefix, explanation).
+_BANS: List[Tuple[str, str, str]] = [
+    (
+        "repro.obs",
+        "repro",
+        "repro.obs observes, it does not participate: it must not import "
+        "from the rest of repro",
+    ),
+    (
+        "repro.experiments",
+        "repro.analysis",
+        "experiments import the repro.api facade, not repro.analysis "
+        "internals",
+    ),
+]
+
+#: Imports always permitted (a package importing itself).
+_SELF_OK = {"repro.obs": "repro.obs"}
+
+
+def _in_package(module: str, package: str) -> bool:
+    return module == package or module.startswith(package + ".")
+
+
+def _resolve_relative(context: LintContext, node: ast.ImportFrom) -> str:
+    """Absolute module path of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module or ""
+    parts = context.module.split(".")
+    # level 1 inside a module drops the module name itself; each extra
+    # level drops one more package.  __init__ modules already name the
+    # package, which _module_name normalised for us.
+    is_package = context.path.name == "__init__.py"
+    drop = node.level - 1 if is_package else node.level
+    if drop >= len(parts):
+        return node.module or ""
+    base = parts[: len(parts) - drop]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base)
+
+
+def _imported_modules(
+    context: LintContext,
+) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = _resolve_relative(context, node)
+            if module:
+                yield node, module
+            # `from repro import analysis` imports the submodule even
+            # though the ImportFrom names only the package.
+            for alias in node.names:
+                if module:
+                    yield node, f"{module}.{alias.name}"
+
+
+@register(CODE, "layering: obs imports nothing from repro; experiments "
+                "never import repro.analysis")
+def check_layering(context: LintContext) -> Iterator[Finding]:
+    for importer_prefix, banned_prefix, why in _BANS:
+        if not _in_package(context.module, importer_prefix):
+            continue
+        allowed_self = _SELF_OK.get(importer_prefix)
+        flagged_nodes = set()
+        for node, imported in _imported_modules(context):
+            if id(node) in flagged_nodes:
+                continue  # one finding per import statement per ban
+            if not _in_package(imported, banned_prefix):
+                continue
+            if allowed_self is not None and _in_package(imported, allowed_self):
+                continue
+            flagged_nodes.add(id(node))
+            yield context.finding(
+                CODE, node, f"{context.module} imports {imported}: {why}"
+            )

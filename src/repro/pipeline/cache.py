@@ -35,6 +35,7 @@ from repro.model.fingerprint import (  # noqa: F401 - canonical home + re-export
     taskset_fingerprint,
 )
 from repro.model.taskset import TaskSet
+from repro.pipeline.payload import ReportPayload
 
 PathLike = Union[str, Path]
 
@@ -68,7 +69,7 @@ class ResultCache:
     """
 
     def __init__(self, directory: Optional[PathLike] = None) -> None:
-        self._memory: Dict[str, Dict[str, Any]] = {}
+        self._memory: Dict[str, ReportPayload] = {}
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
@@ -87,7 +88,7 @@ class ResultCache:
             return None
         return self._directory / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
+    def get(self, key: str) -> Optional[ReportPayload]:
         """Look a report payload up; promotes disk entries into memory."""
         payload = self._memory.get(key)
         if payload is not None:
@@ -95,14 +96,14 @@ class ResultCache:
             return payload
         path = self._disk_path(key)
         if path is not None and path.exists():
-            payload = json.loads(path.read_text())
-            self._memory[key] = payload
+            loaded: ReportPayload = json.loads(path.read_text())
+            self._memory[key] = loaded
             self.hits += 1
-            return payload
+            return loaded
         self.misses += 1
         return None
 
-    def put(self, key: str, payload: Dict[str, Any]) -> None:
+    def put(self, key: str, payload: ReportPayload) -> None:
         """Store a report payload under ``key`` (memory and disk)."""
         self._memory[key] = payload
         path = self._disk_path(key)

@@ -1,0 +1,72 @@
+"""Typed shapes of the JSON payloads the pipeline passes around.
+
+Report payloads are the pipeline's single currency: workers hand them
+back over the process boundary, the result cache stores them, the
+checkpoint file appends them, and ``AnalysisReport.from_dict`` revives
+them.  Before this module they travelled as ``Dict[str, Any]``, which
+let a malformed failure record (or a checkpoint entry missing its
+``report``) type-check all the way to a crash at settle time.  The
+``TypedDict`` definitions here give mypy's strict gate something to
+hold on to at every hop.
+
+This module sits below :mod:`repro.pipeline.cache` and
+:mod:`repro.pipeline.request` (it imports only the analysis result
+encoding), so every pipeline module can share the types without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TypedDict
+
+from repro.analysis.result import EncodedFloat
+
+
+class FailurePayload(TypedDict):
+    """JSON encoding of :class:`~repro.pipeline.request.AnalysisFailure`."""
+
+    stage: str
+    error_type: str
+    message: str
+
+
+class ReportPayload(TypedDict):
+    """JSON encoding of :class:`~repro.pipeline.request.AnalysisReport`.
+
+    Component results (``speedup``, ``resetting``, ``closed_form``)
+    stay loosely typed: each is the ``to_dict`` form of its result
+    dataclass, revived by the matching ``from_dict``, and the pipeline
+    never reaches into them.
+    """
+
+    name: str
+    key: str
+    lo_ok: Optional[bool]
+    x_applied: EncodedFloat
+    y_applied: EncodedFloat
+    target_speedup: EncodedFloat
+    reset_budget: EncodedFloat
+    speedup: Optional[Dict[str, Any]]
+    hi_ok: Optional[bool]
+    resetting: Optional[Dict[str, Any]]
+    within_budget: Optional[bool]
+    closed_form: Optional[Dict[str, Any]]
+    per_task: Optional[Dict[str, Any]]
+    failure: Optional[FailurePayload]
+
+
+class CheckpointEntry(TypedDict):
+    """One JSONL checkpoint line (see ``runner.CHECKPOINT_VERSION``)."""
+
+    checkpoint_version: int
+    key: str
+    report: ReportPayload
+
+
+class WorkerMeta(TypedDict):
+    """Per-chunk metadata a pool worker ships back with its results."""
+
+    pid: int
+    items: int
+    seconds: float
+    perf: Dict[str, Any]
+    spans: List[Dict[str, Any]]

@@ -32,7 +32,7 @@ from typing import Any, Dict, Optional
 
 from repro.analysis.closed_form import ClosedFormBounds, closed_form_bounds
 from repro.analysis.resetting import ResettingResult, resetting_time
-from repro.analysis.result import decode_float, encode_float
+from repro.analysis.result import AnalysisResult, decode_float, encode_float
 from repro.analysis.schedulability import lo_mode_schedulable
 from repro.analysis.speedup import SpeedupResult, min_speedup
 from repro.analysis.tuning import min_preparation_factor
@@ -41,6 +41,7 @@ from repro.model.taskset import TaskSet
 from repro.model.transform import apply_uniform_scaling
 from repro.obs import trace
 from repro.pipeline.cache import request_fingerprint
+from repro.pipeline.payload import FailurePayload, ReportPayload
 
 _RTOL = 1e-9
 
@@ -197,7 +198,7 @@ class AnalysisFailure:
     error_type: str
     message: str
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> FailurePayload:
         return {
             "stage": self.stage,
             "error_type": self.error_type,
@@ -296,10 +297,10 @@ class AnalysisReport:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> ReportPayload:
         """JSON-ready encoding; inverted exactly by :meth:`from_dict`."""
 
-        def opt(result):
+        def opt(result: Optional[AnalysisResult]) -> Optional[Dict[str, Any]]:
             return None if result is None else result.to_dict()
 
         return {
@@ -316,7 +317,7 @@ class AnalysisReport:
             "within_budget": self.within_budget,
             "closed_form": opt(self.closed_form),
             "per_task": self.per_task,
-            "failure": opt(self.failure),
+            "failure": None if self.failure is None else self.failure.to_dict(),
         }
 
     @classmethod

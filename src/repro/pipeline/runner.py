@@ -48,14 +48,15 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
-    Any,
     Callable,
     Dict,
     Iterable,
     List,
     Optional,
     Sequence,
+    TextIO,
     Tuple,
+    Type,
     TypeVar,
     Union,
 )
@@ -63,6 +64,7 @@ from typing import (
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.cache import ResultCache
+from repro.pipeline.payload import CheckpointEntry, ReportPayload, WorkerMeta
 from repro.pipeline.request import (
     AnalysisFailure,
     AnalysisReport,
@@ -82,10 +84,10 @@ CHECKPOINT_VERSION = 1
 #: Exceptions converted into per-item failure records instead of
 #: aborting the batch.  Deliberately narrow: programming errors
 #: (AttributeError, TypeError, ...) still surface immediately.
-CAPTURED_ERRORS: Tuple[type, ...] = (ValueError, ArithmeticError)
+CAPTURED_ERRORS: Tuple[Type[BaseException], ...] = (ValueError, ArithmeticError)
 
 
-def _captured_errors() -> Tuple[type, ...]:
+def _captured_errors() -> Tuple[Type[BaseException], ...]:
     from repro.analysis.budget import AnalysisBudgetExceeded
     from repro.model.task import ModelError
 
@@ -109,16 +111,16 @@ def evaluate_captured(request: AnalysisRequest) -> AnalysisReport:
 INFRASTRUCTURE_STAGES = frozenset({"worker"})
 
 
-def _is_infrastructure_failure(payload: Dict[str, Any]) -> bool:
+def _is_infrastructure_failure(payload: ReportPayload) -> bool:
     """True when a report payload records a transient machinery failure."""
     failure = payload.get("failure")
-    return failure is not None and failure.get("stage") in INFRASTRUCTURE_STAGES
+    return failure is not None and failure["stage"] in INFRASTRUCTURE_STAGES
 
 
 def _worker_chunk(
     chunk: Sequence[Tuple[int, AnalysisRequest]],
     trace_enabled: bool = False,
-) -> Tuple[List[Tuple[int, Dict[str, Any]]], Dict[str, Any]]:
+) -> Tuple[List[Tuple[int, ReportPayload]], WorkerMeta]:
     """Process-pool entry point: evaluate a chunk, return JSON payloads.
 
     Workers hand back plain dictionaries (the ``to_dict`` encoding), the
@@ -140,7 +142,7 @@ def _worker_chunk(
     results = [
         (index, evaluate_captured(request).to_dict()) for index, request in chunk
     ]
-    meta = {
+    meta: WorkerMeta = {
         "pid": os.getpid(),
         "items": len(chunk),
         "seconds": time.perf_counter() - t0,
@@ -223,7 +225,7 @@ class BatchRunner:
     # ------------------------------------------------------------------
     # Checkpoint plumbing
     # ------------------------------------------------------------------
-    def _load_checkpoint(self) -> Dict[str, Dict[str, Any]]:
+    def _load_checkpoint(self) -> Dict[str, ReportPayload]:
         """Completed payloads by key; tolerant of a torn final line.
 
         Duplicate keys resolve last-wins (an append-mode file can hold a
@@ -232,7 +234,7 @@ class BatchRunner:
         verdict — are dropped entirely so resume recomputes those items
         instead of resurfacing a transient failure as final.
         """
-        completed: Dict[str, Dict[str, Any]] = {}
+        completed: Dict[str, ReportPayload] = {}
         if not self.resume or self.checkpoint is None:
             return completed
         path = Path(self.checkpoint)
@@ -254,7 +256,9 @@ class BatchRunner:
             completed[entry["key"]] = entry["report"]
         return completed
 
-    def _open_checkpoint(self, completed: Dict[str, Dict[str, Any]]):
+    def _open_checkpoint(
+        self, completed: Dict[str, ReportPayload]
+    ) -> Optional[TextIO]:
         """Open the checkpoint for appending new entries.
 
         Not resuming: truncate — stale entries from an unrelated earlier
@@ -271,7 +275,7 @@ class BatchRunner:
             tmp = path.with_suffix(path.suffix + ".tmp")
             with tmp.open("w") as fh:
                 for key, payload in completed.items():
-                    entry = {
+                    entry: CheckpointEntry = {
                         "checkpoint_version": CHECKPOINT_VERSION,
                         "key": key,
                         "report": payload,
@@ -290,7 +294,7 @@ class BatchRunner:
 
         requests = list(requests)
         self.stats = BatchStats(total=len(requests))
-        payloads: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        payloads: List[Optional[ReportPayload]] = [None] * len(requests)
 
         perf_before = PERF.snapshot()
         cache_lookups_before = (
@@ -334,7 +338,7 @@ class BatchRunner:
 
         checkpoint_file = self._open_checkpoint(resumed)
 
-        def settle(key: str, payload: Dict[str, Any]) -> None:
+        def settle(key: str, payload: ReportPayload) -> None:
             nonlocal done
             for index in pending[key]:
                 payloads[index] = payload
@@ -346,7 +350,7 @@ class BatchRunner:
             if self.cache is not None:
                 self.cache.put(key, payload)
             if checkpoint_file is not None:
-                entry = {
+                entry: CheckpointEntry = {
                     "checkpoint_version": CHECKPOINT_VERSION,
                     "key": key,
                     "report": payload,
@@ -384,12 +388,19 @@ class BatchRunner:
                 )
             self.metrics.timing("batch.wall_seconds", time.perf_counter() - t_run)
 
-        return [AnalysisReport.from_dict(payload) for payload in payloads]
+        reports: List[AnalysisReport] = []
+        for index, payload in enumerate(payloads):
+            if payload is None:  # unreachable unless settle logic regresses
+                raise RuntimeError(
+                    f"batch item {index} ({requests[index].key}) never settled"
+                )
+            reports.append(AnalysisReport.from_dict(payload))
+        return reports
 
     def _run_parallel(
         self,
         work: Sequence[Tuple[str, AnalysisRequest]],
-        settle: Callable[[str, Dict[str, Any]], None],
+        settle: Callable[[str, ReportPayload], None],
     ) -> None:
         indexed = [(i, request) for i, (_key, request) in enumerate(work)]
         keys = [key for key, _request in work]
@@ -445,8 +456,8 @@ class BatchRunner:
         the caller owns the item semantics here).
         """
         items = list(items)
+        results: List[ResultT] = []
         if self.jobs == 1 or len(items) <= 1:
-            results = []
             for i, item in enumerate(items):
                 results.append(fn(item))
                 if self.progress is not None:
@@ -456,7 +467,6 @@ class BatchRunner:
             1, min(32, math.ceil(len(items) / (self.jobs * 4)))
         )
         with ProcessPoolExecutor(max_workers=self.jobs) as executor:
-            results = []
             for result in executor.map(fn, items, chunksize=size):
                 results.append(result)
                 if self.progress is not None:

@@ -13,7 +13,6 @@ layer made visible:
   (duplicate keys last-wins) when resuming.
 """
 
-import ast
 import io
 import json
 from pathlib import Path
@@ -445,23 +444,16 @@ class TestCheckpointHygiene:
 
 
 # ---------------------------------------------------------------------------
-# Layering: the obs package observes, it does not participate
+# Layering: the obs package observes, it does not participate.
+# The invariant itself is enforced tree-wide by repro-lint rule RL001
+# (see repro.lint.rules.layering and tests/test_lint.py); this test
+# pins the migration: linting the installed obs package with RL001
+# alone must come back clean.
 # ---------------------------------------------------------------------------
 class TestObsLayering:
-    def test_obs_modules_import_nothing_from_the_analysed_stack(self):
+    def test_obs_package_passes_the_rl001_layering_rule(self):
+        from repro.lint import lint_paths
+
         obs_dir = Path(repro.obs.__file__).parent
-        offenders = []
-        for source in sorted(obs_dir.glob("*.py")):
-            tree = ast.parse(source.read_text())
-            for node in ast.walk(tree):
-                modules = []
-                if isinstance(node, ast.Import):
-                    modules = [alias.name for alias in node.names]
-                elif isinstance(node, ast.ImportFrom) and node.level == 0:
-                    modules = [node.module or ""]
-                for module in modules:
-                    if module.startswith("repro") and not (
-                        module == "repro.obs" or module.startswith("repro.obs.")
-                    ):
-                        offenders.append(f"{source.name}: {module}")
-        assert offenders == []
+        findings = lint_paths([obs_dir], rules=["RL001"])
+        assert findings == []
