@@ -62,6 +62,7 @@ from repro.io import (
 from repro.model.taskset import TaskSet
 from repro.obs import MetricsRegistry, ProgressLine, trace
 from repro.pipeline.cache import ResultCache, taskset_fingerprint
+from repro.pipeline.fault_tolerance import BatchAborted, RetryPolicy
 from repro.pipeline.request import (
     AnalysisFailure,
     AnalysisReport,
@@ -76,6 +77,7 @@ __all__ = [
     "AnalysisReport",
     "AnalysisRequest",
     "AnalysisResult",
+    "BatchAborted",
     "BatchRunner",
     "BatchStats",
     "ClosedFormBounds",
@@ -83,6 +85,7 @@ __all__ = [
     "ProgressLine",
     "ResettingResult",
     "ResultCache",
+    "RetryPolicy",
     "SchedulabilityReport",
     "SpeedupResult",
     "analyze",
@@ -174,6 +177,8 @@ def analyze_many(
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     runner: Optional[BatchRunner] = None,
+    retry: Optional[RetryPolicy] = None,
+    quarantine: Optional[str] = None,
     **options: Any,
 ) -> List[AnalysisReport]:
     """Analyse a population, optionally in parallel worker processes.
@@ -185,9 +190,15 @@ def analyze_many(
     ``failure`` record instead of raising.
 
     ``cache`` accepts a :class:`ResultCache` or a directory path;
-    ``checkpoint``/``resume`` give interruptible sweeps (JSONL, append
-    per completed item).  Pass a pre-configured ``runner`` to reuse one
-    across calls (its stats then accumulate per call).
+    ``checkpoint``/``resume`` give interruptible sweeps (durable JSONL,
+    CRC per line, flushed and fsynced per completed batch).  ``retry``
+    bounds the handling of infrastructure failures (worker crashes,
+    broken pools, watchdog timeouts); ``quarantine`` names a JSONL file
+    that collects items exhausting their attempts instead of aborting
+    the sweep.  Pass a pre-configured ``runner`` to reuse one across
+    calls (its stats then accumulate per call).  SIGINT/SIGTERM during
+    a run drains gracefully and raises :class:`BatchAborted` with the
+    resumable checkpoint path.
     """
     requests = [
         item
@@ -205,6 +216,8 @@ def analyze_many(
             resume=resume,
             chunk_size=chunk_size,
             progress=progress,
+            retry=retry if retry is not None else RetryPolicy(),
+            quarantine=quarantine,
         )
     return runner.run(requests)
 

@@ -9,6 +9,8 @@ Usage::
     repro-mc all [--quick]
     repro-mc analyze --taskset my_tasks.json [--speedup 2] [--budget 5000]
     repro-mc batch --tasksets dir/ --jobs N [--resume ckpt.jsonl]
+                   [--retries N] [--timeout SECS] [--quarantine out.jsonl]
+    repro-mc chaos [--quick] [--jobs N] [--families kill,poison,...]
     repro-mc lint [paths ...] [--format json] [--write-baseline]
 
 ``--quick`` shrinks the synthetic population sizes so the whole
@@ -17,12 +19,18 @@ evaluation finishes in about a minute (the benchmark harness under
 full dual-mode analysis on a user-supplied JSON task set (see
 :mod:`repro.io` for the format); ``batch`` runs it over a directory of
 task-set files through the parallel pipeline (:mod:`repro.pipeline`)
-with caching, checkpointing and per-file failure capture.  ``--jobs``
-fans the synthetic-population figures, the resilience sweep and
-``batch`` over worker processes; results are identical to ``--jobs 1``.
-``lint`` runs the repro-lint static-analysis pack (:mod:`repro.lint`)
-over the given paths (default ``src``) and exits non-zero on any
-non-baselined finding.
+with caching, durable checkpointing, per-file failure capture and
+infrastructure fault tolerance (``--retries``/``--timeout`` bound the
+retry budget and per-item watchdog; ``--quarantine`` collects poison
+items instead of aborting; Ctrl-C drains gracefully and prints the
+resume command).  ``--jobs`` fans the synthetic-population figures, the
+resilience sweep and ``batch`` over worker processes; results are
+identical to ``--jobs 1``.  ``chaos`` runs the seeded fault-injection
+harness (:mod:`repro.pipeline.chaos`) and exits non-zero unless
+exactly-once accounting and byte-identical reports hold under every
+fault family.  ``lint`` runs the repro-lint static-analysis pack
+(:mod:`repro.lint`) over the given paths (default ``src``) and exits
+non-zero on any non-baselined finding.
 """
 
 from __future__ import annotations
@@ -173,12 +181,18 @@ def _run_analyze(path: str, speedup, budget) -> str:
     return "\n".join(out)
 
 
-def _run_batch(args, parser) -> str:
-    """Analyse every task-set JSON in a directory through the pipeline."""
+def _run_batch(args, parser) -> int:
+    """Analyse every task-set JSON in a directory through the pipeline.
+
+    Prints the report table and returns the process exit code: 0 on a
+    completed run, ``128 + signum`` when SIGINT/SIGTERM drained the run
+    early (after printing the resume command).
+    """
     from pathlib import Path
 
     from repro import api
     from repro.io import write_records_csv
+    from repro.pipeline.fault_tolerance import BatchAborted, RetryPolicy
 
     directory = Path(args.tasksets)
     if not directory.is_dir():
@@ -193,6 +207,10 @@ def _run_batch(args, parser) -> str:
     checkpoint = args.resume if args.resume else args.checkpoint
     metrics = MetricsRegistry() if args.metrics else None
     progress_line = ProgressLine(label="analysed") if args.verbose else None
+    retry = RetryPolicy(
+        max_attempts=args.retries,
+        timeout=args.timeout,
+    )
     runner = api.BatchRunner(
         jobs=args.jobs,
         cache=api.ResultCache(args.cache) if args.cache else None,
@@ -200,6 +218,8 @@ def _run_batch(args, parser) -> str:
         resume=bool(args.resume),
         progress=progress_line.update if progress_line is not None else None,
         metrics=metrics,
+        retry=retry,
+        quarantine=args.quarantine,
     )
     if args.trace:
         trace.enable()
@@ -208,6 +228,31 @@ def _run_batch(args, parser) -> str:
         reports = api.analyze_many(
             tasksets, speedup=args.speedup, budget=args.budget, runner=runner
         )
+    except BatchAborted as aborted:
+        import signal as signal_module
+
+        ckpt = aborted.checkpoint
+        print(
+            f"\ninterrupted by {aborted.signal_name}: "
+            f"{aborted.done}/{aborted.total} items settled and flushed"
+        )
+        if ckpt is not None:
+            print(
+                f"resume with: repro-mc batch --tasksets {directory} "
+                f"--resume {ckpt} --jobs {args.jobs}"
+            )
+        else:
+            print(
+                "no checkpoint was configured; pass --checkpoint to make "
+                "interrupted runs resumable"
+            )
+        if metrics is not None:
+            metrics.write_json(args.metrics)
+        try:
+            signum = int(getattr(signal_module.Signals, aborted.signal_name))
+        except (AttributeError, ValueError):
+            signum = 2
+        return 128 + signum
     finally:
         if progress_line is not None:
             progress_line.close()
@@ -247,8 +292,20 @@ def _run_batch(args, parser) -> str:
     out.append(
         f"{stats.total} analysed: {stats.computed} computed, "
         f"{stats.cache_hits} cache hits, {stats.resumed} resumed, "
-        f"{stats.deduplicated} deduplicated, {stats.failures} failures"
+        f"{stats.deduplicated} deduplicated, {stats.quarantined} quarantined, "
+        f"{stats.failures} failures"
     )
+    if runner.faults.any_faults():
+        out.append(
+            "fault handling: "
+            + ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(runner.faults.to_dict().items())
+                if value
+            )
+        )
+    if args.quarantine and stats.quarantined:
+        out.append(f"quarantined item details in {args.quarantine}")
     if metrics is not None:
         metrics.write_json(args.metrics)
         out.append(f"metrics written to {args.metrics} ({metrics.summary()})")
@@ -265,7 +322,35 @@ def _run_batch(args, parser) -> str:
         for path, report in zip(files, reports):
             api.save_report(report, out_dir / f"{path.stem}.report.json")
         out.append(f"{len(reports)} reports written to {out_dir}")
-    return "\n".join(out)
+    print("\n".join(out))
+    return 0
+
+
+def _run_chaos(args) -> int:
+    """Run the seeded fault-injection harness; non-zero on any failure."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.pipeline import chaos
+
+    families = (
+        [name.strip() for name in args.families.split(",") if name.strip()]
+        if args.families
+        else None
+    )
+    # Injection happens inside pool workers, so chaos always uses a
+    # real pool even when --jobs was left at its serial default.
+    jobs = args.jobs if args.jobs > 1 else 4
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        result = chaos.run_chaos(
+            Path(tmp),
+            jobs=jobs,
+            seed=args.chaos_seed,
+            quick=args.quick,
+            families=families,
+        )
+    print(chaos.render(result))
+    return 0 if result.ok else 1
 
 
 def main(argv=None) -> int:
@@ -278,10 +363,12 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "validate", "resilience", "all", "analyze", "batch", "lint",
+            "validate", "resilience", "all", "analyze", "batch", "chaos",
+            "lint",
         ],
         help="which artefact to regenerate (or 'analyze' a task-set file, "
-        "'batch'-analyse a directory of them, or 'lint' the source tree)",
+        "'batch'-analyse a directory of them, run the 'chaos' "
+        "fault-injection harness, or 'lint' the source tree)",
     )
     parser.add_argument(
         "paths",
@@ -342,6 +429,38 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cache",
         help="on-disk result-cache directory for 'batch'",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempts per 'batch' item before quarantine (worker crashes, "
+        "pool breaks, watchdog timeouts; default 3)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-item wall-clock watchdog in seconds for 'batch' pool "
+        "workers (default: no watchdog)",
+    )
+    parser.add_argument(
+        "--quarantine",
+        metavar="OUT.jsonl",
+        help="record 'batch' items that exhaust their retries here "
+        "(with full attempt history) instead of aborting",
+    )
+    parser.add_argument(
+        "--families",
+        metavar="NAME,NAME,...",
+        help="subset of 'chaos' fault families to run (default: all)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=42,
+        help="seed of the 'chaos' population and fault placement "
+        "(default 42)",
     )
     parser.add_argument(
         "--out",
@@ -407,8 +526,14 @@ def main(argv=None) -> int:
     if args.experiment == "batch":
         if not args.tasksets:
             parser.error("'batch' requires --tasksets <directory>")
-        print(_run_batch(args, parser))
-        return 0
+        if args.retries < 1:
+            parser.error("--retries must be >= 1")
+        if args.timeout is not None and args.timeout <= 0:
+            parser.error("--timeout must be positive")
+        return _run_batch(args, parser)
+
+    if args.experiment == "chaos":
+        return _run_chaos(args)
 
     if args.experiment == "analyze":
         if not args.taskset:

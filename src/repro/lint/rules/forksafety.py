@@ -43,24 +43,62 @@ _EXECUTOR_TYPES = {"ProcessPoolExecutor"}
 _SUBMIT_METHODS = {"submit", "map"}
 
 
+def _is_executor_ctor(call: ast.AST) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    ctor = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    return ctor in _EXECUTOR_TYPES
+
+
 def _executor_names(tree: ast.Module) -> Set[str]:
-    """Names bound by ``with ProcessPoolExecutor(...) as name`` blocks."""
+    """Names bound to a pool executor anywhere in the module.
+
+    Covers both binding forms the codebase uses: ``with
+    ProcessPoolExecutor(...) as name`` blocks and plain assignments
+    (``name = ProcessPoolExecutor(...)`` / ``name = self._new_pool()``
+    where the helper's body is a constructor call) — the supervised
+    retry loop in the runner manages executor lifetime manually, and
+    its submit sites must stay covered by this rule.
+    """
     names: Set[str] = set()
+    # Helper functions/methods whose body just builds an executor
+    # (``return ProcessPoolExecutor(...)``): calls to them count too.
+    factory_names: Set[str] = set()
     for node in ast.walk(tree):
-        if not isinstance(node, (ast.With, ast.AsyncWith)):
-            continue
-        for item in node.items:
-            call = item.context_expr
-            if not isinstance(call, ast.Call):
-                continue
-            func = call.func
-            ctor = func.id if isinstance(func, ast.Name) else (
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Return) and _is_executor_ctor(stmt.value):
+                    factory_names.add(node.name)
+
+    def _binds_executor(value: Optional[ast.AST]) -> bool:
+        if _is_executor_ctor(value):
+            return True
+        if isinstance(value, ast.Call):
+            func = value.func
+            callee = func.id if isinstance(func, ast.Name) else (
                 func.attr if isinstance(func, ast.Attribute) else None
             )
-            if ctor in _EXECUTOR_TYPES and isinstance(
-                item.optional_vars, ast.Name
-            ):
-                names.add(item.optional_vars.id)
+            return callee in factory_names
+        return False
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if _binds_executor(item.context_expr) and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    names.add(item.optional_vars.id)
+        elif isinstance(node, ast.Assign):
+            if _binds_executor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if _binds_executor(node.value) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
     return names
 
 

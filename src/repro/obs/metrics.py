@@ -86,6 +86,18 @@ class MetricsRegistry:
         for key, value in stats.items():
             self.count(f"batch.{key}", value)
 
+    def record_fault_stats(self, stats: Dict[str, int]) -> None:
+        """Fold a :class:`~repro.pipeline.fault_tolerance.FaultStats`
+        ``to_dict`` payload in (``faults.*``).
+
+        Every counter is zero on an undisturbed run, so the clean-path
+        snapshot stays jobs-invariant; under faults they record the
+        recovery schedule (retries, watchdog timeouts, pool rebuilds,
+        corruption detections and IO-error retries).
+        """
+        for key, value in stats.items():
+            self.count(f"faults.{key}", value)
+
     def record_cache(self, hits: int, misses: int) -> None:
         """Fold result-cache lookup totals in (``cache.*``)."""
         self.count("cache.hits", hits)

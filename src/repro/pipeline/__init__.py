@@ -1,4 +1,4 @@
-"""Batched, parallel analysis pipeline.
+"""Batched, parallel, fault-tolerant analysis pipeline.
 
 The pipeline turns the per-taskset analyses of :mod:`repro.analysis`
 into a population-scale engine:
@@ -8,10 +8,21 @@ into a population-scale engine:
   verdict; :func:`evaluate_request` is the pure taskset→verdict
   function.
 * :mod:`repro.pipeline.cache` — content-addressed
-  :class:`ResultCache` keyed by a canonical task-set hash.
+  :class:`ResultCache` keyed by a canonical task-set hash, with
+  checksummed disk entries (corruption degrades to a miss).
 * :mod:`repro.pipeline.runner` — :class:`BatchRunner`: process-pool
-  fan-out with chunking, per-item error capture, progress callbacks and
-  JSONL checkpoint/resume.
+  fan-out with chunking, per-item error capture, progress callbacks,
+  durable JSONL checkpoint/resume, retry/watchdog/pool-rebuild fault
+  handling and poison-item quarantine.
+* :mod:`repro.pipeline.fault_tolerance` — the fault-handling
+  primitives: :class:`RetryPolicy`, CRC-wrapped durable lines, the
+  injectable :class:`CheckpointIO` seam, :class:`Quarantine`,
+  :class:`GracefulShutdown` / :class:`BatchAborted` and the
+  deterministic :class:`InjectionSpec` fault-injection hooks.
+* :mod:`repro.pipeline.chaos` — the seeded chaos harness that proves
+  the above by injecting worker kills, hangs, fork crashes and storage
+  corruption into real batch runs and asserting exactly-once
+  accounting plus byte-identical reports.
 
 Most callers want :func:`repro.api.analyze` /
 :func:`repro.api.analyze_many` rather than this package directly.
@@ -22,6 +33,17 @@ from repro.pipeline.cache import (
     canonical_taskset_payload,
     request_fingerprint,
     taskset_fingerprint,
+)
+from repro.pipeline.fault_tolerance import (
+    BatchAborted,
+    CheckpointIO,
+    FaultStats,
+    InjectionSpec,
+    Quarantine,
+    RetryPolicy,
+    decode_durable_line,
+    encode_durable_line,
+    load_quarantine,
 )
 from repro.pipeline.request import (
     AnalysisFailure,
@@ -40,12 +62,21 @@ __all__ = [
     "AnalysisFailure",
     "AnalysisReport",
     "AnalysisRequest",
+    "BatchAborted",
     "BatchRunner",
     "BatchStats",
+    "CheckpointIO",
+    "FaultStats",
+    "InjectionSpec",
+    "Quarantine",
     "ResultCache",
+    "RetryPolicy",
     "canonical_taskset_payload",
+    "decode_durable_line",
+    "encode_durable_line",
     "evaluate_captured",
     "evaluate_request",
+    "load_quarantine",
     "request_fingerprint",
     "run_batch",
     "taskset_fingerprint",

@@ -23,9 +23,8 @@ module re-exports it unchanged.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Union, cast
 
 from repro.model.fingerprint import (  # noqa: F401 - canonical home + re-exports
     FINGERPRINT_VERSION,
@@ -35,9 +34,21 @@ from repro.model.fingerprint import (  # noqa: F401 - canonical home + re-export
     taskset_fingerprint,
 )
 from repro.model.taskset import TaskSet
+from repro.pipeline.fault_tolerance import (
+    DEFAULT_IO,
+    CheckpointIO,
+    decode_durable_line,
+    encode_durable_line,
+)
 from repro.pipeline.payload import ReportPayload
 
 PathLike = Union[str, Path]
+
+#: Version of the checksummed on-disk cache entry format.  Entries are
+#: CRC-wrapped (``{"crc": ..., "entry": {"cache_format": 2, "report":
+#: ...}}``); pre-checksum entries (a bare report payload) are still
+#: accepted on read.
+CACHE_FORMAT_VERSION = 2
 
 
 def request_fingerprint(taskset: TaskSet, options: Dict[str, Any]) -> str:
@@ -66,15 +77,32 @@ class ResultCache:
     ``AnalysisReport.to_dict``), not live report objects, so disk and
     memory entries are interchangeable and a cache shared between
     processes never pickles analysis state.
+
+    Disk entries are checksummed (CRC-32 over the canonical JSON): a
+    corrupt, torn or unreadable entry degrades to a cache *miss* — it
+    is counted in :attr:`corrupt` (or :attr:`io_errors`), best-effort
+    deleted, and recomputed — never a crash and never silently wrong
+    data.  Entries written before the checksum format are still read.
+    ``io`` is the injectable filesystem seam the chaos harness uses to
+    simulate storage faults; :meth:`put` raises ``OSError`` to the
+    caller (the runner retries it under its
+    :class:`~repro.pipeline.fault_tolerance.RetryPolicy`).
     """
 
-    def __init__(self, directory: Optional[PathLike] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[PathLike] = None,
+        io: Optional[CheckpointIO] = None,
+    ) -> None:
         self._memory: Dict[str, ReportPayload] = {}
         self._directory = Path(directory) if directory is not None else None
+        self._io = io if io is not None else DEFAULT_IO
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.io_errors = 0
 
     @property
     def directory(self) -> Optional[Path]:
@@ -88,6 +116,31 @@ class ResultCache:
             return None
         return self._directory / key[:2] / f"{key}.json"
 
+    def _load_disk(self, path: Path) -> Optional[ReportPayload]:
+        """Read + verify one disk entry; ``None`` (and a counter) if bad."""
+        try:
+            text = self._io.read_text(path)
+        except OSError:
+            self.io_errors += 1
+            return None
+        entry = decode_durable_line(text)
+        if entry is not None and "cache_format" in entry:
+            if entry.get("cache_format") != CACHE_FORMAT_VERSION:
+                entry = None
+            else:
+                report = entry.get("report")
+                entry = report if isinstance(report, dict) else None
+        if entry is not None and not ("name" in entry and "key" in entry):
+            entry = None  # legacy shape must at least look like a report
+        if entry is None:
+            self.corrupt += 1
+            try:  # a corrupt entry only wastes a recompute once
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return cast(ReportPayload, entry)
+
     def get(self, key: str) -> Optional[ReportPayload]:
         """Look a report payload up; promotes disk entries into memory."""
         payload = self._memory.get(key)
@@ -96,22 +149,28 @@ class ResultCache:
             return payload
         path = self._disk_path(key)
         if path is not None and path.exists():
-            loaded: ReportPayload = json.loads(path.read_text())
-            self._memory[key] = loaded
-            self.hits += 1
-            return loaded
+            loaded = self._load_disk(path)
+            if loaded is not None:
+                self._memory[key] = loaded
+                self.hits += 1
+                return loaded
         self.misses += 1
         return None
 
     def put(self, key: str, payload: ReportPayload) -> None:
-        """Store a report payload under ``key`` (memory and disk)."""
+        """Store a report payload under ``key`` (memory and disk).
+
+        ``OSError`` from the disk layer propagates: the caller decides
+        whether a failed cache write is retryable or ignorable (the
+        cache is an optimisation, losing an entry is never fatal).
+        """
         self._memory[key] = payload
         path = self._disk_path(key)
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".json.tmp")
-            tmp.write_text(json.dumps(payload))
-            tmp.replace(path)
+            line = encode_durable_line(
+                {"cache_format": CACHE_FORMAT_VERSION, "report": payload}
+            )
+            self._io.write_text_atomic(path, line)
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""

@@ -55,11 +55,41 @@ class ReportPayload(TypedDict):
 
 
 class CheckpointEntry(TypedDict):
-    """One JSONL checkpoint line (see ``runner.CHECKPOINT_VERSION``)."""
+    """One checkpoint record (see ``runner.CHECKPOINT_VERSION``).
+
+    On disk the record travels CRC-wrapped (one
+    ``{"crc": ..., "entry": <this>}`` line per settled item, see
+    :func:`repro.pipeline.fault_tolerance.encode_durable_line`); this
+    shape is the verified payload after unwrapping.
+    """
 
     checkpoint_version: int
     key: str
     report: ReportPayload
+
+
+class AttemptRecord(TypedDict):
+    """One failed attempt in an item's retry history.
+
+    ``stage`` names the failure class the runner observed: ``"worker"``
+    (the chunk's worker died), ``"pool"`` (collateral pool break while
+    the item was in flight), ``"timeout"`` (watchdog killed the chunk)
+    or ``"compute"`` (the evaluation raised a non-analysis exception).
+    """
+
+    attempt: int
+    stage: str
+    error_type: str
+    message: str
+
+
+class QuarantineEntry(TypedDict):
+    """One quarantine.jsonl record: a poison item and how it got there."""
+
+    quarantine_version: int
+    key: str
+    name: str
+    attempts: List[AttemptRecord]
 
 
 class WorkerMeta(TypedDict):

@@ -1,4 +1,4 @@
-"""Batched, parallel execution of analysis requests.
+"""Batched, parallel, fault-tolerant execution of analysis requests.
 
 :class:`BatchRunner` fans a population of
 :class:`~repro.pipeline.request.AnalysisRequest` items over a
@@ -10,61 +10,99 @@
 * **content-addressed caching** — results land in a
   :class:`~repro.pipeline.cache.ResultCache` under the request key, so
   re-running a sweep (or sharing task sets between sweeps) recomputes
-  nothing;
+  nothing; a corrupt cache entry degrades to a miss, never a crash;
 * **error capture** — an :class:`~repro.analysis.budget.
   AnalysisBudgetExceeded` or a degenerate task set becomes a structured
   failure record on that item's report, never a crashed sweep;
-* **checkpoint/resume** — every completed item is appended to a JSONL
-  checkpoint; a rerun with ``resume=True`` skips everything already on
-  disk, which makes paper-scale sweeps interruptible.  The file is
-  truncated on a non-resume run and compacted (duplicate keys last-wins,
-  infrastructure failures dropped) on resume, so it never grows without
-  bound.  A checkpointed failure whose stage is *infrastructural* (a
-  worker process died mid-chunk) is transient, not a verdict: resume
-  recomputes those items instead of resurfacing the failure as final.
+* **infrastructure fault tolerance** — the run survives its own
+  machinery failing (see :mod:`repro.pipeline.fault_tolerance`):
+
+  - a dead worker or broken pool rebuilds the pool and requeues
+    in-flight items exactly once per break, with bounded, seeded
+    exponential backoff (:class:`~repro.pipeline.fault_tolerance.
+    RetryPolicy`, overridable per request);
+  - a hung worker is killed by a wall-clock watchdog
+    (``retry.timeout`` seconds per item) and its chunk retried;
+  - an item that keeps breaking the pool is escalated to *solitary*
+    execution (run alone, so collateral chunks stop paying for it) and,
+    after exhausting its attempts, lands in a structured
+    ``quarantine.jsonl`` with its attempt history — the batch finishes;
+  - checkpoint/cache IO errors are retried and then degrade
+    (checkpointing disables itself, a cache write is skipped) rather
+    than abort the run;
+* **durable checkpoint/resume** — every settled item is appended to a
+  JSONL checkpoint as a CRC-wrapped line, flushed *and fsynced* per
+  settle batch, so a process kill at any byte offset loses at most
+  unsettled in-flight items.  On resume, torn tails and corrupt lines
+  are detected (CRC) and treated as "recompute"; duplicate keys resolve
+  last-wins; infrastructure failures (worker death, quarantine) are
+  transient, not verdicts, and are recomputed.  The file is truncated
+  on a non-resume run and compacted atomically on resume;
+* **graceful shutdown** — SIGINT/SIGTERM stop scheduling, flush the
+  checkpoint and metrics, and raise :class:`~repro.pipeline.
+  fault_tolerance.BatchAborted` carrying the resume path — an
+  interrupted sweep is a resumable sweep, not a traceback;
 * **observability** — pass a :class:`~repro.obs.metrics.MetricsRegistry`
   to collect one unified snapshot of batch statistics, cache hit/miss
-  totals, kernel perf counters and per-worker chunk timings.  Kernel
-  counters are per process, so each worker snapshots its own
-  :data:`~repro.analysis.kernels.PERF` around the chunk and ships the
-  delta back with the results; the registry sums them, making the
-  counter totals independent of the job count.  Span tracing
-  (:mod:`repro.obs.trace`), when enabled in the parent, is enabled
-  inside each worker and the recorded spans travel back the same way.
+  totals, kernel perf counters, per-worker chunk timings and the
+  fault-handling counters (``faults.*``: retries, timeouts, pool
+  rebuilds, corruption detections — all zero on an undisturbed run).
 
 The evaluation itself (:func:`~repro.pipeline.request.evaluate_request`)
 is deterministic and order-independent, so ``jobs=1`` and ``jobs=N``
 produce byte-identical reports — the property the pipeline test suite
-pins down.
+pins down, and which the chaos harness (:mod:`repro.pipeline.chaos`)
+extends to "byte-identical *under injected infrastructure faults*".
 """
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     Callable,
+    Deque,
     Dict,
     Iterable,
     List,
     Optional,
     Sequence,
-    TextIO,
     Tuple,
     Type,
     TypeVar,
     Union,
+    cast,
 )
 
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.cache import ResultCache
-from repro.pipeline.payload import CheckpointEntry, ReportPayload, WorkerMeta
+from repro.pipeline.fault_tolerance import (
+    BatchAborted,
+    CheckpointIO,
+    DurableAppender,
+    FaultStats,
+    GracefulShutdown,
+    InjectionSpec,
+    Quarantine,
+    RetryPolicy,
+    chaos_pool_initializer,
+    decode_durable_line,
+    encode_durable_line,
+    maybe_inject,
+)
+from repro.pipeline.payload import (
+    AttemptRecord,
+    CheckpointEntry,
+    ReportPayload,
+    WorkerMeta,
+)
 from repro.pipeline.request import (
     AnalysisFailure,
     AnalysisReport,
@@ -77,14 +115,36 @@ ProgressCallback = Callable[[int, int], None]
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
-#: Version stamped into every checkpoint line; unknown versions are
-#: skipped on resume rather than misinterpreted.
-CHECKPOINT_VERSION = 1
+#: Version stamped into every checkpoint entry.  Version 2 entries are
+#: CRC-wrapped durable lines; version 1 (pre-CRC) lines are still
+#: accepted on resume.  Unknown versions are skipped rather than
+#: misinterpreted.
+CHECKPOINT_VERSION = 2
+
+#: Checkpoint entry versions accepted on resume.
+_RESUMABLE_VERSIONS = frozenset({1, CHECKPOINT_VERSION})
 
 #: Exceptions converted into per-item failure records instead of
 #: aborting the batch.  Deliberately narrow: programming errors
 #: (AttributeError, TypeError, ...) still surface immediately.
 CAPTURED_ERRORS: Tuple[Type[BaseException], ...] = (ValueError, ArithmeticError)
+
+#: Fixed slack added to a chunk's wall-clock deadline on top of
+#: ``timeout * items``: absorbs fork/pickle/dispatch latency so the
+#: watchdog measures the work, not the plumbing.
+_TIMEOUT_GRACE = 0.5
+
+#: Pool breaks with an unidentified culprit before an item is run in
+#: solitary (alone in the pool, so the next break convicts it).
+_SUSPECT_THRESHOLD = 2
+
+#: Consecutive pool rebuilds without a single settled chunk before the
+#: infrastructure itself is declared dead (not an item's fault).
+_MAX_CONSECUTIVE_REBUILDS = 16
+
+#: Upper bound on any single watchdog wait, so signal drain requests
+#: and backoff expiries are noticed promptly.
+_MAX_POLL_SECONDS = 0.5
 
 
 def _captured_errors() -> Tuple[Type[BaseException], ...]:
@@ -108,7 +168,7 @@ def evaluate_captured(request: AnalysisRequest) -> AnalysisReport:
 #: Failure stages that describe the batch machinery rather than the
 #: analysis verdict.  They are transient: resume recomputes them and
 #: checkpoint compaction drops them.
-INFRASTRUCTURE_STAGES = frozenset({"worker"})
+INFRASTRUCTURE_STAGES = frozenset({"worker", "quarantine"})
 
 
 def _is_infrastructure_failure(payload: ReportPayload) -> bool:
@@ -117,9 +177,14 @@ def _is_infrastructure_failure(payload: ReportPayload) -> bool:
     return failure is not None and failure["stage"] in INFRASTRUCTURE_STAGES
 
 
+#: One unit of pool work: (slot within the chunk, request key, request).
+_ChunkItem = Tuple[int, str, AnalysisRequest]
+
+
 def _worker_chunk(
-    chunk: Sequence[Tuple[int, AnalysisRequest]],
+    chunk: Sequence[_ChunkItem],
     trace_enabled: bool = False,
+    injection: Optional[InjectionSpec] = None,
 ) -> Tuple[List[Tuple[int, ReportPayload]], WorkerMeta]:
     """Process-pool entry point: evaluate a chunk, return JSON payloads.
 
@@ -131,6 +196,11 @@ def _worker_chunk(
     process and forked workers inherit the parent's totals, hence the
     delta), the chunk wall time, and — when the parent had tracing on —
     the span records the chunk produced.
+
+    ``injection`` is the chaos harness's deterministic fault seam: when
+    armed, an item can SIGKILL its own worker or hang it before any
+    evaluation runs (:func:`~repro.pipeline.fault_tolerance.
+    maybe_inject`).
     """
     from repro.analysis.kernels import PERF
 
@@ -139,9 +209,10 @@ def _worker_chunk(
         trace.drain()  # discard records inherited from the parent via fork
     perf_before = PERF.snapshot()
     t0 = time.perf_counter()
-    results = [
-        (index, evaluate_captured(request).to_dict()) for index, request in chunk
-    ]
+    results: List[Tuple[int, ReportPayload]] = []
+    for slot, key, request in chunk:
+        maybe_inject(injection, key)
+        results.append((slot, evaluate_captured(request).to_dict()))
     meta: WorkerMeta = {
         "pid": os.getpid(),
         "items": len(chunk),
@@ -156,8 +227,10 @@ def _worker_chunk(
 class BatchStats:
     """Bookkeeping for one :meth:`BatchRunner.run` call.
 
-    The five settle paths reconcile exactly:
-    ``computed + cache_hits + resumed + deduplicated == total``.
+    The settle paths reconcile exactly:
+    ``computed + cache_hits + resumed + deduplicated + quarantined ==
+    total`` — the exactly-once accounting invariant the chaos harness
+    asserts under every injected fault family.
     """
 
     total: int = 0
@@ -165,6 +238,7 @@ class BatchStats:
     cache_hits: int = 0
     resumed: int = 0
     deduplicated: int = 0
+    quarantined: int = 0
     failures: int = 0
 
     def to_dict(self) -> Dict[str, int]:
@@ -174,8 +248,56 @@ class BatchStats:
             "cache_hits": self.cache_hits,
             "resumed": self.resumed,
             "deduplicated": self.deduplicated,
+            "quarantined": self.quarantined,
             "failures": self.failures,
         }
+
+    def settled(self) -> int:
+        """Items accounted for so far (the left side of the invariant)."""
+        return (
+            self.computed
+            + self.cache_hits
+            + self.resumed
+            + self.deduplicated
+            + self.quarantined
+        )
+
+
+@dataclass
+class _Tracked:
+    """Parent-side state of one pending unique key in the pool path."""
+
+    key: str
+    request: AnalysisRequest
+    policy: RetryPolicy
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    counted: int = 0  # attempts charged toward quarantine
+    suspect_breaks: int = 0  # pool breaks with this item in flight, culprit unknown
+    solitary: bool = False
+
+    def record(self, stage: str, error: Optional[BaseException], counted: bool) -> None:
+        self.attempts.append(
+            {
+                "attempt": len(self.attempts) + 1,
+                "stage": stage,
+                "error_type": type(error).__name__ if error is not None else stage,
+                "message": str(error) if error is not None else stage,
+            }
+        )
+        if counted:
+            self.counted += 1
+
+    def exhausted(self) -> bool:
+        return self.counted >= self.policy.max_attempts
+
+
+@dataclass
+class _Flight:
+    """One submitted chunk: its items and (optional) watchdog deadline."""
+
+    chunk: List[_Tracked]
+    deadline: Optional[float]
+    solitary: bool
 
 
 @dataclass
@@ -189,22 +311,46 @@ class BatchRunner:
         the two paths produce identical reports.
     cache:
         Optional :class:`ResultCache`; hits skip evaluation entirely.
+        Corrupt entries degrade to misses; failed writes are retried
+        under ``retry`` and then skipped.
     checkpoint:
-        Optional JSONL path; every completed item is appended and
-        flushed, so a killed sweep loses at most in-flight items.
+        Optional JSONL path; every settled item is appended as a
+        CRC-wrapped line and flushed+fsynced per settle batch, so a
+        killed sweep loses at most in-flight items.
     resume:
         Load the checkpoint before running and skip every request whose
-        key is already recorded.
+        key is already recorded (corrupt/torn lines are recomputed).
     chunk_size:
         Requests per worker chunk (default: balance ~4 chunks per
         worker, capped at 32).
     progress:
         ``progress(done, total)`` callback, invoked after every settled
-        item (cache hit, resumed, computed, or failed).
+        item (cache hit, resumed, computed, quarantined or failed).
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; the run
         folds in batch stats, cache totals, kernel perf deltas (summed
-        across workers) and per-worker chunk timings.
+        across workers), per-worker chunk timings and fault counters.
+    retry:
+        Runner-wide :class:`~repro.pipeline.fault_tolerance.RetryPolicy`
+        (attempt budget, backoff, per-item watchdog timeout) for
+        infrastructure failures; ``request.retry`` overrides it per
+        item.
+    quarantine:
+        Optional JSONL path: items that exhaust their attempts are
+        recorded there (with full attempt history) and settle as
+        ``stage="quarantine"`` failure reports instead of aborting the
+        batch.  Without a path, quarantining still happens — only the
+        forensic file is skipped.
+    io:
+        Injectable filesystem seam for the durable writes (checkpoint,
+        quarantine); the chaos harness substitutes a failing one.
+    injection:
+        Deterministic worker-fault injection spec (chaos/testing only).
+    install_signal_handlers:
+        Trap SIGINT/SIGTERM during :meth:`run` for graceful drain
+        (main thread only).  The first signal stops scheduling, flushes
+        checkpoint and metrics, and raises :class:`~repro.pipeline.
+        fault_tolerance.BatchAborted`; a second one kills the process.
     """
 
     jobs: int = 1
@@ -214,7 +360,13 @@ class BatchRunner:
     chunk_size: Optional[int] = None
     progress: Optional[ProgressCallback] = None
     metrics: Optional[MetricsRegistry] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    quarantine: Optional[PathLike] = None
+    io: CheckpointIO = field(default_factory=CheckpointIO)
+    injection: Optional[InjectionSpec] = None
+    install_signal_handlers: bool = True
     stats: BatchStats = field(default_factory=BatchStats)
+    faults: FaultStats = field(default_factory=FaultStats)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -226,13 +378,17 @@ class BatchRunner:
     # Checkpoint plumbing
     # ------------------------------------------------------------------
     def _load_checkpoint(self) -> Dict[str, ReportPayload]:
-        """Completed payloads by key; tolerant of a torn final line.
+        """Completed payloads by key; corruption-tolerant.
 
-        Duplicate keys resolve last-wins (an append-mode file can hold a
-        failed attempt followed by a later success).  Infrastructure
-        failures — a worker process died mid-chunk, not an analysis
-        verdict — are dropped entirely so resume recomputes those items
-        instead of resurfacing a transient failure as final.
+        Every line is CRC-verified (:func:`~repro.pipeline.
+        fault_tolerance.decode_durable_line`); a torn tail, a flipped
+        bit or a truncated line counts as corrupt and that item is
+        simply recomputed.  Duplicate keys resolve last-wins (an
+        append-mode file can hold a failed attempt followed by a later
+        success).  Infrastructure failures — a worker died, an item was
+        quarantined — are transient, not verdicts: they are dropped so
+        resume retries those items against (hopefully) healthier
+        machinery.
         """
         completed: Dict[str, ReportPayload] = {}
         if not self.resume or self.checkpoint is None:
@@ -240,65 +396,106 @@ class BatchRunner:
         path = Path(self.checkpoint)
         if not path.exists():
             return completed
-        for line in path.read_text().splitlines():
-            line = line.strip()
-            if not line:
+        try:
+            text = self.io.read_text(path)
+        except OSError:
+            self.faults.checkpoint_io_errors += 1
+            return completed
+        for line in text.splitlines():
+            if not line.strip():
                 continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn write from a killed run: recompute that item
-            if entry.get("checkpoint_version") != CHECKPOINT_VERSION:
+            entry = decode_durable_line(line)
+            if entry is None:
+                self.faults.checkpoint_corrupt_lines += 1
                 continue
-            if _is_infrastructure_failure(entry["report"]):
-                completed.pop(entry["key"], None)
+            if entry.get("checkpoint_version") not in _RESUMABLE_VERSIONS:
                 continue
-            completed[entry["key"]] = entry["report"]
+            key = entry.get("key")
+            report = entry.get("report")
+            if not isinstance(key, str) or not isinstance(report, dict):
+                self.faults.checkpoint_corrupt_lines += 1
+                continue
+            payload = cast(ReportPayload, report)
+            if _is_infrastructure_failure(payload):
+                completed.pop(key, None)
+                continue
+            completed[key] = payload
         return completed
 
-    def _open_checkpoint(
+    def _open_appender(
         self, completed: Dict[str, ReportPayload]
-    ) -> Optional[TextIO]:
-        """Open the checkpoint for appending new entries.
+    ) -> Optional[DurableAppender]:
+        """Open the durable checkpoint appender.
 
         Not resuming: truncate — stale entries from an unrelated earlier
         run must not leak into a later resume.  Resuming: rewrite the
-        file as one compacted entry per surviving key (atomically, via a
-        temp file) before reopening for append, so duplicates and
+        file as one compacted CRC line per surviving key (atomically,
+        via a temp file) before reopening for append, so duplicates and
         infrastructure failures don't accumulate across interruptions.
+        A failed compaction is not fatal: the appender falls back to
+        plain append and last-wins resume absorbs the duplicates.
         """
         if self.checkpoint is None:
             return None
         path = Path(self.checkpoint)
-        path.parent.mkdir(parents=True, exist_ok=True)
         if self.resume and path.exists():
-            tmp = path.with_suffix(path.suffix + ".tmp")
-            with tmp.open("w") as fh:
-                for key, payload in completed.items():
-                    entry: CheckpointEntry = {
-                        "checkpoint_version": CHECKPOINT_VERSION,
-                        "key": key,
-                        "report": payload,
-                    }
-                    fh.write(json.dumps(entry) + "\n")
-            tmp.replace(path)
-            return path.open("a")
-        return path.open("w")
+            lines = []
+            for key, payload in completed.items():
+                entry: CheckpointEntry = {
+                    "checkpoint_version": CHECKPOINT_VERSION,
+                    "key": key,
+                    "report": payload,
+                }
+                lines.append(encode_durable_line(entry))
+            try:
+                self.io.write_text_atomic(
+                    path, "".join(line + "\n" for line in lines)
+                )
+            except OSError:
+                self.faults.checkpoint_io_errors += 1
+            return DurableAppender(path, io=self.io, policy=self.retry)
+        return DurableAppender(path, io=self.io, policy=self.retry, truncate=True)
+
+    # ------------------------------------------------------------------
+    # Cache write with bounded retry
+    # ------------------------------------------------------------------
+    def _cache_put(self, key: str, payload: ReportPayload) -> None:
+        """Store in the cache, retrying IO errors; a lost entry is not fatal."""
+        if self.cache is None:
+            return
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                self.cache.put(key, payload)
+                return
+            except OSError:
+                self.faults.cache_io_errors += 1
+                if attempt >= self.retry.max_attempts:
+                    return  # cache is an optimisation: degrade, don't abort
+                time.sleep(self.retry.delay(f"cache:{key}", attempt))
 
     # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[AnalysisRequest]) -> List[AnalysisReport]:
-        """Evaluate every request, returning reports in request order."""
+        """Evaluate every request, returning reports in request order.
+
+        Raises :class:`~repro.pipeline.fault_tolerance.BatchAborted`
+        when a trapped SIGINT/SIGTERM drains the run early; everything
+        settled up to that point is flushed and resumable.
+        """
         from repro.analysis.kernels import PERF
 
         requests = list(requests)
         self.stats = BatchStats(total=len(requests))
+        self.faults = FaultStats()
         payloads: List[Optional[ReportPayload]] = [None] * len(requests)
 
         perf_before = PERF.snapshot()
-        cache_lookups_before = (
-            (self.cache.hits, self.cache.misses) if self.cache is not None else (0, 0)
+        cache_before = (
+            (self.cache.hits, self.cache.misses, self.cache.corrupt,
+             self.cache.io_errors)
+            if self.cache is not None
+            else (0, 0, 0, 0)
         )
         t_run = time.perf_counter()
         resumed = self._load_checkpoint()
@@ -306,7 +503,7 @@ class BatchRunner:
         # Settle cache/checkpoint hits and dedup the rest by key: a
         # population containing the same configured task set twice costs
         # one evaluation.  A failure payload counts as a failure however
-        # it arrives — computed, cached or resumed.
+        # it arrives — computed, cached, resumed or quarantined.
         pending: Dict[str, List[int]] = {}
         pending_request: Dict[str, AnalysisRequest] = {}
         for index, request in enumerate(requests):
@@ -336,57 +533,120 @@ class BatchRunner:
         if self.progress is not None and done:
             self.progress(done, len(requests))
 
-        checkpoint_file = self._open_checkpoint(resumed)
+        appender = self._open_appender(resumed)
+        quarantine_file = (
+            Quarantine(self.quarantine, io=self.io, policy=self.retry)
+            if self.quarantine is not None
+            else None
+        )
 
-        def settle(key: str, payload: ReportPayload) -> None:
+        def settle(key: str, payload: ReportPayload, quarantined: bool = False) -> None:
             nonlocal done
-            for index in pending[key]:
+            indices = pending[key]
+            if payloads[indices[0]] is not None:
+                raise RuntimeError(
+                    f"batch item {key} settled twice — exactly-once "
+                    f"accounting would be violated"
+                )
+            for index in indices:
                 payloads[index] = payload
-            done += len(pending[key])
-            self.stats.computed += 1
-            self.stats.deduplicated += len(pending[key]) - 1
+            done += len(indices)
+            if quarantined:
+                self.stats.quarantined += 1
+            else:
+                self.stats.computed += 1
+            self.stats.deduplicated += len(indices) - 1
             if payload.get("failure") is not None:
                 self.stats.failures += 1
-            if self.cache is not None:
-                self.cache.put(key, payload)
-            if checkpoint_file is not None:
+            if not quarantined:
+                # A quarantined verdict is transient; caching it would
+                # resurface an infrastructure hiccup as a cached fact.
+                self._cache_put(key, payload)
+            if appender is not None:
                 entry: CheckpointEntry = {
                     "checkpoint_version": CHECKPOINT_VERSION,
                     "key": key,
                     "report": payload,
                 }
-                checkpoint_file.write(json.dumps(entry) + "\n")
-                checkpoint_file.flush()
+                appender.append(entry)
             if self.progress is not None:
                 self.progress(done, len(requests))
 
+        def commit() -> None:
+            if appender is not None:
+                appender.commit()
+
+        def quarantine_item(item: _Tracked) -> None:
+            last = item.attempts[-1] if item.attempts else None
+            failure = AnalysisFailure(
+                stage="quarantine",
+                error_type=last["error_type"] if last else "Unknown",
+                message=(
+                    f"quarantined after {item.counted} counted attempts "
+                    f"({len(item.attempts)} recorded: "
+                    + ", ".join(a["stage"] for a in item.attempts)
+                    + ")"
+                ),
+            )
+            report = AnalysisReport.failed(item.request, failure)
+            if quarantine_file is not None:
+                quarantine_file.record(
+                    item.key, item.request.taskset.name, item.attempts
+                )
+            settle(item.key, report.to_dict(), quarantined=True)
+            commit()
+
         work = [(key, pending_request[key]) for key in pending]
         try:
-            if self.jobs == 1 or len(work) <= 1:
-                for key, request in work:
-                    t0 = time.perf_counter()
-                    settle(key, evaluate_captured(request).to_dict())
-                    if self.metrics is not None:
-                        self.metrics.record_chunk(
-                            "inline", 1, time.perf_counter() - t0
-                        )
-            else:
-                self._run_parallel(work, settle)
+            with GracefulShutdown(install=self.install_signal_handlers) as shutdown:
+                if self.jobs == 1 or len(work) <= 1:
+                    for key, request in work:
+                        if shutdown.requested:
+                            raise self._aborted(shutdown, done, len(requests))
+                        t0 = time.perf_counter()
+                        settle(key, evaluate_captured(request).to_dict())
+                        commit()
+                        if self.metrics is not None:
+                            self.metrics.record_chunk(
+                                "inline", 1, time.perf_counter() - t0
+                            )
+                else:
+                    self._run_parallel(
+                        work,
+                        settle,
+                        commit,
+                        quarantine_item,
+                        shutdown,
+                        lambda: self._aborted(shutdown, done, len(requests)),
+                    )
         finally:
-            if checkpoint_file is not None:
-                checkpoint_file.close()
-
-        if self.metrics is not None:
-            # The main-process kernel delta covers the inline path (and is
-            # zero under a pool); worker deltas were folded in per chunk.
-            self.metrics.record_kernel_perf(PERF.delta_since(perf_before))
-            self.metrics.record_batch_stats(self.stats.to_dict())
+            if appender is not None:
+                appender.close()
+                self.faults.checkpoint_io_errors += appender.io_errors
+            if quarantine_file is not None:
+                quarantine_file.close()
+                self.faults.checkpoint_io_errors += quarantine_file.io_errors
             if self.cache is not None:
-                self.metrics.record_cache(
-                    self.cache.hits - cache_lookups_before[0],
-                    self.cache.misses - cache_lookups_before[1],
+                self.faults.cache_corrupt += self.cache.corrupt - cache_before[2]
+                self.faults.cache_io_errors += (
+                    self.cache.io_errors - cache_before[3]
                 )
-            self.metrics.timing("batch.wall_seconds", time.perf_counter() - t_run)
+            if self.metrics is not None:
+                # The main-process kernel delta covers the inline path (and
+                # is zero under a pool); worker deltas were folded in per
+                # chunk.  Folding in ``finally`` means an aborted run still
+                # flushes everything it measured.
+                self.metrics.record_kernel_perf(PERF.delta_since(perf_before))
+                self.metrics.record_batch_stats(self.stats.to_dict())
+                self.metrics.record_fault_stats(self.faults.to_dict())
+                if self.cache is not None:
+                    self.metrics.record_cache(
+                        self.cache.hits - cache_before[0],
+                        self.cache.misses - cache_before[1],
+                    )
+                self.metrics.timing(
+                    "batch.wall_seconds", time.perf_counter() - t_run
+                )
 
         reports: List[AnalysisReport] = []
         for index, payload in enumerate(payloads):
@@ -397,40 +657,223 @@ class BatchRunner:
             reports.append(AnalysisReport.from_dict(payload))
         return reports
 
+    def _aborted(
+        self, shutdown: GracefulShutdown, done: int, total: int
+    ) -> BatchAborted:
+        return BatchAborted(
+            shutdown.signal_name or "signal",
+            done,
+            total,
+            Path(self.checkpoint) if self.checkpoint is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Supervised pool execution
+    # ------------------------------------------------------------------
+    def _new_executor(self) -> ProcessPoolExecutor:
+        if self.injection is not None:
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=chaos_pool_initializer,
+                initargs=(self.injection,),
+            )
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    @staticmethod
+    def _kill_pool(executor: ProcessPoolExecutor) -> None:
+        """Terminate a pool *now*, including hung workers.
+
+        ``shutdown`` alone would join workers, which never returns while
+        one is stuck in an injected (or real) infinite stall — so the
+        worker processes are killed first.  ``_processes`` is internal
+        to ``ProcessPoolExecutor`` but has been stable across supported
+        versions; when absent the shutdown below still detaches us.
+        """
+        processes = getattr(executor, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                try:
+                    process.kill()
+                except (OSError, AttributeError):
+                    pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except (OSError, RuntimeError):
+            pass
+
+    def _chunk_deadline(self, chunk: List[_Tracked], now: float) -> Optional[float]:
+        """Watchdog deadline for a chunk, or None when any item opts out."""
+        total = 0.0
+        for item in chunk:
+            timeout = item.policy.timeout
+            if timeout is None:
+                return None
+            total += timeout
+        return now + total + _TIMEOUT_GRACE
+
     def _run_parallel(
         self,
         work: Sequence[Tuple[str, AnalysisRequest]],
-        settle: Callable[[str, ReportPayload], None],
+        settle: Callable[..., None],
+        commit: Callable[[], None],
+        quarantine_item: Callable[[_Tracked], None],
+        shutdown: GracefulShutdown,
+        make_abort: Callable[[], BatchAborted],
     ) -> None:
-        indexed = [(i, request) for i, (_key, request) in enumerate(work)]
-        keys = [key for key, _request in work]
+        tracked = [
+            _Tracked(
+                key=key,
+                request=request,
+                policy=request.retry if request.retry is not None else self.retry,
+            )
+            for key, request in work
+        ]
         size = self.chunk_size or max(
-            1, min(32, math.ceil(len(indexed) / (self.jobs * 4)))
+            1, min(32, math.ceil(len(tracked) / (self.jobs * 4)))
         )
-        chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
+        ready: Deque[List[_Tracked]] = deque(
+            tracked[i : i + size] for i in range(0, len(tracked), size)
+        )
+        delayed: List[Tuple[float, List[_Tracked]]] = []
+        solitary: Deque[_Tracked] = deque()
+        in_flight: Dict["Future[Tuple[List[Tuple[int, ReportPayload]], WorkerMeta]]", _Flight] = {}
         trace_enabled = trace.is_enabled()
-        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
-            futures = {
-                executor.submit(_worker_chunk, chunk, trace_enabled): chunk
-                for chunk in chunks
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    chunk = futures[future]
-                    error = future.exception()
-                    if error is not None:
-                        # Whole-chunk failure (e.g. a worker died): record
-                        # it on every item rather than raising midway.
-                        for i, request in chunk:
-                            failed = AnalysisReport.failed(
-                                request,
-                                AnalysisFailure.from_exception("worker", error),
-                            )
-                            settle(keys[i], failed.to_dict())
-                        continue
+        executor: Optional[ProcessPoolExecutor] = None
+        consecutive_rebuilds = 0
+
+        def requeue(item: _Tracked, delay: float) -> None:
+            """Route one item back into the right queue (or quarantine)."""
+            if item.exhausted():
+                quarantine_item(item)
+                return
+            item.solitary = item.solitary or item.suspect_breaks >= _SUSPECT_THRESHOLD
+            if item.solitary:
+                solitary.append(item)
+            elif delay > 0.0:
+                delayed.append((time.perf_counter() + delay, [item]))
+            else:
+                ready.append([item])
+
+        def break_pool(culprit_known: bool) -> None:
+            """Kill + forget the pool; requeue everything in flight once."""
+            nonlocal executor, consecutive_rebuilds
+            self.faults.pool_rebuilds += 1
+            consecutive_rebuilds += 1
+            if executor is not None:
+                self._kill_pool(executor)
+                executor = None
+            collateral = [flight for flight in in_flight.values()]
+            in_flight.clear()
+            for flight in collateral:
+                for item in flight.chunk:
+                    # Exactly-once requeue per break: the item goes back
+                    # into a queue a single time, as a singleton so one
+                    # bad chunk-mate cannot keep dragging it down.
+                    item.record("pool", None, counted=False)
+                    if not culprit_known:
+                        item.suspect_breaks += 1
+                    requeue(item, 0.0)
+            if consecutive_rebuilds > _MAX_CONSECUTIVE_REBUILDS:
+                raise RuntimeError(
+                    f"process pool broke {consecutive_rebuilds} times without "
+                    f"settling a single chunk; infrastructure is unusable"
+                )
+
+        def submit(chunk: List[_Tracked], is_solitary: bool) -> bool:
+            """Submit one chunk; False when the pool broke at submit time."""
+            nonlocal executor
+            if executor is None:
+                executor = self._new_executor()
+            payload: List[_ChunkItem] = [
+                (slot, item.key, item.request) for slot, item in enumerate(chunk)
+            ]
+            try:
+                future = executor.submit(
+                    _worker_chunk, payload, trace_enabled, self.injection
+                )
+            except BrokenProcessPool:
+                # The chunk never ran: requeue it for free, recycle the
+                # pool, and charge the break to whatever was in flight.
+                if is_solitary:
+                    solitary.extendleft(reversed(chunk))
+                else:
+                    ready.appendleft(chunk)
+                break_pool(culprit_known=False)
+                return False
+            now = time.perf_counter()
+            in_flight[future] = _Flight(
+                chunk=chunk,
+                deadline=self._chunk_deadline(chunk, now),
+                solitary=is_solitary,
+            )
+            return True
+
+        def handle_failure(flight: _Flight, error: BaseException) -> None:
+            """A chunk future completed exceptionally (pool still alive)."""
+            chunk = flight.chunk
+            if len(chunk) > 1:
+                # Culprit unknown inside the chunk: isolate to singletons
+                # without charging anyone an attempt yet.
+                for item in chunk:
+                    item.record("isolate", error, counted=False)
+                    requeue(item, 0.0)
+                return
+            item = chunk[0]
+            stage = "worker" if flight.solitary else "compute"
+            item.record(stage, error, counted=True)
+            self.faults.retries += 1
+            requeue(item, item.policy.delay(item.key, item.counted))
+
+        while ready or delayed or solitary or in_flight:
+            if shutdown.requested:
+                if executor is not None:
+                    self._kill_pool(executor)
+                    executor = None
+                commit()
+                raise make_abort()
+
+            now = time.perf_counter()
+            if delayed:
+                due = [chunk for when, chunk in delayed if when <= now]
+                delayed[:] = [(when, c) for when, c in delayed if when > now]
+                ready.extend(due)
+
+            # Fill the window: at most ``jobs`` chunks in flight, so every
+            # submitted chunk is actually running and its watchdog deadline
+            # measures work, not queueing.  Solitary items run strictly
+            # alone — the next pool break convicts them beyond doubt.
+            while ready and len(in_flight) < self.jobs:
+                submit(ready.popleft(), is_solitary=False)
+            if not ready and not delayed and not in_flight and solitary:
+                submit([solitary.popleft()], is_solitary=True)
+
+            if not in_flight:
+                if delayed and not ready:
+                    next_due = min(when for when, _chunk in delayed)
+                    time.sleep(
+                        min(max(next_due - time.perf_counter(), 0.0), _MAX_POLL_SECONDS)
+                    )
+                continue
+
+            poll = _MAX_POLL_SECONDS
+            deadlines = [
+                flight.deadline
+                for flight in in_flight.values()
+                if flight.deadline is not None
+            ]
+            if deadlines:
+                poll = min(poll, max(min(deadlines) - time.perf_counter(), 0.01))
+            finished, _pending = wait(
+                set(in_flight), timeout=poll, return_when=FIRST_COMPLETED
+            )
+
+            broken = False
+            for future in finished:
+                flight = in_flight.pop(future)
+                error = future.exception()
+                if error is None:
                     results, meta = future.result()
+                    consecutive_rebuilds = 0
                     if self.metrics is not None:
                         self.metrics.record_chunk(
                             f"pid{meta['pid']}", meta["items"], meta["seconds"]
@@ -438,8 +881,58 @@ class BatchRunner:
                         self.metrics.record_kernel_perf(meta["perf"])
                     if meta["spans"]:
                         trace.extend(meta["spans"])
-                    for i, payload in results:
-                        settle(keys[i], payload)
+                    for slot, payload_dict in results:
+                        settle(flight.chunk[slot].key, payload_dict)
+                    commit()
+                elif isinstance(error, BrokenProcessPool):
+                    # The whole pool died; every in-flight chunk is a
+                    # casualty and none of them is provably the cause.
+                    for item in flight.chunk:
+                        item.record("pool", error, counted=flight.solitary)
+                        if flight.solitary:
+                            # Ran alone: the conviction is definitive.
+                            self.faults.retries += 1
+                            requeue(
+                                item, item.policy.delay(item.key, item.counted)
+                            )
+                        else:
+                            item.suspect_breaks += 1
+                            requeue(item, 0.0)
+                    broken = True
+                else:
+                    handle_failure(flight, error)
+            if broken:
+                break_pool(culprit_known=False)
+                continue
+
+            # Watchdog: a chunk past its wall-clock deadline means a hung
+            # worker.  Kill the pool (the only way to reclaim the process),
+            # charge the expired chunk a timeout attempt, and requeue the
+            # innocent bystander chunks for free.
+            now = time.perf_counter()
+            expired = [
+                future
+                for future, flight in in_flight.items()
+                if flight.deadline is not None and now >= flight.deadline
+            ]
+            if expired:
+                self.faults.timeouts += len(expired)
+                for future in expired:
+                    flight = in_flight.pop(future)
+                    for item in flight.chunk:
+                        item.record(
+                            "timeout",
+                            TimeoutError(
+                                f"exceeded {item.policy.timeout}s/item watchdog"
+                            ),
+                            counted=True,
+                        )
+                        self.faults.retries += 1
+                        requeue(item, item.policy.delay(item.key, item.counted))
+                break_pool(culprit_known=True)
+
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     # Generic fan-out (no cache/checkpoint): used by the resilience suite
@@ -453,7 +946,10 @@ class BatchRunner:
 
         Serial for ``jobs=1``; otherwise ``ProcessPoolExecutor.map`` with
         the runner's chunking.  Exceptions propagate (no failure capture:
-        the caller owns the item semantics here).
+        the caller owns the item semantics here) — except
+        ``BrokenProcessPool``, which rebuilds the pool and recomputes the
+        not-yet-consumed tail, bounded by ``retry.max_attempts``, so the
+        resilience sweep survives a dead worker like the batch path does.
         """
         items = list(items)
         results: List[ResultT] = []
@@ -466,12 +962,25 @@ class BatchRunner:
         size = self.chunk_size or max(
             1, min(32, math.ceil(len(items) / (self.jobs * 4)))
         )
-        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
-            for result in executor.map(fn, items, chunksize=size):
-                results.append(result)
-                if self.progress is not None:
-                    self.progress(len(results), len(items))
-            return results
+        breaks = 0
+        while len(results) < len(items):
+            remaining = items[len(results):]
+            try:
+                with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+                    for result in executor.map(fn, remaining, chunksize=size):
+                        results.append(result)
+                        if self.progress is not None:
+                            self.progress(len(results), len(items))
+            except BrokenProcessPool as error:
+                breaks += 1
+                self.faults.pool_rebuilds += 1
+                self.faults.retries += 1
+                if breaks >= self.retry.max_attempts:
+                    raise RuntimeError(
+                        f"map_items pool broke {breaks} times; giving up"
+                    ) from error
+                time.sleep(self.retry.delay("map_items", breaks))
+        return results
 
 
 def run_batch(
@@ -484,6 +993,8 @@ def run_batch(
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     metrics: Optional[MetricsRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
+    quarantine: Optional[PathLike] = None,
 ) -> List[AnalysisReport]:
     """One-shot convenience wrapper around :class:`BatchRunner`."""
     runner = BatchRunner(
@@ -494,5 +1005,7 @@ def run_batch(
         chunk_size=chunk_size,
         progress=progress,
         metrics=metrics,
+        retry=retry if retry is not None else RetryPolicy(),
+        quarantine=quarantine,
     )
     return runner.run(requests)

@@ -1,0 +1,105 @@
+"""Chaos harness: the fault families themselves, end to end.
+
+These run the real :func:`repro.pipeline.chaos.run_chaos` machinery on
+a deliberately small population — the full 200-set sweep is the
+``repro-mc chaos`` CLI's job (and CI's ``chaos-smoke``); here each
+family just has to prove its injection fires and its assertions hold.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline.chaos import (
+    FAMILIES,
+    FlakyIO,
+    QUICK_SETS,
+    ChaosResult,
+    render,
+    run_chaos,
+)
+from repro.pipeline.fault_tolerance import disk_full_error
+
+
+class TestFlakyIO:
+    def test_fail_first_schedule(self, tmp_path):
+        io = FlakyIO(fail_first=2)
+        handle = io.open_append(tmp_path / "x.jsonl")
+        with pytest.raises(OSError):
+            io.write_line(handle, "a")
+        with pytest.raises(OSError):
+            io.write_line(handle, "b")
+        io.write_line(handle, "c")  # third call succeeds
+        io.commit(handle)
+        handle.close()
+        assert io.failures == 2
+        assert (tmp_path / "x.jsonl").read_text() == "c\n"
+
+    def test_fail_after_schedule(self, tmp_path):
+        io = FlakyIO(fail_after=1)
+        handle = io.open_append(tmp_path / "x.jsonl")
+        io.write_line(handle, "a")
+        with pytest.raises(OSError):
+            io.write_line(handle, "b")
+        with pytest.raises(OSError):
+            io.commit(handle)
+        handle.close()
+
+    def test_error_is_enospc(self):
+        import errno
+
+        assert disk_full_error().errno == errno.ENOSPC
+
+
+class TestChaosFamilies:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory) -> ChaosResult:
+        return run_chaos(
+            tmp_path_factory.mktemp("chaos"), sets=24, jobs=3, seed=42
+        )
+
+    def test_every_family_passes(self, result):
+        failing = [o.family for o in result.outcomes if not o.ok]
+        details = "\n".join(
+            f"{o.family}: {e}" for o in result.outcomes for e in o.errors
+        )
+        assert not failing, f"chaos families failed: {failing}\n{details}"
+        assert result.ok
+
+    def test_all_known_families_ran(self, result):
+        assert [o.family for o in result.outcomes] == list(FAMILIES)
+
+    def test_faults_were_actually_injected(self, result):
+        """A chaos pass with zero recorded faults tested nothing."""
+        by_name = {o.family: o for o in result.outcomes}
+        assert by_name["worker-kill"].faults.get("pool_rebuilds", 0) >= 1
+        assert by_name["worker-hang"].faults.get("timeouts", 0) >= 1
+        assert by_name["fork-crash"].faults.get("pool_rebuilds", 0) >= 1
+        assert by_name["poison"].stats.get("quarantined", 0) == 1
+        assert by_name["corruption"].faults.get("checkpoint_corrupt_lines", 0) >= 2
+        assert by_name["corruption"].faults.get("cache_corrupt", 0) >= 1
+        assert by_name["disk-full"].faults.get("checkpoint_io_errors", 0) >= 3
+
+    def test_render_mentions_every_family(self, result):
+        text = render(result)
+        for outcome in result.outcomes:
+            assert outcome.family in text
+        assert "PASS" in text
+
+    def test_unknown_family_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown fault families"):
+            run_chaos(tmp_path, sets=2, families=["no-such-fault"])
+
+
+class TestChaosCli:
+    def test_quick_flag_selects_small_population(self):
+        assert QUICK_SETS < 200
+
+    def test_single_family_via_cli(self, capsys):
+        from repro.cli import main
+
+        code = main(["chaos", "--quick", "--families", "worker-kill"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "worker-kill" in out
+        assert "all families PASS" in out

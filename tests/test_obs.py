@@ -32,6 +32,7 @@ from repro.pipeline import (
     AnalysisRequest,
     BatchRunner,
     ResultCache,
+    decode_durable_line,
     evaluate_request,
     run_batch,
 )
@@ -328,9 +329,10 @@ class TestWorkerFailureResume:
         assert runner.stats.resumed == 0
         assert runner.stats.computed == 1
         assert report.failure is None
-        # The recomputed verdict replaced the transient entry on disk.
+        # The recomputed verdict replaced the transient entry on disk
+        # (rewritten in the CRC-framed durable format).
         (line,) = ck.read_text().splitlines()
-        entry = json.loads(line)
+        entry = decode_durable_line(line)
         assert entry["key"] == request.key
         assert entry["report"]["failure"] is None
 
@@ -399,15 +401,14 @@ class TestCheckpointHygiene:
         run_batch([new], checkpoint=ck)  # resume=False: must truncate
         lines = ck.read_text().splitlines()
         assert len(lines) == 1
-        assert json.loads(lines[0])["key"] == new.key
+        assert decode_durable_line(lines[0])["key"] == new.key
 
     def test_resume_compacts_duplicate_keys_last_wins(self, tmp_path):
         request = AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
         ck = tmp_path / "ck.jsonl"
         run_batch([request], checkpoint=ck)
         (good_line,) = ck.read_text().splitlines()
-        good = json.loads(good_line)
-        stale = json.loads(good_line)
+        stale = decode_durable_line(good_line)
         stale["report"] = dict(stale["report"])
         stale["report"]["failure"] = {
             "stage": "min_speedup",
@@ -415,6 +416,7 @@ class TestCheckpointHygiene:
             "message": "older attempt",
         }
         # Older failed attempt first, then the success: last wins.
+        # (A bare legacy line: resume accepts both framings.)
         ck.write_text(json.dumps(stale) + "\n" + good_line + "\n")
 
         runner = BatchRunner(checkpoint=ck, resume=True)
@@ -423,7 +425,7 @@ class TestCheckpointHygiene:
         assert report.failure is None
         lines = ck.read_text().splitlines()
         assert len(lines) == 1  # compacted
-        assert json.loads(lines[0])["report"]["failure"] is None
+        assert decode_durable_line(lines[0])["report"]["failure"] is None
 
     def test_resume_then_continue_appends_after_compaction(self, tmp_path):
         requests = [
@@ -438,7 +440,7 @@ class TestCheckpointHygiene:
         assert runner.stats.computed == 2
         lines = ck.read_text().splitlines()
         assert len(lines) == 3
-        assert {json.loads(line)["key"] for line in lines} == {
+        assert {decode_durable_line(line)["key"] for line in lines} == {
             r.key for r in requests
         }
 

@@ -16,6 +16,8 @@ from repro.pipeline import (
     AnalysisRequest,
     BatchRunner,
     ResultCache,
+    decode_durable_line,
+    encode_durable_line,
     evaluate_request,
     request_fingerprint,
     run_batch,
@@ -167,13 +169,48 @@ class TestCheckpointResume:
         req = AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
         ck = tmp_path / "old.jsonl"
         BatchRunner(checkpoint=ck).run([req])
-        entry = json.loads(ck.read_text())
+        entry = decode_durable_line(ck.read_text())
         entry["checkpoint_version"] = 99
-        ck.write_text(json.dumps(entry) + "\n")
+        # Re-wrap with a valid CRC: the version check alone must reject it.
+        ck.write_text(encode_durable_line(entry) + "\n")
         runner = BatchRunner(checkpoint=ck, resume=True)
         runner.run([req])
         assert runner.stats.resumed == 0
         assert runner.stats.computed == 1
+
+    def test_legacy_uncrc_checkpoint_line_still_resumes(self, tmp_path):
+        req = AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
+        ck = tmp_path / "legacy.jsonl"
+        BatchRunner(checkpoint=ck).run([req])
+        # Strip the CRC wrapper, leaving a v1-era bare entry line.
+        entry = decode_durable_line(ck.read_text())
+        entry["checkpoint_version"] = 1
+        ck.write_text(json.dumps(entry) + "\n")
+        runner = BatchRunner(checkpoint=ck, resume=True)
+        runner.run([req])
+        assert runner.stats.resumed == 1
+        assert runner.stats.computed == 0
+
+    def test_corrupt_checkpoint_line_is_recomputed(self, tmp_path):
+        requests = [
+            AnalysisRequest(taskset=table1_taskset(), speedup=s)
+            for s in (1.5, 2.0, 3.0)
+        ]
+        ck = tmp_path / "flip.jsonl"
+        reference = BatchRunner(checkpoint=ck).run(requests)
+        lines = ck.read_text().splitlines()
+        # Flip one character inside the middle line's entry: the CRC
+        # must catch it and that item must be recomputed, not trusted.
+        bad = lines[1].replace('"lo_ok": true', '"lo_ok": fals', 1)
+        if bad == lines[1]:
+            bad = lines[1][:-20] + "X" + lines[1][-19:]
+        ck.write_text("\n".join([lines[0], bad, lines[2]]) + "\n")
+        runner = BatchRunner(checkpoint=ck, resume=True)
+        reports = runner.run(requests)
+        assert runner.stats.resumed == 2
+        assert runner.stats.computed == 1
+        assert runner.faults.checkpoint_corrupt_lines == 1
+        assert _dicts(reports) == _dicts(reference)
 
 
 class TestErrorCapture:
