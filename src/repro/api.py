@@ -11,6 +11,12 @@ behind a small, stable surface:
   (:class:`~repro.pipeline.runner.BatchRunner`).
 * :func:`load_taskset` / :func:`save_taskset` /
   :func:`save_report` / :func:`load_report` — versioned JSON I/O.
+* The service surface: :func:`serve` runs the analysis-as-a-service
+  HTTP front-end (``repro-mc serve``), :class:`AnalysisClient` is its
+  synchronous client (``submit``/``poll``/``result`` helpers plus
+  remote ``analyze``/``analyze_many``), and :class:`WorkQueueCore` /
+  :class:`JobHandle` expose the shared work-queue for in-process
+  submission with job-level dedup/coalescing.
 * Blessed re-exports of the individual analyses (:func:`min_speedup`,
   :func:`resetting_time`, :func:`system_schedulable`, ...) for callers
   that want one number instead of a full report.
@@ -62,6 +68,7 @@ from repro.io import (
 from repro.model.taskset import TaskSet
 from repro.obs import MetricsRegistry, ProgressLine, trace
 from repro.pipeline.cache import ResultCache, taskset_fingerprint
+from repro.pipeline.core import JobHandle, WorkQueueCore, job_fingerprint
 from repro.pipeline.fault_tolerance import BatchAborted, RetryPolicy
 from repro.pipeline.request import (
     AnalysisFailure,
@@ -70,9 +77,13 @@ from repro.pipeline.request import (
     evaluate_request,
 )
 from repro.pipeline.runner import BatchRunner, BatchStats, ProgressCallback
+from repro.service.client import AnalysisClient, ServiceError
+from repro.service.schema import WIRE_VERSION, WireError
+from repro.service.server import serve
 
 __all__ = [
     "AnalysisBudgetExceeded",
+    "AnalysisClient",
     "AnalysisFailure",
     "AnalysisReport",
     "AnalysisRequest",
@@ -81,13 +92,18 @@ __all__ = [
     "BatchRunner",
     "BatchStats",
     "ClosedFormBounds",
+    "JobHandle",
     "MetricsRegistry",
     "ProgressLine",
     "ResettingResult",
     "ResultCache",
     "RetryPolicy",
     "SchedulabilityReport",
+    "ServiceError",
     "SpeedupResult",
+    "WIRE_VERSION",
+    "WireError",
+    "WorkQueueCore",
     "analyze",
     "analyze_many",
     "closed_form_bounds",
@@ -96,6 +112,7 @@ __all__ = [
     "demand_curve",
     "evaluate_request",
     "hi_mode_schedulable",
+    "job_fingerprint",
     "load_report",
     "load_taskset",
     "lo_mode_schedulable",
@@ -108,6 +125,7 @@ __all__ = [
     "resetting_time",
     "save_report",
     "save_taskset",
+    "serve",
     "system_schedulable",
     "taskset_fingerprint",
     "taskset_from_json",

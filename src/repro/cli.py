@@ -10,6 +10,7 @@ Usage::
     repro-mc analyze --taskset my_tasks.json [--speedup 2] [--budget 5000]
     repro-mc batch --tasksets dir/ --jobs N [--resume ckpt.jsonl]
                    [--retries N] [--timeout SECS] [--quarantine out.jsonl]
+    repro-mc serve [--host H] [--port P] [--jobs N] [--cache DIR]
     repro-mc chaos [--quick] [--jobs N] [--families kill,poison,...]
     repro-mc lint [paths ...] [--format json] [--write-baseline]
 
@@ -28,7 +29,11 @@ resilience sweep and ``batch`` over worker processes; results are
 identical to ``--jobs 1``.  ``chaos`` runs the seeded fault-injection
 harness (:mod:`repro.pipeline.chaos`) and exits non-zero unless
 exactly-once accounting and byte-identical reports hold under every
-fault family.  ``lint`` runs the repro-lint static-analysis pack
+fault family.  ``serve`` starts the analysis-as-a-service HTTP front-end
+(:mod:`repro.service`) over the same work-queue core as ``batch`` —
+POST task sets to ``/analyze``, poll ``/jobs/{id}``, scrape
+``/metrics``; SIGTERM drains gracefully.  ``lint`` runs the repro-lint
+static-analysis pack
 (:mod:`repro.lint`) over the given paths (default ``src``) and exits
 non-zero on any non-baselined finding.
 """
@@ -203,6 +208,7 @@ def _run_batch(args, parser) -> int:
     tasksets = [api.load_taskset(f) for f in files]
 
     from repro.obs import MetricsRegistry, ProgressLine, trace
+    from repro.pipeline.core import WorkQueueCore
 
     checkpoint = args.resume if args.resume else args.checkpoint
     metrics = MetricsRegistry() if args.metrics else None
@@ -211,22 +217,31 @@ def _run_batch(args, parser) -> int:
         max_attempts=args.retries,
         timeout=args.timeout,
     )
-    runner = api.BatchRunner(
+    # The CLI is one client of the shared work-queue core (the HTTP
+    # service is the other); core.run executes in this thread so signal
+    # handlers install and BatchAborted propagates for the resume hint.
+    core = WorkQueueCore(
         jobs=args.jobs,
         cache=api.ResultCache(args.cache) if args.cache else None,
-        checkpoint=checkpoint,
-        resume=bool(args.resume),
-        progress=progress_line.update if progress_line is not None else None,
-        metrics=metrics,
         retry=retry,
         quarantine=args.quarantine,
+        metrics=metrics,
     )
+    requests = [
+        api.AnalysisRequest(
+            taskset=ts, speedup=args.speedup, reset_budget=args.budget
+        )
+        for ts in tasksets
+    ]
     if args.trace:
         trace.enable()
         trace.clear()
     try:
-        reports = api.analyze_many(
-            tasksets, speedup=args.speedup, budget=args.budget, runner=runner
+        reports = core.run(
+            requests,
+            checkpoint=checkpoint,
+            resume=bool(args.resume),
+            progress=progress_line.update if progress_line is not None else None,
         )
     except BatchAborted as aborted:
         import signal as signal_module
@@ -254,6 +269,7 @@ def _run_batch(args, parser) -> int:
             signum = 2
         return 128 + signum
     finally:
+        core.close()
         if progress_line is not None:
             progress_line.close()
         if args.trace:
@@ -288,19 +304,19 @@ def _run_batch(args, parser) -> int:
                 f"  {report.name}: {report.failure.error_type} "
                 f"in {report.failure.stage}: {report.failure.message}"
             )
-    stats = runner.stats
+    stats = core.stats
     out.append(
         f"{stats.total} analysed: {stats.computed} computed, "
         f"{stats.cache_hits} cache hits, {stats.resumed} resumed, "
         f"{stats.deduplicated} deduplicated, {stats.quarantined} quarantined, "
         f"{stats.failures} failures"
     )
-    if runner.faults.any_faults():
+    if core.faults.any_faults():
         out.append(
             "fault handling: "
             + ", ".join(
                 f"{key}={value}"
-                for key, value in sorted(runner.faults.to_dict().items())
+                for key, value in sorted(core.faults.to_dict().items())
                 if value
             )
         )
@@ -363,12 +379,13 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "validate", "resilience", "all", "analyze", "batch", "chaos",
-            "lint",
+            "validate", "resilience", "all", "analyze", "batch", "serve",
+            "chaos", "lint",
         ],
         help="which artefact to regenerate (or 'analyze' a task-set file, "
-        "'batch'-analyse a directory of them, run the 'chaos' "
-        "fault-injection harness, or 'lint' the source tree)",
+        "'batch'-analyse a directory of them, 'serve' the analysis over "
+        "HTTP, run the 'chaos' fault-injection harness, or 'lint' the "
+        "source tree)",
     )
     parser.add_argument(
         "paths",
@@ -451,6 +468,17 @@ def main(argv=None) -> int:
         "(with full attempt history) instead of aborting",
     )
     parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for 'serve' (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port for 'serve' (default 8787)",
+    )
+    parser.add_argument(
         "--families",
         metavar="NAME,NAME,...",
         help="subset of 'chaos' fault families to run (default: all)",
@@ -531,6 +559,18 @@ def main(argv=None) -> int:
         if args.timeout is not None and args.timeout <= 0:
             parser.error("--timeout must be positive")
         return _run_batch(args, parser)
+
+    if args.experiment == "serve":
+        from repro.service import serve
+
+        serve(
+            args.host,
+            args.port,
+            jobs=args.jobs,
+            cache=args.cache,
+            quarantine=args.quarantine,
+        )
+        return 0
 
     if args.experiment == "chaos":
         return _run_chaos(args)

@@ -1,7 +1,8 @@
 """RL001: architectural layering.
 
-Two load-bearing boundaries, both previously enforced piecemeal (an
-ad-hoc AST test in ``tests/test_obs.py`` plus two ruff TID251 tables):
+Three load-bearing boundaries, the first two previously enforced
+piecemeal (an ad-hoc AST test in ``tests/test_obs.py`` plus two ruff
+TID251 tables):
 
 * ``repro.obs`` **observes; it does not participate.**  Metrics and
   trace records must never feed back into the numbers they describe, so
@@ -11,6 +12,10 @@ ad-hoc AST test in ``tests/test_obs.py`` plus two ruff TID251 tables):
   facade.  Importing ``repro.analysis`` internals from a figure script
   couples every table to the analysis package layout and bypasses the
   pipeline's caching/fingerprint discipline.
+* ``repro.service`` serves analyses; it does not run experiments.  The
+  HTTP layer may import ``pipeline``/``obs``/``api`` (and the model/io
+  layers beneath them) but nothing from ``repro.experiments`` — figure
+  scripts are CLI artefacts, not serving dependencies.
 
 The rule resolves relative imports against the importing package, so
 ``from .. import analysis`` is caught just like the absolute spelling.
@@ -38,6 +43,12 @@ _BANS: List[Tuple[str, str, str]] = [
         "repro.analysis",
         "experiments import the repro.api facade, not repro.analysis "
         "internals",
+    ),
+    (
+        "repro.service",
+        "repro.experiments",
+        "repro.service serves analyses over pipeline/obs/api; figure "
+        "scripts in repro.experiments are not serving dependencies",
     ),
 ]
 
@@ -86,7 +97,8 @@ def _imported_modules(
 
 
 @register(CODE, "layering: obs imports nothing from repro; experiments "
-                "never import repro.analysis")
+                "never import repro.analysis; service never imports "
+                "repro.experiments")
 def check_layering(context: LintContext) -> Iterator[Finding]:
     for importer_prefix, banned_prefix, why in _BANS:
         if not _in_package(context.module, importer_prefix):

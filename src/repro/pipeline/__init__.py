@@ -14,6 +14,11 @@ into a population-scale engine:
   fan-out with chunking, per-item error capture, progress callbacks,
   durable JSONL checkpoint/resume, retry/watchdog/pool-rebuild fault
   handling and poison-item quarantine.
+* :mod:`repro.pipeline.core` — :class:`WorkQueueCore`: the long-lived
+  work-queue over the runner machinery that the CLI batch path and the
+  analysis service (:mod:`repro.service`) share — submission queue,
+  persistent supervised pool, job-level dedup/coalescing and a global
+  exactly-once stats tally.
 * :mod:`repro.pipeline.fault_tolerance` — the fault-handling
   primitives: :class:`RetryPolicy`, CRC-wrapped durable lines, the
   injectable :class:`CheckpointIO` seam, :class:`Quarantine`,
@@ -28,6 +33,11 @@ Most callers want :func:`repro.api.analyze` /
 :func:`repro.api.analyze_many` rather than this package directly.
 """
 
+from repro.pipeline.core import (
+    JobHandle,
+    WorkQueueCore,
+    job_fingerprint,
+)
 from repro.pipeline.cache import (
     ResultCache,
     canonical_taskset_payload,
@@ -54,6 +64,7 @@ from repro.pipeline.request import (
 from repro.pipeline.runner import (
     BatchRunner,
     BatchStats,
+    PersistentPool,
     evaluate_captured,
     run_batch,
 )
@@ -68,14 +79,18 @@ __all__ = [
     "CheckpointIO",
     "FaultStats",
     "InjectionSpec",
+    "JobHandle",
+    "PersistentPool",
     "Quarantine",
     "ResultCache",
     "RetryPolicy",
+    "WorkQueueCore",
     "canonical_taskset_payload",
     "decode_durable_line",
     "encode_durable_line",
     "evaluate_captured",
     "evaluate_request",
+    "job_fingerprint",
     "load_quarantine",
     "request_fingerprint",
     "run_batch",

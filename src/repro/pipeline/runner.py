@@ -181,6 +181,95 @@ def _is_infrastructure_failure(payload: ReportPayload) -> bool:
 _ChunkItem = Tuple[int, str, AnalysisRequest]
 
 
+def _kill_executor(executor: ProcessPoolExecutor) -> None:
+    """Terminate a pool *now*, including hung workers.
+
+    ``shutdown`` alone would join workers, which never returns while
+    one is stuck in an injected (or real) infinite stall — so the
+    worker processes are killed first.  ``_processes`` is internal
+    to ``ProcessPoolExecutor`` but has been stable across supported
+    versions; when absent the shutdown below still detaches us.
+    """
+    processes = getattr(executor, "_processes", None)
+    if processes:
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):
+                pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except (OSError, RuntimeError):
+        pass
+
+
+class PersistentPool:
+    """A supervised worker pool that outlives a single ``run()`` call.
+
+    :class:`BatchRunner` builds and tears down a fresh
+    ``ProcessPoolExecutor`` per parallel run, which is right for a
+    one-shot CLI sweep but makes a long-lived work-queue core (the
+    analysis service) pay the full fork/spawn cost on every submission.
+    A ``PersistentPool`` owns the executor *across* runs:
+
+    * :meth:`acquire` lazily creates the pool (and recreates it after a
+      :meth:`discard`);
+    * :meth:`discard` kills a broken or hung pool — the supervised-run
+      machinery calls it exactly where it used to kill its own pool, so
+      fault recovery (rebuild, requeue, quarantine) is unchanged;
+    * :meth:`close` shuts the pool down for good.
+
+    The pool itself is not thread-safe; the work-queue core serialises
+    runs over it (one executing submission at a time — parallelism comes
+    from the worker processes, not from concurrent runs).
+    """
+
+    def __init__(
+        self, jobs: int, injection: Optional[InjectionSpec] = None
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.injection = injection
+        self.created = 0  #: executors built over the lifetime
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def acquire(self) -> ProcessPoolExecutor:
+        """The live executor, building one if necessary."""
+        if self._executor is None:
+            if self.injection is not None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=chaos_pool_initializer,
+                    initargs=(self.injection,),
+                )
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            self.created += 1
+        return self._executor
+
+    def discard(self, executor: ProcessPoolExecutor) -> None:
+        """Kill a broken executor and forget it (next acquire rebuilds)."""
+        _kill_executor(executor)
+        if executor is self._executor:
+            self._executor = None
+
+    def alive(self) -> bool:
+        """False only when the held executor is marked broken.
+
+        A pool that has not been built yet is healthy by definition —
+        the next :meth:`acquire` will create it.
+        """
+        executor = self._executor
+        return executor is None or not bool(getattr(executor, "_broken", False))
+
+    def close(self) -> None:
+        """Shut the executor down and release its workers."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
 def _worker_chunk(
     chunk: Sequence[_ChunkItem],
     trace_enabled: bool = False,
@@ -231,6 +320,11 @@ class BatchStats:
     ``computed + cache_hits + resumed + deduplicated + quarantined ==
     total`` — the exactly-once accounting invariant the chaos harness
     asserts under every injected fault family.
+
+    Instances merge with ``+``: a work-queue core serving many
+    submissions aggregates per-job stats into a global tally, and the
+    invariant is preserved by the merge (each term is additive and every
+    item is settled by exactly one job).
     """
 
     total: int = 0
@@ -240,6 +334,28 @@ class BatchStats:
     deduplicated: int = 0
     quarantined: int = 0
     failures: int = 0
+
+    def __add__(self, other: "BatchStats") -> "BatchStats":
+        """Field-wise merge of two per-run tallies.
+
+        Because every settled item is counted by exactly one run (the
+        core never executes the same submission twice — duplicates
+        coalesce onto one job), the merged stats satisfy the same
+        exactly-once invariant the per-run stats do.
+        """
+        return BatchStats(
+            total=self.total + other.total,
+            computed=self.computed + other.computed,
+            cache_hits=self.cache_hits + other.cache_hits,
+            resumed=self.resumed + other.resumed,
+            deduplicated=self.deduplicated + other.deduplicated,
+            quarantined=self.quarantined + other.quarantined,
+            failures=self.failures + other.failures,
+        )
+
+    def reconciles(self) -> bool:
+        """True when the exactly-once accounting invariant holds."""
+        return self.settled() == self.total
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -346,6 +462,13 @@ class BatchRunner:
         quarantine); the chaos harness substitutes a failing one.
     injection:
         Deterministic worker-fault injection spec (chaos/testing only).
+    pool:
+        Optional :class:`PersistentPool` shared across runs.  Without
+        one (the CLI default) the runner builds a private executor per
+        parallel run and shuts it down afterwards — byte-identical
+        behaviour to the pre-core pipeline.  With one (the work-queue
+        core) executors survive between runs and broken pools are
+        discarded back to the shared supervisor.
     install_signal_handlers:
         Trap SIGINT/SIGTERM during :meth:`run` for graceful drain
         (main thread only).  The first signal stops scheduling, flushes
@@ -364,6 +487,7 @@ class BatchRunner:
     quarantine: Optional[PathLike] = None
     io: CheckpointIO = field(default_factory=CheckpointIO)
     injection: Optional[InjectionSpec] = None
+    pool: Optional[PersistentPool] = None
     install_signal_handlers: bool = True
     stats: BatchStats = field(default_factory=BatchStats)
     faults: FaultStats = field(default_factory=FaultStats)
@@ -679,27 +803,23 @@ class BatchRunner:
             )
         return ProcessPoolExecutor(max_workers=self.jobs)
 
+    def _acquire_executor(self) -> ProcessPoolExecutor:
+        """A ready executor: the shared persistent pool's, or a private one."""
+        if self.pool is not None:
+            return self.pool.acquire()
+        return self._new_executor()
+
+    def _discard_executor(self, executor: ProcessPoolExecutor) -> None:
+        """Kill an executor after a break (via the shared pool when present)."""
+        if self.pool is not None:
+            self.pool.discard(executor)
+        else:
+            self._kill_pool(executor)
+
     @staticmethod
     def _kill_pool(executor: ProcessPoolExecutor) -> None:
-        """Terminate a pool *now*, including hung workers.
-
-        ``shutdown`` alone would join workers, which never returns while
-        one is stuck in an injected (or real) infinite stall — so the
-        worker processes are killed first.  ``_processes`` is internal
-        to ``ProcessPoolExecutor`` but has been stable across supported
-        versions; when absent the shutdown below still detaches us.
-        """
-        processes = getattr(executor, "_processes", None)
-        if processes:
-            for process in list(processes.values()):
-                try:
-                    process.kill()
-                except (OSError, AttributeError):
-                    pass
-        try:
-            executor.shutdown(wait=False, cancel_futures=True)
-        except (OSError, RuntimeError):
-            pass
+        """Terminate a pool *now*, including hung workers."""
+        _kill_executor(executor)
 
     def _chunk_deadline(self, chunk: List[_Tracked], now: float) -> Optional[float]:
         """Watchdog deadline for a chunk, or None when any item opts out."""
@@ -760,7 +880,7 @@ class BatchRunner:
             self.faults.pool_rebuilds += 1
             consecutive_rebuilds += 1
             if executor is not None:
-                self._kill_pool(executor)
+                self._discard_executor(executor)
                 executor = None
             collateral = [flight for flight in in_flight.values()]
             in_flight.clear()
@@ -783,7 +903,7 @@ class BatchRunner:
             """Submit one chunk; False when the pool broke at submit time."""
             nonlocal executor
             if executor is None:
-                executor = self._new_executor()
+                executor = self._acquire_executor()
             payload: List[_ChunkItem] = [
                 (slot, item.key, item.request) for slot, item in enumerate(chunk)
             ]
@@ -827,7 +947,7 @@ class BatchRunner:
         while ready or delayed or solitary or in_flight:
             if shutdown.requested:
                 if executor is not None:
-                    self._kill_pool(executor)
+                    self._discard_executor(executor)
                     executor = None
                 commit()
                 raise make_abort()
@@ -931,7 +1051,9 @@ class BatchRunner:
                         requeue(item, item.policy.delay(item.key, item.counted))
                 break_pool(culprit_known=True)
 
-        if executor is not None:
+        if executor is not None and self.pool is None:
+            # A private executor dies with the run; a shared persistent
+            # pool stays warm for the core's next submission.
             executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------

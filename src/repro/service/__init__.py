@@ -1,0 +1,45 @@
+"""Analysis-as-a-service: the HTTP front-end over the work-queue core.
+
+* :mod:`repro.service.schema` — the versioned wire protocol
+  (``WIRE_VERSION``), request validation (:class:`WireError` → 400) and
+  response payload shapes, reusing the pipeline's own report TypedDicts.
+* :mod:`repro.service.server` — :class:`AnalysisService`, a stdlib
+  asyncio HTTP/JSON server routing ``/analyze``, ``/jobs/{id}`` (+SSE),
+  ``/metrics`` and ``/healthz``/``/readyz`` onto a shared
+  :class:`~repro.pipeline.core.WorkQueueCore`; :func:`serve` is the
+  blocking entry point behind ``repro-mc serve``.
+* :mod:`repro.service.client` — :class:`AnalysisClient`, the sync HTTP
+  wrapper mirroring :func:`repro.api.analyze` / ``analyze_many`` plus
+  ``submit``/``poll``/``result`` for asynchronous jobs.
+
+Layering: this package may import ``pipeline``/``obs``/``io``/``model``
+but nothing from ``experiments`` (enforced by RL001).
+"""
+
+from repro.service.client import AnalysisClient, ServiceError
+from repro.service.schema import (
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+    ErrorPayload,
+    JobPayload,
+    WireError,
+    error_payload,
+    job_payload,
+    parse_analyze_payload,
+)
+from repro.service.server import AnalysisService, serve
+
+__all__ = [
+    "AnalysisClient",
+    "AnalysisService",
+    "ErrorPayload",
+    "JobPayload",
+    "SUPPORTED_WIRE_VERSIONS",
+    "ServiceError",
+    "WIRE_VERSION",
+    "WireError",
+    "error_payload",
+    "job_payload",
+    "parse_analyze_payload",
+    "serve",
+]

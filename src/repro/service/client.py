@@ -1,0 +1,233 @@
+"""Synchronous HTTP client for the analysis service.
+
+:class:`AnalysisClient` wraps the wire protocol of
+:mod:`repro.service.schema` behind the same call shapes as the local
+:func:`repro.api.analyze` / :func:`repro.api.analyze_many` — submit a
+:class:`~repro.model.taskset.TaskSet`, get an
+:class:`~repro.pipeline.request.AnalysisReport` back — plus the
+``submit``/``poll``/``result`` trio for asynchronous jobs.  Stdlib
+``http.client`` only; one fresh connection per call (the server answers
+``Connection: close``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.io import taskset_to_json
+from repro.model.taskset import TaskSet
+from repro.pipeline.request import AnalysisReport
+from repro.service.schema import WIRE_VERSION
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response (or an invalid one).
+
+    Attributes
+    ----------
+    status:
+        HTTP status code of the response (0 for transport errors).
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class AnalysisClient:
+    """Talk to a running analysis service over HTTP.
+
+    Parameters
+    ----------
+    host, port:
+        Where the service listens (see :func:`repro.api.serve`).
+    timeout:
+        Per-call socket timeout in seconds.
+
+    >>> client = AnalysisClient(port=8787)            # doctest: +SKIP
+    >>> report = client.analyze(ts, speedup=2.0)      # doctest: +SKIP
+    >>> job_id = client.submit([ts_a, ts_b])          # doctest: +SKIP
+    >>> client.result(job_id)[0].s_min                # doctest: +SKIP
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """One HTTP round trip; raises :class:`ServiceError` on non-2xx."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                document = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as error:
+                raise ServiceError(
+                    f"invalid JSON from service: {error}", status=response.status
+                ) from None
+            if response.status >= 400:
+                detail = document.get("error", raw.decode("utf-8", "replace"))
+                raise ServiceError(
+                    f"{method} {path} -> {response.status}: {detail}",
+                    status=response.status,
+                )
+            return document
+        except (ConnectionError, TimeoutError, http.client.HTTPException) as error:
+            raise ServiceError(f"{method} {path} failed: {error}") from error
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _analyze_payload(
+        tasksets: Sequence[TaskSet], wait: bool, options: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        return {
+            "wire_version": WIRE_VERSION,
+            "tasksets": [json.loads(taskset_to_json(ts)) for ts in tasksets],
+            "options": options,
+            "wait": wait,
+        }
+
+    @staticmethod
+    def _options(
+        speedup: Optional[float], budget: Optional[float], options: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        merged = dict(options)
+        if speedup is not None:
+            merged["speedup"] = speedup
+        if budget is not None:
+            merged["reset_budget"] = budget
+        return merged
+
+    # ------------------------------------------------------------------
+    # Asynchronous jobs: submit / poll / result
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tasksets: Sequence[TaskSet],
+        *,
+        speedup: Optional[float] = None,
+        budget: Optional[float] = None,
+        **options: Any,
+    ) -> str:
+        """Submit a batch without waiting; returns the job id.
+
+        Identical submissions (same task sets, same options, same order)
+        return the same job id and execute at most once — the service
+        coalesces duplicates onto the in-flight or cached job.
+        """
+        payload = self._analyze_payload(
+            tasksets, False, self._options(speedup, budget, options)
+        )
+        return str(self._call("POST", "/analyze", payload)["job_id"])
+
+    def poll(self, job_id: str) -> Dict[str, Any]:
+        """Current job payload: status, done/total progress, stats, error."""
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def result(
+        self, job_id: str, *, timeout: float = 300.0, interval: float = 0.05
+    ) -> List[AnalysisReport]:
+        """Poll until the job settles; return its reports in order.
+
+        Raises :class:`ServiceError` when the job failed server-side or
+        ``timeout`` seconds elapse first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.poll(job_id)
+            if payload["status"] == "done":
+                results = payload["results"]
+                return [AnalysisReport.from_dict(entry) for entry in results]
+            if payload["status"] == "error":
+                raise ServiceError(f"job {job_id} failed: {payload['error']}")
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {payload['status']} after {timeout}s"
+                )
+            time.sleep(interval)
+
+    # ------------------------------------------------------------------
+    # Synchronous conveniences
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        taskset: TaskSet,
+        *,
+        speedup: Optional[float] = None,
+        budget: Optional[float] = None,
+        **options: Any,
+    ) -> AnalysisReport:
+        """Remote :func:`repro.api.analyze`: one task set, one report.
+
+        Blocks (server-side ``"wait": true``) until the analysis
+        settles.
+        """
+        return self.analyze_many(
+            [taskset], speedup=speedup, budget=budget, **options
+        )[0]
+
+    def analyze_many(
+        self,
+        tasksets: Sequence[TaskSet],
+        *,
+        speedup: Optional[float] = None,
+        budget: Optional[float] = None,
+        **options: Any,
+    ) -> List[AnalysisReport]:
+        """Remote :func:`repro.api.analyze_many`: a batch, blocking."""
+        payload = self._analyze_payload(
+            list(tasksets), True, self._options(speedup, budget, options)
+        )
+        document = self._call("POST", "/analyze", payload)
+        if document.get("results") is None:
+            raise ServiceError(
+                f"job {document.get('job_id')} settled without results: "
+                f"{document.get('error')}"
+            )
+        return [
+            AnalysisReport.from_dict(entry) for entry in document["results"]
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """The live metrics snapshot (``/metrics``)."""
+        return self._call("GET", "/metrics")
+
+    def healthy(self) -> bool:
+        """True when ``/healthz`` answers 200."""
+        try:
+            self._call("GET", "/healthz")
+            return True
+        except ServiceError:
+            return False
+
+    def ready(self) -> bool:
+        """True when ``/readyz`` answers 200 (accepting work, pool alive)."""
+        try:
+            self._call("GET", "/readyz")
+            return True
+        except ServiceError:
+            return False

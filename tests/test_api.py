@@ -184,3 +184,36 @@ class TestDemandCurve:
     def test_rejects_unknown_kind(self):
         with pytest.raises(ValueError, match="kind"):
             api.demand_curve(table1_taskset(), [1.0], kind="dbf_mid")
+
+
+class TestServiceSurface:
+    """The service exports ride on the facade (satellite of the
+    analysis-as-a-service PR); RL005 enforces docstrings/annotations,
+    this pins identity and availability."""
+
+    def test_service_exports_present(self):
+        for name in ("serve", "AnalysisClient", "ServiceError",
+                     "WorkQueueCore", "JobHandle", "job_fingerprint",
+                     "WireError", "WIRE_VERSION"):
+            assert name in api.__all__
+            assert hasattr(api, name)
+
+    def test_reexports_are_the_service_objects(self):
+        from repro.service.client import AnalysisClient, ServiceError
+        from repro.service.server import serve
+
+        assert api.serve is serve
+        assert api.AnalysisClient is AnalysisClient
+        assert api.ServiceError is ServiceError
+
+    def test_work_queue_core_usable_from_facade(self):
+        request = api.AnalysisRequest(taskset=table1_taskset(), speedup=2.0)
+        core = api.WorkQueueCore(jobs=1)
+        try:
+            reports = core.run([request])
+            assert reports[0].to_dict() == api.analyze(
+                table1_taskset(), speedup=2.0
+            ).to_dict()
+            assert core.stats.reconciles()
+        finally:
+            core.close()

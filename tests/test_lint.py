@@ -145,6 +145,31 @@ class TestRL001Layering:
         })
         assert run(tmp_path, rules=["RL001"]) == []
 
+    def test_service_importing_experiments_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/service/bad.py": """\
+                from repro.experiments import fig6
+            """,
+        })
+        findings = run(tmp_path, rules=["RL001"])
+        assert len(findings) == 1
+        assert "repro.service.bad imports repro.experiments" in findings[0].message
+        assert "not serving dependencies" in findings[0].message
+
+    def test_service_importing_pipeline_obs_api_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/service/good.py": """\
+                from repro.api import analyze
+                from repro.obs.metrics import MetricsRegistry
+                from repro.pipeline.core import WorkQueueCore
+            """,
+        })
+        assert run(tmp_path, rules=["RL001"]) == []
+
+    def test_real_service_package_clean(self):
+        service_dir = REPO_ROOT / "src" / "repro" / "service"
+        assert run(service_dir, rules=["RL001"]) == []
+
     def test_matches_legacy_obs_ast_test(self):
         # The migrated enforcement: the real obs package must be clean
         # (this is the check tests/test_obs.py used to hand-roll).

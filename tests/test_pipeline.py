@@ -322,3 +322,145 @@ class TestReportShape:
         lo = MCTask(name="t", crit=Criticality.LO, c_lo=1.0, c_hi=1.0,
                     d_lo=10.0, d_hi=10.0, t_lo=10.0, t_hi=10.0)
         assert taskset_fingerprint(TaskSet([hi])) != taskset_fingerprint(TaskSet([lo]))
+
+
+# ---------------------------------------------------------------------------
+# Work-queue core: the refactor seam shared by the CLI and the service
+# ---------------------------------------------------------------------------
+
+
+class TestBatchStatsMerge:
+    def test_add_is_fieldwise(self):
+        from repro.pipeline.runner import BatchStats
+
+        a = BatchStats(total=5, computed=3, cache_hits=1, resumed=0,
+                       deduplicated=1, quarantined=0, failures=2)
+        b = BatchStats(total=4, computed=2, cache_hits=1, resumed=1,
+                       deduplicated=0, quarantined=0, failures=0)
+        merged = a + b
+        assert merged.to_dict() == {
+            "total": 9, "computed": 5, "cache_hits": 2, "resumed": 1,
+            "deduplicated": 1, "quarantined": 0, "failures": 2,
+        }
+
+    def test_add_identity_and_invariant_preserving(self):
+        from repro.pipeline.runner import BatchStats
+
+        zero = BatchStats()
+        a = BatchStats(total=3, computed=2, cache_hits=1)
+        assert (a + zero).to_dict() == a.to_dict()
+        assert a.reconciles()
+        assert (a + a).reconciles()
+
+
+class TestWorkQueueCore:
+    def test_run_byte_identical_to_batch_runner(self, population_requests):
+        """The non-regression proof of the runner refactor: the shared
+        core produces byte-identical reports to a direct BatchRunner on
+        the seeded 200-set population."""
+        from repro.pipeline import WorkQueueCore
+
+        direct = BatchRunner(jobs=1).run(population_requests)
+        core = WorkQueueCore(jobs=1)
+        try:
+            via_core = core.run(population_requests)
+        finally:
+            core.close()
+        assert json.dumps(_dicts(via_core), sort_keys=True) == json.dumps(
+            _dicts(direct), sort_keys=True
+        )
+
+    def test_submit_settles_with_per_job_invariant(self, population_requests):
+        from repro.pipeline import WorkQueueCore
+
+        core = WorkQueueCore(jobs=1)
+        try:
+            handle, coalesced = core.submit(population_requests[:10])
+            assert coalesced is False
+            assert handle.wait(120)
+            assert handle.state == "done"
+            assert len(handle.result()) == 10
+            assert handle.stats.reconciles()
+            assert core.stats.reconciles()
+        finally:
+            core.close()
+
+    def test_duplicate_job_coalesces_completed(self, population_requests):
+        from repro.pipeline import WorkQueueCore
+
+        core = WorkQueueCore(jobs=1)
+        try:
+            first, _ = core.submit(population_requests[:5])
+            assert first.wait(120)
+            executed = core.jobs_executed
+            again, coalesced = core.submit(population_requests[:5])
+            assert coalesced is True
+            assert again is first
+            assert core.jobs_executed == executed
+            assert core.jobs_coalesced == 1
+        finally:
+            core.close()
+
+    def test_concurrent_submitters_exactly_once(self, population_requests):
+        """Many threads submitting overlapping jobs: every handle
+        reconciles and the global tally is the exact sum of executed
+        jobs -- no double counting across submitters."""
+        import threading
+
+        from repro.pipeline import ResultCache as Cache, WorkQueueCore
+
+        core = WorkQueueCore(jobs=1, cache=Cache())
+        handles = []
+        handles_lock = threading.Lock()
+
+        def submitter(lo, hi):
+            handle, _ = core.submit(population_requests[lo:hi])
+            with handles_lock:
+                handles.append(handle)
+
+        threads = [
+            threading.Thread(target=submitter, args=(lo, hi))
+            for lo, hi in [(0, 6), (0, 6), (3, 9), (3, 9), (6, 12), (0, 6)]
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            for handle in handles:
+                assert handle.wait(120)
+                assert handle.state == "done"
+                assert handle.stats.reconciles()
+            # Globally: every executed job's total is charged once.
+            assert core.stats.reconciles()
+            distinct = {h.job_id for h in handles}
+            assert core.jobs_executed == len(distinct)
+            assert core.jobs_coalesced == len(handles) - len(distinct)
+            assert core.stats.total == sum(
+                h.total for h in {h.job_id: h for h in handles}.values()
+            )
+            # Overlapping keys settle from the shared cache, not twice.
+            assert core.stats.computed == 12
+        finally:
+            core.close()
+
+    def test_error_job_not_pinned_in_registry(self, population_requests):
+        """A job that dies to infrastructure is not kept for dedup: a
+        resubmission must retry it, not coalesce onto the stale error."""
+        from repro.pipeline import WorkQueueCore, job_fingerprint
+
+        core = WorkQueueCore(jobs=1)
+        try:
+            def boom(done: int, total: int) -> None:
+                raise RuntimeError("progress exploded")
+
+            with pytest.raises(RuntimeError, match="progress exploded"):
+                core.run(population_requests[:2], progress=boom)
+            job_id = job_fingerprint(population_requests[:2])
+            assert core.get_job(job_id) is None  # evicted, not registered
+            handle, coalesced = core.submit(population_requests[:2])
+            assert coalesced is False  # re-executes instead of coalescing
+            assert handle.wait(120)
+            assert handle.state == "done"
+        finally:
+            core.close()
