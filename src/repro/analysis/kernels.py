@@ -62,7 +62,7 @@ import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union, cast
 
 import numpy as np
 
@@ -92,6 +92,23 @@ ArrayLike = Union[float, np.ndarray]
 #: this differs from the scalar ``dbf._total`` chunking without breaking
 #: bit-exactness.
 _CHUNK_CELLS = 16_384
+# Fused breakpoint generation handles items up to this many lattice
+# points; denser windows delegate to the per-set generator (identical
+# output, no owner-tagged temporaries).
+_FUSE_POINTS = 4_096
+
+# A fused-evaluation chunk window spanning at most this many constant-
+# column runs iterates them as (bucket, 1) broadcast views; beyond it
+# (many tiny items per window) the window's parameter columns are
+# gathered once and evaluated in a single fused call.
+_GATHER_RUNS = 4
+
+#: Population bucket sizing: sets with at most this many tasks get an
+#: exact-height bucket (zero padding rows — small sets are where padding
+#: is proportionally worst and where the figs 6-7 sweeps live), larger
+#: sets fall back to power-of-two heights so a ragged population of
+#: many distinct large sizes cannot explode the bucket count.
+_EXACT_BUCKET_MAX = 16
 
 #: Stripe width of the pruned window-peak evaluation: demand is evaluated
 #: at every ``_STRIPE``-th breakpoint first, and the stripes in between
@@ -133,6 +150,11 @@ class KernelCounters:
         ``CompiledTaskSet`` builds (cache misses + derivations).
     memo_hits / memo_misses:
         :class:`AnalysisMemo` lookups on the compiled scan path.
+    population_batches / population_sets:
+        population-mode front-end batches (``repro.analysis.population``
+        entry points and pipeline grouped chunks) and the total member
+        sets they covered (``population_sets / population_batches`` is
+        the mean sets-per-batch of the population fast path).
     """
 
     kernel_evals: int = 0
@@ -143,6 +165,8 @@ class KernelCounters:
     compiles: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    population_batches: int = 0
+    population_sets: int = 0
 
     def snapshot(self) -> Dict[str, Any]:
         """The counters as a plain dict (JSON-ready)."""
@@ -155,6 +179,8 @@ class KernelCounters:
             "compiles": self.compiles,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "population_batches": self.population_batches,
+            "population_sets": self.population_sets,
         }
 
     def reset(self) -> None:
@@ -166,6 +192,8 @@ class KernelCounters:
         self.compiles = 0
         self.memo_hits = 0
         self.memo_misses = 0
+        self.population_batches = 0
+        self.population_sets = 0
 
     def delta_since(self, before: Dict[str, Any]) -> Dict[str, Any]:
         """Difference between the current totals and a prior snapshot."""
@@ -215,19 +243,9 @@ class CompiledTaskSet:
         "_c_lo_col",
         "_d_lo_col",
         "_t_lo_col",
-        # active-row (non-terminated) columns for the HI-mode kernels, plus
-        # the index maps back into full task order
-        "_act_idx",
-        "_term_idx",
-        "_a_c_lo_col",
-        "_a_c_hi_col",
-        "_a_chd_col",
-        "_a_t_hi_col",
-        "_a_t_hi_mult_col",
-        "_a_gap_col",
-        "_a_gap_star_col",
-        "_a_one_plus_col",
-        "_term_c_hi_col",
+        # active-row (non-terminated) columns for the HI-mode kernels,
+        # built lazily on first HI demand evaluation
+        "_hi_cols",
         # scalars mirroring the python-sum order of dbf.py / points.py
         "rate",
         "dbf_excess",
@@ -265,6 +283,8 @@ class CompiledTaskSet:
         *,
         taskset: Optional[TaskSet] = None,
         fingerprint: Optional[str] = None,
+        hi_inf: Optional[np.ndarray] = None,
+        terminated: Optional[np.ndarray] = None,
     ) -> "CompiledTaskSet":
         self = object.__new__(cls)
         self.taskset = taskset
@@ -277,37 +297,23 @@ class CompiledTaskSet:
         self.t_lo = t_lo
         self.t_hi = t_hi
         self.is_hi = is_hi
-        hi_inf = np.isinf(t_hi)
+        if hi_inf is None:
+            hi_inf = np.isinf(t_hi)
         self.hi_inf = hi_inf
-        # Eq. (3): a LO task is terminated when both HI-mode parameters
-        # are infinite (MCTask guarantees d_hi finite for HI tasks).
-        self.terminated = (~is_hi) & hi_inf & np.isinf(d_hi)
+        if terminated is None:
+            # Eq. (3): a LO task is terminated when both HI-mode parameters
+            # are infinite (MCTask guarantees d_hi finite for HI tasks).
+            terminated = (~is_hi) & hi_inf & np.isinf(d_hi)
+        self.terminated = terminated
 
         col = lambda a: a.reshape(-1, 1)  # noqa: E731 - tiny local alias
         self._c_lo_col = col(c_lo)
         self._d_lo_col = col(d_lo)
         self._t_lo_col = col(t_lo)
-        # The HI-mode kernels only do arithmetic on the *active*
-        # (non-terminated) rows.  A terminated task's DBF_HI row is exactly
-        # +0.0 and its ADB_HI row is exactly C(HI) (a constant), so the
-        # expensive formula rows are restricted to the active subset and
-        # the rest is either skipped (+0.0 never changes a non-negative
-        # running sum bitwise) or filled in by assignment.
-        act_idx = np.flatnonzero(~self.terminated)
-        term_idx = np.flatnonzero(self.terminated)
-        self._act_idx = act_idx
-        self._term_idx = term_idx
-        sub = lambda a: a[act_idx].reshape(-1, 1)  # noqa: E731
-        finite_period = np.where(hi_inf, 0.0, t_hi)
-        self._a_c_lo_col = sub(c_lo)
-        self._a_c_hi_col = sub(c_hi)
-        self._a_chd_col = sub(c_hi - c_lo)
-        self._a_t_hi_col = sub(t_hi)
-        self._a_t_hi_mult_col = sub(finite_period)
-        self._a_gap_col = sub(d_hi - d_lo)
-        self._a_gap_star_col = sub(t_hi - d_lo)
-        self._a_one_plus_col = sub(1.0 + finite_period)
-        self._term_c_hi_col = c_hi[term_idx].reshape(-1, 1)
+        # The HI-mode active-subset columns are deferred to first use —
+        # LO-only probes (one derived compile per exact-x bisection step)
+        # never touch the HI kernels.
+        self._hi_cols = None
 
         self._compile_scalars()
         # Breakpoint tables are built lazily per kind (dbf/adb/lo): a
@@ -387,6 +393,38 @@ class CompiledTaskSet:
         self.lo_density = lo_density
         finite = [p for p in t_hi if not math.isinf(p)]
         self._max_finite_period = max(finite) if finite else 0.0
+
+    def _hi_active_cols(self) -> Dict[str, np.ndarray]:
+        """Active-row (non-terminated) HI-kernel columns, built lazily.
+
+        The HI-mode kernels only do arithmetic on the *active*
+        (non-terminated) rows.  A terminated task's DBF_HI row is exactly
+        +0.0 and its ADB_HI row is exactly C(HI) (a constant), so the
+        expensive formula rows are restricted to the active subset and
+        the rest is either skipped (+0.0 never changes a non-negative
+        running sum bitwise) or filled in by assignment.
+        """
+        cols = self._hi_cols
+        if cols is None:
+            act_idx = np.flatnonzero(~self.terminated)
+            term_idx = np.flatnonzero(self.terminated)
+            sub = lambda a: a[act_idx].reshape(-1, 1)  # noqa: E731
+            finite_period = np.where(self.hi_inf, 0.0, self.t_hi)
+            cols = {
+                "act_idx": act_idx,
+                "term_idx": term_idx,
+                "c_lo": sub(self.c_lo),
+                "c_hi": sub(self.c_hi),
+                "chd": sub(self.c_hi - self.c_lo),
+                "t_hi": sub(self.t_hi),
+                "t_hi_mult": sub(finite_period),
+                "gap": sub(self.d_hi - self.d_lo),
+                "gap_star": sub(self.t_hi - self.d_lo),
+                "one_plus": sub(1.0 + finite_period),
+                "term_c_hi": self.c_hi[term_idx].reshape(-1, 1),
+            }
+            self._hi_cols = cols
+        return cols
 
     def _ensure_breakpoint_table(self, kind: str) -> None:
         """Flatten each task's in-period offsets into the ``kind`` lattice.
@@ -551,8 +589,8 @@ class CompiledTaskSet:
         slack += q
         return np.floor(slack, out=slack)
 
+    @staticmethod
     def _carry_rows(
-        self,
         block: np.ndarray,
         window: np.ndarray,
         one_plus_col: np.ndarray,
@@ -592,18 +630,19 @@ class CompiledTaskSet:
         bitwise no-op, so skipping those rows keeps the reduction
         bit-identical to the scalar oracle's task-order accumulation.
         """
+        hc = self._hi_active_cols()
 
         def rows(block: np.ndarray) -> np.ndarray:
-            k = self._floor_div_rows(block, self._a_t_hi_col)
+            k = self._floor_div_rows(block, hc["t_hi"])
             # extended mod: Delta - floor(Delta/T)*T; the multiply uses the
             # zeroed-period column so k*T is 0 (not nan) for T = +inf rows,
             # matching the scalar `a mod inf = a` branch.
-            window = block - k * self._a_t_hi_mult_col
-            window -= self._a_gap_col
+            window = block - k * hc["t_hi_mult"]
+            window -= hc["gap"]
             carry = self._carry_rows(
-                block, window, self._a_one_plus_col, self._a_c_lo_col, self._a_chd_col
+                block, window, hc["one_plus"], hc["c_lo"], hc["chd"]
             )
-            k *= self._a_c_hi_col  # k becomes the body term
+            k *= hc["c_hi"]  # k becomes the body term
             k += carry
             return k
 
@@ -620,23 +659,26 @@ class CompiledTaskSet:
         bit.  With ``drop_terminated_carryover`` the terminated rows are
         exactly +0.0 and are skipped outright.
         """
-        fill_terminated = not drop_terminated_carryover and self._term_idx.size > 0
+        hc = self._hi_active_cols()
+        fill_terminated = (
+            not drop_terminated_carryover and hc["term_idx"].size > 0
+        )
 
         def rows(block: np.ndarray) -> np.ndarray:
-            k = self._floor_div_rows(block, self._a_t_hi_col)
-            window = block - k * self._a_t_hi_mult_col
-            window -= self._a_gap_star_col
+            k = self._floor_div_rows(block, hc["t_hi"])
+            window = block - k * hc["t_hi_mult"]
+            window -= hc["gap_star"]
             carry = self._carry_rows(
-                block, window, self._a_one_plus_col, self._a_c_lo_col, self._a_chd_col
+                block, window, hc["one_plus"], hc["c_lo"], hc["chd"]
             )
             k += 1.0
-            k *= self._a_c_hi_col  # k becomes the body term
+            k *= hc["c_hi"]  # k becomes the body term
             k += carry
             if not fill_terminated:
                 return k
             out = np.empty((self.n, block.size))
-            out[self._act_idx] = k
-            out[self._term_idx] = self._term_c_hi_col
+            out[hc["act_idx"]] = k
+            out[hc["term_idx"]] = hc["term_c_hi"]
             return out
 
         return self._fused_total(delta, rows)
@@ -768,16 +810,17 @@ class CompiledTaskSet:
         ``carry_over_window``/``carry_over_demand`` per task — including
         the first-strict-maximum selection order.
         """
+        hc = self._hi_active_cols()
         block = np.array([float(delta)])
-        k = self._floor_div_rows(block, self._a_t_hi_col)
-        window = block - k * self._a_t_hi_mult_col
-        window -= self._a_gap_col
+        k = self._floor_div_rows(block, hc["t_hi"])
+        window = block - k * hc["t_hi_mult"]
+        window -= hc["gap"]
         carry = self._carry_rows(
-            block, window, self._a_one_plus_col, self._a_c_lo_col, self._a_chd_col
+            block, window, hc["one_plus"], hc["c_lo"], hc["chd"]
         )
         # HI tasks are never terminated, so they all sit in the active
         # subset, in original task order.
-        r = carry[self.is_hi[self._act_idx], 0]
+        r = carry[self.is_hi[hc["act_idx"]], 0]
         if r.size == 0:
             return -1, 0.0
         at = int(np.argmax(r))
@@ -1009,6 +1052,95 @@ def compile_taskset(taskset: Union[TaskSet, CompiledTaskSet]) -> CompiledTaskSet
     return compiled
 
 
+def compile_tasksets(
+    tasksets: Sequence[Union[TaskSet, CompiledTaskSet]],
+) -> List[CompiledTaskSet]:
+    """Compile many task sets in one pass (cached like :func:`compile_taskset`).
+
+    Returns the same snapshots ``[compile_taskset(ts) for ts in tasksets]``
+    would — same instance-attribute and registry caching — but cold
+    misses share one extraction pass: each task's parameters are read
+    once (feeding both the content digest and the parameter matrix), all
+    missed sets' rows go through a *single* ``np.array`` call, and every
+    snapshot's parameter columns are views into the shared matrix.
+    Population-scale front-ends compile hundreds of small sets per call,
+    where the per-set ``np.array``/attribute-access overhead dominates
+    the compile cost.
+    """
+    out: List[Optional[CompiledTaskSet]] = [None] * len(tasksets)
+    miss: List[Tuple[int, Any, str, List[Tuple[Any, ...]]]] = []
+    dupes: List[Tuple[int, Any, str]] = []
+    pending: set = set()
+    for pos, ts in enumerate(tasksets):
+        if isinstance(ts, CompiledTaskSet):
+            out[pos] = ts
+            continue
+        cached = getattr(ts, _COMPILED_ATTR, None)
+        if cached is not None:
+            out[pos] = cached
+            continue
+        rows = [
+            (t.name, t.crit.value, t.c_lo, t.c_hi, t.d_lo, t.d_hi, t.t_lo, t.t_hi)
+            for t in ts
+        ]
+        fingerprint = digest_task_rows(sorted(rows, key=lambda row: row[0]))
+        cached = _COMPILED_REGISTRY.get(fingerprint)
+        if cached is not None or fingerprint in pending:
+            dupes.append((pos, ts, fingerprint))
+            continue
+        pending.add(fingerprint)
+        miss.append((pos, ts, fingerprint, rows))
+    if miss:
+        total = sum(len(rows) for _, _, _, rows in miss)
+        with trace.span("kernels.compile_batch", n_sets=len(miss)):
+            big = np.array(
+                [row[2:] for _, _, _, rows in miss for row in rows],
+                dtype=float,
+            ).reshape(-1, 6)
+            cols = np.ascontiguousarray(big.T)
+            hi_flags = np.fromiter(
+                (row[1] == "HI" for _, _, _, rows in miss for row in rows),
+                dtype=bool,
+                count=total,
+            )
+            hi_inf_all = np.isinf(cols[5])
+            terminated_all = (~hi_flags) & hi_inf_all & np.isinf(cols[3])
+            offset = 0
+            for pos, ts, fingerprint, rows in miss:
+                n = len(rows)
+                sl = slice(offset, offset + n)
+                compiled = CompiledTaskSet._from_arrays(
+                    tuple(row[0] for row in rows),
+                    hi_flags[sl],
+                    cols[0, sl],
+                    cols[1, sl],
+                    cols[2, sl],
+                    cols[3, sl],
+                    cols[4, sl],
+                    cols[5, sl],
+                    taskset=ts,
+                    fingerprint=fingerprint,
+                    hi_inf=hi_inf_all[sl],
+                    terminated=terminated_all[sl],
+                )
+                _COMPILED_REGISTRY.put(fingerprint, compiled)
+                try:
+                    setattr(ts, _COMPILED_ATTR, compiled)
+                except (AttributeError, TypeError):  # pragma: no cover
+                    pass
+                out[pos] = compiled
+                offset += n
+    for pos, ts, fingerprint in dupes:
+        compiled = _COMPILED_REGISTRY.get(fingerprint)
+        assert compiled is not None
+        try:
+            setattr(ts, _COMPILED_ATTR, compiled)
+        except (AttributeError, TypeError):  # pragma: no cover
+            pass
+        out[pos] = compiled
+    return cast(List[CompiledTaskSet], out)
+
+
 def adopt_compiled(taskset: TaskSet, compiled: CompiledTaskSet) -> TaskSet:
     """Attach a derived snapshot to the ``TaskSet`` it is known to match.
 
@@ -1024,6 +1156,692 @@ def adopt_compiled(taskset: TaskSet, compiled: CompiledTaskSet) -> TaskSet:
 def clear_compile_cache() -> None:
     """Drop the shared compiled-snapshot registry (tests/benchmarks)."""
     _COMPILED_REGISTRY.clear()
+
+
+# ---------------------------------------------------------------------------
+# Population batching: one SoA layout over many task sets
+# ---------------------------------------------------------------------------
+class CompiledPopulation:
+    """Ragged/padded struct-of-arrays layout over many compiled task sets.
+
+    Members are grouped into height *buckets*: a set with
+    ``n <= _EXACT_BUCKET_MAX`` tasks gets an exact-height bucket
+    (``P = n``, no padding), larger sets land in power-of-two buckets
+    (``P = 2^ceil(log2 n)``) so ragged large populations cannot explode
+    the bucket count.
+    Each bucket lazily materialises per-parameter ``(P, sets)`` matrices
+    with the member's full task rows (original order, terminated rows
+    included) in the top ``n`` rows and *neutral padding* below.  A fused
+    kernel call gathers the parameter columns for a batch of
+    ``(member, delta)`` pairs — possibly hundreds of sets — and runs the
+    same elementary row formulas as :class:`CompiledTaskSet` on one
+    ``(P, deltas)`` block per chunk, so per-call dispatch overhead is
+    paid once per *population*, not once per set.
+
+    **Bit-exactness.**  Padding rows are constructed so every kernel row
+    formula yields exactly ``+0.0`` for them (``DBF_LO``: ``c_lo=0``;
+    ``DBF_HI``/``ADB_HI``: ``c_hi=0`` body with a ``-inf`` carry window),
+    and a terminated task's *own* row flows through the same formulas to
+    exactly ``+0.0`` (``DBF_HI``) / its constant ``C(HI)`` (``ADB_HI``) —
+    the same values the per-set kernels skip or fill in.  Adding ``+0.0``
+    to a non-negative running sum is a bitwise no-op, so the column
+    reduction over ``P`` rows is bit-identical to the per-set reduction
+    over ``n`` rows, which is itself bit-identical to the scalar oracle.
+
+    Build via :func:`compile_population`, not the constructor.
+    """
+
+    __slots__ = (
+        "members",
+        "size",
+        "_bucket_of",
+        "_slot_of",
+        "_bucket_members",
+        "_lo_mats",
+        "_hi_mats",
+        "_bp_cats",
+        "_eval_stacks",
+    )
+
+    def __init__(self) -> None:  # pragma: no cover - guarded constructor
+        raise TypeError("use compile_population() to build a CompiledPopulation")
+
+    @classmethod
+    def _from_members(
+        cls, members: Tuple[CompiledTaskSet, ...]
+    ) -> "CompiledPopulation":
+        self = object.__new__(cls)
+        self.members = members
+        self.size = len(members)
+        bucket_of: List[int] = []
+        slot_of: List[int] = []
+        bucket_members: Dict[int, List[int]] = {}
+        for index, member in enumerate(members):
+            if member.n <= _EXACT_BUCKET_MAX:
+                height = member.n if member.n > 1 else 1
+            else:
+                height = 1 << (member.n - 1).bit_length()
+            slots = bucket_members.setdefault(height, [])
+            bucket_of.append(height)
+            slot_of.append(len(slots))
+            slots.append(index)
+        self._bucket_of = bucket_of
+        self._slot_of = slot_of
+        self._bucket_members = bucket_members
+        # Parameter matrices are built lazily per (bucket, kind): a pure
+        # min_speedup batch never pays for the LO or ADB layouts.
+        self._lo_mats = {}
+        self._hi_mats = {}
+        self._bp_cats = {}
+        self._eval_stacks = {}
+        return self
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CompiledPopulation(sets={self.size})"
+
+    # ------------------------------------------------------------------
+    # Lazy padded parameter matrices
+    # ------------------------------------------------------------------
+    def _lo_bundle(self, bucket: int) -> Dict[str, np.ndarray]:
+        """``(P, sets)`` DBF_LO parameters; padding rows evaluate to +0.0
+        (``c_lo = 0`` zeroes the row; ``t_lo = inf`` keeps the floor at 0).
+        """
+        mats = self._lo_mats.get(bucket)
+        if mats is not None:
+            return mats
+        indices = self._bucket_members[bucket]
+        mems = [self.members[index] for index in indices]
+        if all(member.n == bucket for member in mems):
+            # Exact-height bucket: no padding rows, so each matrix is one
+            # concatenate + one strided transpose-fill instead of a
+            # per-slot assignment loop.
+            stack = self._stacked_columns(bucket, len(mems))
+            mats = {
+                "c_lo": stack(np.concatenate([m.c_lo for m in mems])),
+                "d_lo": stack(np.concatenate([m.d_lo for m in mems])),
+                "t_lo": stack(np.concatenate([m.t_lo for m in mems])),
+            }
+            self._lo_mats[bucket] = mats
+            return mats
+        shape = (bucket, len(indices))
+        c_lo = np.zeros(shape)
+        d_lo = np.zeros(shape)
+        t_lo = np.full(shape, np.inf)
+        for slot, member in enumerate(mems):
+            c_lo[: member.n, slot] = member.c_lo
+            d_lo[: member.n, slot] = member.d_lo
+            t_lo[: member.n, slot] = member.t_lo
+        mats = {"c_lo": c_lo, "d_lo": d_lo, "t_lo": t_lo}
+        self._lo_mats[bucket] = mats
+        return mats
+
+    @staticmethod
+    def _stacked_columns(bucket: int, n_sets: int) -> Callable[[np.ndarray], np.ndarray]:
+        """``(bucket * n_sets,)`` member-major flat -> C-ordered ``(bucket, n_sets)``.
+
+        The strided transpose-fill keeps the result C-contiguous (the
+        reduction-order contract of the fused kernels) while filling a
+        whole bucket in one assignment.
+        """
+
+        def stack(flat: np.ndarray) -> np.ndarray:
+            mat = np.empty((bucket, n_sets))
+            mat.T[:] = flat.reshape(n_sets, bucket)
+            return mat
+
+        return stack
+
+    def _hi_bundle(self, bucket: int) -> Dict[str, np.ndarray]:
+        """``(P, sets)`` DBF_HI/ADB_HI parameters over *full* task rows.
+
+        Terminated rows keep their real parameters: ``t_hi = inf`` sends
+        the job count to 0 and ``gap = d_hi - d_lo = inf`` (resp.
+        ``gap_star = t_hi - d_lo = inf``) sends the carry window to
+        ``-inf``, so the row formula itself produces the +0.0 (DBF_HI) /
+        ``(0 + 1) * C(HI)`` (ADB_HI) values the per-set kernels special-
+        case.  ``c_hi_drop`` zeroes terminated rows for the
+        ``drop_terminated_carryover`` flavour.  Padding rows zero the
+        ``c_hi``/``c_lo``/``chd`` columns, so they evaluate to +0.0 under
+        every flavour.
+        """
+        mats = self._hi_mats.get(bucket)
+        if mats is not None:
+            return mats
+        indices = self._bucket_members[bucket]
+        mems = [self.members[index] for index in indices]
+        if all(member.n == bucket for member in mems):
+            # Exact-height bucket: derive every parameter on the members'
+            # concatenated rows (same elementwise ops as the per-member
+            # columns) and fill each matrix in one strided assignment.
+            stack = self._stacked_columns(bucket, len(mems))
+            cat = np.concatenate
+            t_hi_cat = cat([m.t_hi for m in mems])
+            c_lo_cat = cat([m.c_lo for m in mems])
+            c_hi_cat = cat([m.c_hi for m in mems])
+            d_lo_cat = cat([m.d_lo for m in mems])
+            finite = np.where(cat([m.hi_inf for m in mems]), 0.0, t_hi_cat)
+            mats = {
+                "t_hi": stack(t_hi_cat),
+                "t_hi_mult": stack(finite),
+                "gap": stack(cat([m.d_hi for m in mems]) - d_lo_cat),
+                "gap_star": stack(t_hi_cat - d_lo_cat),
+                "one_plus": stack(1.0 + finite),
+                "c_lo": stack(c_lo_cat),
+                "chd": stack(c_hi_cat - c_lo_cat),
+                "c_hi": stack(c_hi_cat),
+                "c_hi_drop": stack(
+                    np.where(cat([m.terminated for m in mems]), 0.0, c_hi_cat)
+                ),
+            }
+            self._hi_mats[bucket] = mats
+            return mats
+        shape = (bucket, len(indices))
+        t_hi = np.full(shape, np.inf)
+        t_hi_mult = np.zeros(shape)
+        gap = np.full(shape, np.inf)
+        gap_star = np.full(shape, np.inf)
+        one_plus = np.ones(shape)
+        c_lo = np.zeros(shape)
+        chd = np.zeros(shape)
+        c_hi = np.zeros(shape)
+        c_hi_drop = np.zeros(shape)
+        for slot, index in enumerate(indices):
+            member = self.members[index]
+            n = member.n
+            finite_period = np.where(member.hi_inf, 0.0, member.t_hi)
+            t_hi[:n, slot] = member.t_hi
+            t_hi_mult[:n, slot] = finite_period
+            gap[:n, slot] = member.d_hi - member.d_lo
+            gap_star[:n, slot] = member.t_hi - member.d_lo
+            one_plus[:n, slot] = 1.0 + finite_period
+            c_lo[:n, slot] = member.c_lo
+            chd[:n, slot] = member.c_hi - member.c_lo
+            c_hi[:n, slot] = member.c_hi
+            c_hi_drop[:n, slot] = np.where(member.terminated, 0.0, member.c_hi)
+        mats = {
+            "t_hi": t_hi,
+            "t_hi_mult": t_hi_mult,
+            "gap": gap,
+            "gap_star": gap_star,
+            "one_plus": one_plus,
+            "c_lo": c_lo,
+            "chd": chd,
+            "c_hi": c_hi,
+            "c_hi_drop": c_hi_drop,
+        }
+        self._hi_mats[bucket] = mats
+        return mats
+
+    # ------------------------------------------------------------------
+    # Batched member preparation
+    # ------------------------------------------------------------------
+    def prepare_tables(self, kind: str) -> None:
+        """Batch-build every member's ``kind`` breakpoint table.
+
+        Value-identical to each member's lazy
+        ``_ensure_breakpoint_table`` — the same elementary float ops run
+        on the members' concatenated parameter arrays, and each member's
+        stored ``(offset, period)`` pairs come out in the same order —
+        but one vectorized pass replaces hundreds of tiny per-member
+        array constructions.  Members that already built the table keep
+        it untouched; lockstep scans call this up front so the per-round
+        ``clamp_window``/``breakpoints_in`` calls never build lazily.
+        """
+        if kind not in ("dbf", "adb", "lo"):
+            raise ValueError(f"unknown kind: {kind!r}")
+        pending = [m for m in self.members if kind not in m._density]
+        if not pending:
+            return
+        if kind == "lo":
+            # The LO lattice is two copies and a cached density — nothing
+            # to batch.
+            for member in pending:
+                member._ensure_breakpoint_table(kind)
+            return
+        cat = np.concatenate
+        counts_n = np.fromiter(
+            (m.n for m in pending), dtype=np.int64, count=len(pending)
+        )
+        owner = np.repeat(np.arange(len(pending)), counts_n)
+        t_hi = cat([m.t_hi for m in pending])
+        hi_inf = cat([m.hi_inf for m in pending])
+        if kind == "dbf":
+            sel = ~(cat([m.terminated for m in pending]) | hi_inf)
+        else:
+            sel = ~hi_inf
+        p = t_hi[sel]
+        owner_sel = owner[sel]
+        c_lo = cat([m.c_lo for m in pending])[sel]
+        d_lo = cat([m.d_lo for m in pending])[sel]
+        if kind == "dbf":
+            gap = cat([m.d_hi for m in pending])[sel] - d_lo
+        else:
+            gap = p - d_lo
+        gap2 = gap + c_lo
+        keep_gap = (gap >= 0.0) & (gap <= p) & (gap != p)
+        keep_gap2 = (gap2 >= 0.0) & (gap2 <= p) & (gap2 != p) & (gap2 != gap)
+        if kind == "dbf":
+            counts = keep_gap.astype(np.int64) + keep_gap2 + 1
+            off_all = cat((gap[keep_gap], gap2[keep_gap2], p))
+            per_all = cat((p[keep_gap], p[keep_gap2], p))
+            own_all = cat(
+                (owner_sel[keep_gap], owner_sel[keep_gap2], owner_sel)
+            )
+        else:
+            keep_gap &= gap != 0.0  # repro-lint: ignore[RL002]
+            keep_gap2 &= gap2 != 0.0  # repro-lint: ignore[RL002]
+            counts = keep_gap.astype(np.int64) + keep_gap2 + 2
+            off_all = cat((np.zeros_like(p), gap[keep_gap], gap2[keep_gap2], p))
+            per_all = cat((p, p[keep_gap], p[keep_gap2], p))
+            own_all = cat(
+                (owner_sel, owner_sel[keep_gap], owner_sel[keep_gap2], owner_sel)
+            )
+        # A stable sort by owner groups the global pieces per member while
+        # preserving the per-member piece order of the lazy build.
+        order = np.argsort(own_all, kind="stable")
+        off_all = off_all[order]
+        per_all = per_all[order]
+        bounds = np.searchsorted(
+            own_all[order], np.arange(len(pending) + 1)
+        )
+        terms = counts / p
+        term_bounds = np.searchsorted(owner_sel, np.arange(len(pending) + 1))
+        for i, member in enumerate(pending):
+            member._bp_off[kind] = off_all[bounds[i] : bounds[i + 1]]
+            member._bp_per[kind] = per_all[bounds[i] : bounds[i + 1]]
+            member._density[kind] = float(
+                sum(terms[term_bounds[i] : term_bounds[i + 1]].tolist())
+            )
+
+    # ------------------------------------------------------------------
+    # Fused multi-set demand kernels
+    # ------------------------------------------------------------------
+    def fuses(self, member_index: int, n_points: int) -> bool:
+        """Would :meth:`eval_many` fuse an ``n_points``-delta item?
+
+        ``False`` means the item alone fills a whole evaluation chunk and
+        eval_many would delegate it to the member's per-set kernel.
+        Lockstep scans use this to route such items through the member's
+        *pruned* evaluators (``window_peak``/``lo_demand_ok``) instead —
+        same verdicts and trajectories, with stripe pruning intact.
+        """
+        return n_points * self._bucket_of[member_index] < _CHUNK_CELLS
+
+    def eval_many(
+        self,
+        kind: str,
+        items: "Sequence[Tuple[int, np.ndarray]]",
+        *,
+        drop_terminated_carryover: bool = False,
+    ) -> List[np.ndarray]:
+        """Fused demand evaluation across member sets.
+
+        ``items`` is a sequence of ``(member_index, deltas)`` pairs;
+        returns the per-item demand arrays (``total_dbf_lo`` for kind
+        ``"lo"``, ``total_dbf_hi`` for ``"dbf"``, ``total_adb_hi`` for
+        ``"adb"``), each bit-identical to the member's own kernel call.
+        One fused ``(P, deltas)`` chunked pass runs per bucket, so the
+        call count scales with buckets, not sets.
+
+        Items whose delta array alone fills a whole evaluation chunk
+        gain nothing from fusion (there is no call overhead left to
+        amortize) and would pay for the bucket padding rows — they are
+        delegated to the member's own per-set kernel, which returns
+        bit-identical demand by the kernel contract.
+        """
+        if kind not in ("dbf", "adb", "lo"):
+            raise ValueError(f"unknown kind: {kind!r}")
+        results: List[np.ndarray] = [np.empty(0)] * len(items)
+        by_bucket: Dict[int, List[int]] = {}
+        arrays: List[np.ndarray] = []
+        for pos, (member_index, deltas) in enumerate(items):
+            d = np.atleast_1d(np.asarray(deltas, dtype=float))
+            arrays.append(d)
+            if not d.size:
+                continue
+            bucket = self._bucket_of[member_index]
+            if d.size * bucket >= _CHUNK_CELLS:
+                member = self.members[member_index]
+                if kind == "lo":
+                    out = member.total_dbf_lo(d)
+                elif kind == "dbf":
+                    out = member.total_dbf_hi(d)
+                else:
+                    out = member.total_adb_hi(
+                        d, drop_terminated_carryover=drop_terminated_carryover
+                    )
+                results[pos] = np.asarray(out, dtype=float)
+                continue
+            by_bucket.setdefault(bucket, []).append(pos)
+        start = time.perf_counter()
+        for bucket, positions in by_bucket.items():
+            deltas_cat = np.concatenate([arrays[p] for p in positions])
+            cols = np.repeat(
+                np.fromiter(
+                    (self._slot_of[items[p][0]] for p in positions),
+                    dtype=np.intp,
+                    count=len(positions),
+                ),
+                np.fromiter(
+                    (arrays[p].size for p in positions),
+                    dtype=np.int64,
+                    count=len(positions),
+                ),
+            )
+            totals = self._eval_bucket(
+                kind, bucket, deltas_cat, cols,
+                drop_terminated_carryover=drop_terminated_carryover,
+            )
+            offset = 0
+            for p in positions:
+                size = arrays[p].size
+                results[p] = totals[offset : offset + size]
+                offset += size
+        PERF.kernel_seconds += time.perf_counter() - start
+        return results
+
+    def _eval_bucket(
+        self,
+        kind: str,
+        bucket: int,
+        deltas: np.ndarray,
+        cols: np.ndarray,
+        *,
+        drop_terminated_carryover: bool,
+    ) -> np.ndarray:
+        # ``cols`` is piecewise-constant by construction (``eval_many``
+        # concatenates whole per-item delta arrays).  Chunk windows that
+        # span few constant-column runs (large items) broadcast
+        # ``(bucket, 1)`` parameter column views against each run's delta
+        # block; windows spanning many runs (many small items) gather the
+        # window's columns of *all* parameter matrices in one ``np.take``
+        # over a vertically stacked matrix, then evaluate the whole
+        # window in a single fused call over the row-slice views.  Both
+        # run the same elementary float ops as the per-set kernels:
+        # ``np.take`` writes a fresh C-ordered gather (a ``mat[:, sel]``
+        # fancy index would come back F-ordered), its row slices are
+        # C-contiguous views, and ufunc results are fresh C-contiguous
+        # arrays — keeping ``np.add.reduce(axis=0)`` on the sequential
+        # row-order path the bit-exactness contract requires.  Each
+        # output column's sum is independent of its neighbours, so the
+        # window partition never matters.
+        if kind == "lo":
+            lo_mats = self._lo_bundle(bucket)
+            parts = (lo_mats["d_lo"], lo_mats["t_lo"], lo_mats["c_lo"])
+
+            def rows(block: np.ndarray, param: Any) -> np.ndarray:
+                jobs = CompiledTaskSet._floor_div_rows(
+                    block - param(0), param(1)
+                )
+                jobs += 1.0
+                np.maximum(jobs, 0.0, out=jobs)
+                jobs *= param(2)
+                return jobs
+
+        else:
+            hi_mats = self._hi_bundle(bucket)
+            if kind == "dbf":
+                gap_kind = hi_mats["gap"]
+                body = hi_mats["c_hi"]
+            else:
+                gap_kind = hi_mats["gap_star"]
+                body = (
+                    hi_mats["c_hi_drop"]
+                    if drop_terminated_carryover
+                    else hi_mats["c_hi"]
+                )
+            parts = (
+                hi_mats["t_hi"],
+                hi_mats["t_hi_mult"],
+                gap_kind,
+                hi_mats["one_plus"],
+                hi_mats["c_lo"],
+                hi_mats["chd"],
+                body,
+            )
+            adb = kind == "adb"
+
+            def rows(block: np.ndarray, param: Any) -> np.ndarray:
+                k = CompiledTaskSet._floor_div_rows(block, param(0))
+                window = block - k * param(1)
+                window -= param(2)
+                carry = CompiledTaskSet._carry_rows(
+                    block, window, param(3), param(4), param(5)
+                )
+                if adb:
+                    k += 1.0
+                k *= param(6)
+                k += carry
+                return k
+
+        def reduce_rows(block: np.ndarray, param: Any) -> np.ndarray:
+            if block.size == 1:
+                # Same widening trick as the per-set kernels: keep the
+                # (P, 1) reduction on the row-sequential path.  The
+                # ``(bucket, 1)`` parameter columns broadcast against
+                # the duplicated 2-point block unchanged.
+                wide = np.add.reduce(
+                    rows(np.concatenate([block, block]), param), axis=0
+                )
+                return wide[:1]
+            return np.add.reduce(rows(block, param), axis=0)
+
+        stack_key = (kind, bucket, drop_terminated_carryover)
+        stack = self._eval_stacks.get(stack_key)
+        if stack is None:
+            stack = np.concatenate(parts, axis=0)
+            self._eval_stacks[stack_key] = stack
+
+        totals = np.zeros_like(deltas)
+        chunk = max(1, _CHUNK_CELLS // bucket)
+        edges = np.concatenate(
+            ([0], np.flatnonzero(np.diff(cols)) + 1, [cols.size])
+        )
+        for lo in range(0, deltas.size, chunk):
+            hi = min(lo + chunk, deltas.size)
+            first = int(np.searchsorted(edges, lo, side="right")) - 1
+            last = int(np.searchsorted(edges, hi, side="left"))
+            if last - first <= _GATHER_RUNS:
+                for r in range(first, last):
+                    seg_lo = max(lo, int(edges[r]))
+                    seg_hi = min(hi, int(edges[r + 1]))
+                    if seg_hi <= seg_lo:
+                        continue
+                    col = int(cols[seg_lo])
+
+                    def param(i: int, col: int = col) -> np.ndarray:
+                        return parts[i][:, col : col + 1]
+
+                    totals[seg_lo:seg_hi] = reduce_rows(
+                        deltas[seg_lo:seg_hi], param
+                    )
+            else:
+                gathered = np.take(stack, cols[lo:hi], axis=1)
+
+                def param(i: int, g: np.ndarray = gathered) -> np.ndarray:
+                    return g[i * bucket : (i + 1) * bucket]
+
+                totals[lo:hi] = reduce_rows(deltas[lo:hi], param)
+        PERF.cells += bucket * deltas.size
+        PERF.kernel_evals += 1
+        return totals
+
+    # ------------------------------------------------------------------
+    # Fused breakpoint generation
+    # ------------------------------------------------------------------
+    def _bp_cat(self, kind: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All members' ``(offset, period)`` lattice pairs, concatenated.
+
+        Returns ``(starts, offsets, periods)`` where member ``i``'s pairs
+        occupy ``offsets[starts[i]:starts[i + 1]]``.  Built once per kind,
+        so a lockstep round's pair collection is pure array gathers
+        instead of per-item table lookups.
+        """
+        cat = self._bp_cats.get(kind)
+        if cat is None:
+            starts = np.empty(self.size + 1, dtype=np.int64)
+            starts[0] = 0
+            offs: List[np.ndarray] = []
+            pers: List[np.ndarray] = []
+            for i, member in enumerate(self.members):
+                member._ensure_breakpoint_table(kind)
+                off = member._bp_off[kind]
+                offs.append(off)
+                pers.append(member._bp_per[kind])
+                starts[i + 1] = starts[i] + off.size
+            cat = (
+                starts,
+                np.concatenate(offs) if offs else np.empty(0),
+                np.concatenate(pers) if pers else np.empty(0),
+            )
+            self._bp_cats[kind] = cat
+        return cat
+
+    def breakpoints_many(
+        self, items: "Sequence[Tuple[int, float, float]]", *, kind: str = "dbf"
+    ) -> List[np.ndarray]:
+        """Per-item ``breakpoints_in(lo, hi, kind=...)``, one fused pass.
+
+        ``items`` is a sequence of ``(member_index, window_lo, window_hi)``
+        triples.  All items' ``(offset, period)`` lattice pairs are
+        gathered from the cached per-kind table (:meth:`_bp_cat`) with
+        per-pair window bounds and owner tags, expanded through the same
+        ``repeat``/``cumsum`` arithmetic as :func:`_lattice_points`, then
+        sorted by ``(owner, point)`` and de-duplicated within each owner
+        run with the per-set semantics (exact dedup == ``np.unique``,
+        then the relative-1e-12 merge for the HI kinds, reset at owner
+        boundaries) — so every returned array is bit-identical to the
+        member's own ``breakpoints_in``.  Candidate budgets are per set
+        and stay with the caller.  Items denser than ``_FUSE_POINTS``
+        lattice points delegate to the member's own generator (same
+        output, cheaper alone).
+        """
+        if kind not in ("dbf", "adb", "lo"):
+            raise ValueError(f"unknown kind: {kind!r}")
+        n_items = len(items)
+        results: List[np.ndarray] = [np.empty(0)] * n_items
+        if not n_items:
+            return results
+        starts_tab, off_cat, per_cat = self._bp_cat(kind)
+        midx = np.fromiter(
+            (item[0] for item in items), dtype=np.int64, count=n_items
+        )
+        wlo = np.fromiter(
+            (item[1] for item in items), dtype=float, count=n_items
+        )
+        whi = np.fromiter(
+            (item[2] for item in items), dtype=float, count=n_items
+        )
+        sizes = starts_tab[midx + 1] - starts_tab[midx]
+        total_pairs = int(sizes.sum())
+        if total_pairs == 0:
+            return results
+        item_starts = np.cumsum(sizes) - sizes
+        item_of_pair = np.repeat(np.arange(n_items), sizes)
+        pair_idx = np.repeat(starts_tab[midx] - item_starts, sizes) + np.arange(
+            total_pairs
+        )
+        off = off_cat[pair_idx]
+        per = per_cat[pair_idx]
+        lo_pair = wlo[item_of_pair]
+        hi_pair = whi[item_of_pair]
+        # Same elementary float ops as the per-item collection: the
+        # window bounds are broadcast per pair, so every k_min/k_max
+        # value is identical to the member's own enumeration.
+        k_min = np.maximum(0.0, np.floor((lo_pair - off) / per))
+        k_max = np.floor((hi_pair - off) / per + 1e-12)
+        counts = (k_max - k_min + 1.0).astype(np.int64)
+        np.maximum(counts, 0, out=counts)
+        ccnt = np.concatenate(([0], np.cumsum(counts)))
+        bnd = np.concatenate((item_starts, [total_pairs]))
+        item_cnt = ccnt[bnd[1:]] - ccnt[bnd[:-1]]
+        dense = np.flatnonzero(item_cnt > _FUSE_POINTS)
+        owner_pair = item_of_pair
+        if dense.size:
+            # A window this dense dominates the round on its own; the
+            # per-set generator skips the owner-tagged fused temporaries
+            # and returns the identical points.
+            for pos in dense:
+                results[int(pos)] = self.members[
+                    int(midx[pos])
+                ].breakpoints_in(float(wlo[pos]), float(whi[pos]), kind=kind)
+            keep_pair = item_cnt[item_of_pair] <= _FUSE_POINTS
+            off = off[keep_pair]
+            per = per[keep_pair]
+            k_min = k_min[keep_pair]
+            counts = counts[keep_pair]
+            lo_pair = lo_pair[keep_pair]
+            hi_pair = hi_pair[keep_pair]
+            owner_pair = item_of_pair[keep_pair]
+        start = time.perf_counter()
+        total = int(counts.sum())
+        if total == 0:
+            PERF.kernel_seconds += time.perf_counter() - start
+            return results
+        pair = np.repeat(np.arange(off.size), counts)
+        starts = np.cumsum(counts) - counts
+        within = np.arange(total) - np.repeat(starts, counts)
+        points = (k_min[pair] + within) * per[pair] + off[pair]
+        owner = owner_pair[pair]
+        keep = (points > lo_pair[pair]) & (points <= hi_pair[pair])
+        points = points[keep]
+        owner = owner[keep]
+        if points.size:
+            # ``owner`` is already non-decreasing (pairs are expanded in
+            # item order and boolean filtering preserves order), so all a
+            # two-key lexsort would do is order points within each owner
+            # run — per-run direct sorts are far cheaper than one
+            # indirect sort over every item's points.
+            run_bounds = np.searchsorted(owner, np.arange(len(items) + 1))
+            for pos in range(len(items)):
+                seg = points[int(run_bounds[pos]) : int(run_bounds[pos + 1])]
+                if seg.size > 1:
+                    seg.sort()
+            # Exact dedup within each owner run — np.unique's semantics,
+            # exact comparison IS the spec (bit parity with the per-set
+            # generator).
+            boundary = np.empty(points.size, dtype=bool)
+            boundary[0] = True
+            boundary[1:] = owner[1:] != owner[:-1]
+            keep = boundary.copy()
+            keep[1:] |= points[1:] != points[:-1]  # repro-lint: ignore[RL002]
+            points = points[keep]
+            owner = owner[keep]
+            if kind != "lo":
+                boundary = np.empty(points.size, dtype=bool)
+                boundary[0] = True
+                boundary[1:] = owner[1:] != owner[:-1]
+                keep = boundary.copy()
+                keep[1:] |= np.diff(points) > 1e-12 * np.maximum(
+                    1.0, points[1:]
+                )
+                points = points[keep]
+                owner = owner[keep]
+        PERF.candidates += int(points.size)
+        bounds = np.searchsorted(owner, np.arange(len(items) + 1))
+        for pos in range(len(items)):
+            segment = points[bounds[pos] : bounds[pos + 1]]
+            if segment.size:
+                results[pos] = segment
+        PERF.kernel_seconds += time.perf_counter() - start
+        return results
+
+
+def compile_population(
+    tasksets: "Sequence[Union[TaskSet, CompiledTaskSet]]",
+) -> CompiledPopulation:
+    """Compile many task sets into one population SoA layout.
+
+    Members already compiled (or derived snapshots) are adopted as-is;
+    plain ``TaskSet`` members go through the normal cached
+    :func:`compile_taskset` path, so population compiles share the same
+    registry as per-set compiles.
+    """
+    members = tuple(compile_taskset(taskset) for taskset in tasksets)
+    return CompiledPopulation._from_members(members)
 
 
 # ---------------------------------------------------------------------------

@@ -54,6 +54,12 @@ from repro.analysis.sensitivity import (
     max_tolerable_load_scale,
     min_speedup_margin,
 )
+from repro.analysis.population import (
+    lo_mode_schedulable_many,
+    min_preparation_factor_many,
+    min_speedup_many,
+    resetting_many,
+)
 from repro.analysis.speedup import SpeedupResult, min_speedup
 from repro.analysis.tuning import min_preparation_factor
 from repro.analysis.per_task_tuning import tune_per_task_deadlines
@@ -116,12 +122,16 @@ __all__ = [
     "load_report",
     "load_taskset",
     "lo_mode_schedulable",
+    "lo_mode_schedulable_many",
     "max_tolerable_gamma",
     "max_tolerable_load_scale",
     "min_preparation_factor",
+    "min_preparation_factor_many",
     "min_speedup",
+    "min_speedup_many",
     "min_speedup_margin",
     "resetting_curve",
+    "resetting_many",
     "resetting_time",
     "save_report",
     "save_taskset",
@@ -197,6 +207,7 @@ def analyze_many(
     runner: Optional[BatchRunner] = None,
     retry: Optional[RetryPolicy] = None,
     quarantine: Optional[str] = None,
+    population: bool = False,
     **options: Any,
 ) -> List[AnalysisReport]:
     """Analyse a population, optionally in parallel worker processes.
@@ -217,6 +228,13 @@ def analyze_many(
     calls (its stats then accumulate per call).  SIGINT/SIGTERM during
     a run drains gracefully and raises :class:`BatchAborted` with the
     resumable checkpoint path.
+
+    ``population=True`` groups compatible compiled-engine requests in
+    each chunk into one shared-SoA evaluation
+    (:func:`repro.pipeline.grouping.evaluate_chunk_grouped`), which is
+    much faster on sweeps of small task sets.  Reports are byte-identical
+    to the default path; only the kernel evaluation *counters* group
+    differently, which is why it is opt-in.
     """
     requests = [
         item
@@ -236,6 +254,7 @@ def analyze_many(
             progress=progress,
             retry=retry if retry is not None else RetryPolicy(),
             quarantine=quarantine,
+            population=population,
         )
     return runner.run(requests)
 

@@ -128,12 +128,15 @@ def run(
     config: GeneratorConfig = GeneratorConfig(),
     jobs: int = 1,
     runner: Optional[api.BatchRunner] = None,
+    population: bool = False,
 ) -> List[Fig6Point]:
     """Panels (a) and (c): distributions at each utilization point.
 
     ``jobs`` fans the per-set analyses over worker processes (results are
     identical to the serial run); pass a configured ``runner`` instead
-    for caching or checkpoint/resume.
+    for caching or checkpoint/resume.  ``population=True`` groups the
+    per-set analyses into population-batched kernel evaluations — much
+    faster in this small-task-set regime, with byte-identical samples.
     """
     points: List[Fig6Point] = []
     owners: List[Fig6Point] = []
@@ -146,7 +149,9 @@ def run(
             ts = generate_taskset(u, rng, config, name=f"u{u:g}_{i}")
             owners.append(point)
             requests.append(_request(ts, y, s_for_reset))
-    reports = api.analyze_many(requests, jobs=jobs, runner=runner)
+    reports = api.analyze_many(
+        requests, jobs=jobs, runner=runner, population=population
+    )
     for point, report in zip(owners, reports):
         point.samples.append(_sample(report))
     return points
@@ -161,12 +166,15 @@ def run_sweep(
     config: GeneratorConfig = GeneratorConfig(),
     jobs: int = 1,
     runner: Optional[api.BatchRunner] = None,
+    population: bool = False,
 ) -> Dict[Tuple[float, float], List[Fig6Point]]:
     """Panels (b) and (d): medians across ``(s, y)`` combinations.
 
     Returns ``{(s, y): [Fig6Point per u_bound]}``; the same generated
     populations (and the same tuned ``x``) are reused across
-    combinations for paired comparisons.
+    combinations for paired comparisons.  ``population=True`` batches
+    both the exact-``x`` tuning and the per-set analyses across whole
+    populations (byte-identical results).
     """
     populations: List[List[TaskSet]] = []
     xs: List[List[Optional[float]]] = []
@@ -177,7 +185,12 @@ def run_sweep(
             for i in range(sets_per_point)
         ]
         populations.append(tasksets)
-        xs.append([api.min_preparation_factor(ts, method="exact") for ts in tasksets])
+        if population:
+            xs.append(api.min_preparation_factor_many(tasksets, method="exact"))
+        else:
+            xs.append(
+                [api.min_preparation_factor(ts, method="exact") for ts in tasksets]
+            )
     out: Dict[Tuple[float, float], List[Fig6Point]] = {}
     owners: List[Fig6Point] = []
     requests: List[api.AnalysisRequest] = []
@@ -191,7 +204,9 @@ def run_sweep(
                     owners.append(point)
                     requests.append(_request(ts, y, s, x=x))
             out[(s, y)] = series
-    reports = api.analyze_many(requests, jobs=jobs, runner=runner)
+    reports = api.analyze_many(
+        requests, jobs=jobs, runner=runner, population=population
+    )
     for point, report in zip(owners, reports):
         point.samples.append(_sample(report))
     return out

@@ -274,6 +274,7 @@ def _worker_chunk(
     chunk: Sequence[_ChunkItem],
     trace_enabled: bool = False,
     injection: Optional[InjectionSpec] = None,
+    population: bool = False,
 ) -> Tuple[List[Tuple[int, ReportPayload]], WorkerMeta]:
     """Process-pool entry point: evaluate a chunk, return JSON payloads.
 
@@ -290,6 +291,11 @@ def _worker_chunk(
     armed, an item can SIGKILL its own worker or hang it before any
     evaluation runs (:func:`~repro.pipeline.fault_tolerance.
     maybe_inject`).
+
+    ``population`` routes the whole chunk through the grouped
+    population evaluator (:func:`~repro.pipeline.grouping.
+    evaluate_chunk_grouped`) — per-item payloads are byte-identical to
+    the per-item path, only the kernel dispatch fuses across the chunk.
     """
     from repro.analysis.kernels import PERF
 
@@ -299,9 +305,18 @@ def _worker_chunk(
     perf_before = PERF.snapshot()
     t0 = time.perf_counter()
     results: List[Tuple[int, ReportPayload]] = []
-    for slot, key, request in chunk:
-        maybe_inject(injection, key)
-        results.append((slot, evaluate_captured(request).to_dict()))
+    if population and len(chunk) > 1:
+        from repro.pipeline.grouping import evaluate_chunk_grouped
+
+        for _slot, key, _request in chunk:
+            maybe_inject(injection, key)
+        reports = evaluate_chunk_grouped([request for _, _, request in chunk])
+        for (slot, _, _), report in zip(chunk, reports):
+            results.append((slot, report.to_dict()))
+    else:
+        for slot, key, request in chunk:
+            maybe_inject(injection, key)
+            results.append((slot, evaluate_captured(request).to_dict()))
     meta: WorkerMeta = {
         "pid": os.getpid(),
         "items": len(chunk),
@@ -474,6 +489,14 @@ class BatchRunner:
         (main thread only).  The first signal stops scheduling, flushes
         checkpoint and metrics, and raises :class:`~repro.pipeline.
         fault_tolerance.BatchAborted`; a second one kills the process.
+    population:
+        Evaluate chunks through the grouped population path
+        (:func:`~repro.pipeline.grouping.evaluate_chunk_grouped`): one
+        fused kernel dispatch per analysis stage per chunk instead of
+        per item.  Reports, caching, checkpointing and the exactly-once
+        stats are byte-identical to the per-item path at any ``jobs``
+        count; only the kernel perf counters (``kernel_evals``,
+        ``cells``) group differently, which is why this is opt-in.
     """
 
     jobs: int = 1
@@ -489,6 +512,7 @@ class BatchRunner:
     injection: Optional[InjectionSpec] = None
     pool: Optional[PersistentPool] = None
     install_signal_handlers: bool = True
+    population: bool = False
     stats: BatchStats = field(default_factory=BatchStats)
     faults: FaultStats = field(default_factory=FaultStats)
 
@@ -724,16 +748,38 @@ class BatchRunner:
         try:
             with GracefulShutdown(install=self.install_signal_handlers) as shutdown:
                 if self.jobs == 1 or len(work) <= 1:
-                    for key, request in work:
-                        if shutdown.requested:
-                            raise self._aborted(shutdown, done, len(requests))
-                        t0 = time.perf_counter()
-                        settle(key, evaluate_captured(request).to_dict())
-                        commit()
-                        if self.metrics is not None:
-                            self.metrics.record_chunk(
-                                "inline", 1, time.perf_counter() - t0
+                    if self.population and len(work) > 1:
+                        from repro.pipeline.grouping import evaluate_chunk_grouped
+
+                        size = self.chunk_size or max(
+                            1, min(32, math.ceil(len(work) / (self.jobs * 4)))
+                        )
+                        for start in range(0, len(work), size):
+                            if shutdown.requested:
+                                raise self._aborted(shutdown, done, len(requests))
+                            chunk = work[start : start + size]
+                            t0 = time.perf_counter()
+                            chunk_reports = evaluate_chunk_grouped(
+                                [request for _key, request in chunk]
                             )
+                            for (key, _request), report in zip(chunk, chunk_reports):
+                                settle(key, report.to_dict())
+                            commit()
+                            if self.metrics is not None:
+                                self.metrics.record_chunk(
+                                    "inline", len(chunk), time.perf_counter() - t0
+                                )
+                    else:
+                        for key, request in work:
+                            if shutdown.requested:
+                                raise self._aborted(shutdown, done, len(requests))
+                            t0 = time.perf_counter()
+                            settle(key, evaluate_captured(request).to_dict())
+                            commit()
+                            if self.metrics is not None:
+                                self.metrics.record_chunk(
+                                    "inline", 1, time.perf_counter() - t0
+                                )
                 else:
                     self._run_parallel(
                         work,
@@ -909,7 +955,11 @@ class BatchRunner:
             ]
             try:
                 future = executor.submit(
-                    _worker_chunk, payload, trace_enabled, self.injection
+                    _worker_chunk,
+                    payload,
+                    trace_enabled,
+                    self.injection,
+                    self.population,
                 )
             except BrokenProcessPool:
                 # The chunk never ran: requeue it for free, recycle the
@@ -1117,6 +1167,7 @@ def run_batch(
     metrics: Optional[MetricsRegistry] = None,
     retry: Optional[RetryPolicy] = None,
     quarantine: Optional[PathLike] = None,
+    population: bool = False,
 ) -> List[AnalysisReport]:
     """One-shot convenience wrapper around :class:`BatchRunner`."""
     runner = BatchRunner(
@@ -1129,5 +1180,6 @@ def run_batch(
         metrics=metrics,
         retry=retry if retry is not None else RetryPolicy(),
         quarantine=quarantine,
+        population=population,
     )
     return runner.run(requests)
