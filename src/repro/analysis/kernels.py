@@ -155,6 +155,10 @@ class KernelCounters:
         entry points and pipeline grouped chunks) and the total member
         sets they covered (``population_sets / population_batches`` is
         the mean sets-per-batch of the population fast path).
+    admission_trials:
+        Per-core (core, candidate) admission trials evaluated by the
+        multiproc partitioning heuristics (both engines count here; the
+        population engine folds many trials into one batch above).
     """
 
     kernel_evals: int = 0
@@ -167,6 +171,7 @@ class KernelCounters:
     memo_misses: int = 0
     population_batches: int = 0
     population_sets: int = 0
+    admission_trials: int = 0
 
     def snapshot(self) -> Dict[str, Any]:
         """The counters as a plain dict (JSON-ready)."""
@@ -181,6 +186,7 @@ class KernelCounters:
             "memo_misses": self.memo_misses,
             "population_batches": self.population_batches,
             "population_sets": self.population_sets,
+            "admission_trials": self.admission_trials,
         }
 
     def reset(self) -> None:
@@ -194,6 +200,7 @@ class KernelCounters:
         self.memo_misses = 0
         self.population_batches = 0
         self.population_sets = 0
+        self.admission_trials = 0
 
     def delta_since(self, before: Dict[str, Any]) -> Dict[str, Any]:
         """Difference between the current totals and a prior snapshot."""

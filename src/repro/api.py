@@ -20,6 +20,11 @@ behind a small, stable surface:
 * Blessed re-exports of the individual analyses (:func:`min_speedup`,
   :func:`resetting_time`, :func:`system_schedulable`, ...) for callers
   that want one number instead of a full report.
+* The multiprocessor surface: :func:`partition_tasks` /
+  :func:`partitioned_design` / :func:`min_cores` (partitioned
+  deployment under the per-core Theorem-2 admission, kernel-batched),
+  :func:`partition_tasks_edf_vd_degraded` and the comparison baselines
+  :func:`edf_vd_degraded_schedulable` / :func:`fluid_schedulable`.
 
 Experiment modules import :mod:`repro.api` instead of
 ``repro.analysis.*`` internals (enforced by a lint ban), so the
@@ -63,6 +68,23 @@ from repro.analysis.population import (
 from repro.analysis.speedup import SpeedupResult, min_speedup
 from repro.analysis.tuning import min_preparation_factor
 from repro.analysis.per_task_tuning import tune_per_task_deadlines
+from repro.baselines.edf_vd_degraded import (
+    EdfVdDegradedResult,
+    edf_vd_degraded_schedulable,
+)
+from repro.baselines.fluid import (
+    FluidResult,
+    fluid_schedulable,
+    fluid_speedup_bound,
+)
+from repro.multiproc.partition import (
+    PartitionedDesign,
+    PartitioningError,
+    min_cores,
+    partition_tasks,
+    partition_tasks_edf_vd_degraded,
+    partitioned_design,
+)
 from repro.io import (
     load_report,
     load_taskset,
@@ -98,9 +120,13 @@ __all__ = [
     "BatchRunner",
     "BatchStats",
     "ClosedFormBounds",
+    "EdfVdDegradedResult",
+    "FluidResult",
     "JobHandle",
     "MetricsRegistry",
     "ProgressLine",
+    "PartitionedDesign",
+    "PartitioningError",
     "ResettingResult",
     "ResultCache",
     "RetryPolicy",
@@ -116,7 +142,10 @@ __all__ = [
     "closed_form_resetting_time",
     "closed_form_speedup",
     "demand_curve",
+    "edf_vd_degraded_schedulable",
     "evaluate_request",
+    "fluid_schedulable",
+    "fluid_speedup_bound",
     "hi_mode_schedulable",
     "job_fingerprint",
     "load_report",
@@ -125,11 +154,15 @@ __all__ = [
     "lo_mode_schedulable_many",
     "max_tolerable_gamma",
     "max_tolerable_load_scale",
+    "min_cores",
     "min_preparation_factor",
     "min_preparation_factor_many",
     "min_speedup",
     "min_speedup_many",
     "min_speedup_margin",
+    "partition_tasks",
+    "partition_tasks_edf_vd_degraded",
+    "partitioned_design",
     "resetting_curve",
     "resetting_many",
     "resetting_time",

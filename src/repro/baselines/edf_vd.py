@@ -62,13 +62,21 @@ def edf_vd_virtual_deadline_factor(taskset: TaskSet) -> Optional[float]:
 
     ``x = U^HI_LO / (1 - U^LO_LO)``; ``None`` when LO mode is already
     infeasible (``U^LO_LO + U^HI_LO > 1``).
+
+    Both the infeasibility guard and the zero-headroom branch resolve
+    at the same ``_RTOL`` tolerance: a set within ``_RTOL`` of the
+    ``U^LO_LO = 1`` boundary gets the same verdict from either side.
+    ``headroom <= _RTOL`` is treated as *no* headroom — the division
+    ``u_hi_lo / headroom`` would be numerically meaningless there — so
+    such a set is feasible (``x = 1``) exactly when its HI-task LO
+    utilization is itself negligible at the same tolerance.
     """
     u_lo_lo, u_hi_lo, _ = _utilizations(taskset)
     if u_lo_lo + u_hi_lo > 1.0 + _RTOL:
         return None
     headroom = 1.0 - u_lo_lo
-    if headroom <= 0.0:
-        return None if u_hi_lo > 0.0 else 1.0
+    if headroom <= _RTOL:
+        return None if u_hi_lo > _RTOL else 1.0
     return min(u_hi_lo / headroom, 1.0) if u_hi_lo > 0.0 else 1.0
 
 

@@ -1,0 +1,153 @@
+"""EDF-VD with degraded quality guarantees (Liu et al., RTSS 2016).
+
+Classic EDF-VD (:mod:`repro.baselines.edf_vd`) *terminates* every LO
+task on the switch to HI mode.  The degraded-quality variant keeps LO
+tasks alive at a reduced service level instead: each LO task is assigned
+a *quality rung* from the PR-1 degradation ladder
+(:class:`repro.sim.degradation.Rung`), and in HI mode it receives the
+corresponding fraction of its LO-mode utilization:
+
+====================  ==========================================
+rung                  retained HI-mode utilization fraction
+====================  ==========================================
+``NONE`` / ``EXTEND``  ``1.0``      (full service preserved)
+``DEGRADE``            ``1 / y``    (Eq.-14 style stretching by ``y``)
+``TERMINATE`` / ``KILL``  ``0.0``   (classic EDF-VD behaviour)
+====================  ==========================================
+
+Writing ``U^LO_deg`` for the summed retained utilization, the
+sufficient test generalizes the ECRTS-2012 condition: with the same
+virtual-deadline factor ``x = U^HI_LO / (1 - U^LO_LO)``, the set is
+schedulable on a unit-speed processor when
+
+    ``x * U^LO_LO + U^HI_HI + (1 - x) * U^LO_deg <= 1``.
+
+The ``(1 - x)`` weight is the fraction of a busy interval that may lie
+after the mode switch in the ECRTS-2012 density argument; the degraded
+LO tasks claim it at their reduced rate.  Setting every rung to
+``TERMINATE`` gives ``U^LO_deg = 0`` and recovers classic EDF-VD
+exactly; rung ``NONE`` demands full LO service and collapses to the
+plain worst-case EDF condition.
+
+This is the "no speedup, degraded quality" axis of the multiprocessor
+comparison (`repro-mc multiproc`): temporary processor speedup preserves
+full LO service by *buying capacity*, the degraded baseline preserves
+schedulability by *shedding quality* — the region maps show where each
+wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.baselines.edf_vd import edf_vd_virtual_deadline_factor
+from repro.model.task import Criticality
+from repro.model.taskset import TaskSet
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.sim pulls in the
+    from repro.sim.degradation import Rung  # simulator (and, via the
+    # resilience suite, repro.api) — a cycle at facade load time.
+
+_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class EdfVdDegradedResult:
+    """Verdict of the degraded-quality EDF-VD test.
+
+    Attributes
+    ----------
+    schedulable:
+        Whether the set is schedulable on a unit-speed processor with
+        the requested quality rungs.
+    x:
+        The virtual-deadline factor to deploy (``None`` when plain
+        worst-case EDF already works or the set is unschedulable).
+    plain_edf:
+        True when full-service worst-case EDF suffices (no mode logic,
+        no degradation actually exercised).
+    u_lo_degraded:
+        ``U^LO_deg`` — the LO tasks' summed retained HI-mode
+        utilization under the assigned rungs.
+    """
+
+    schedulable: bool
+    x: Optional[float]
+    plain_edf: bool
+    u_lo_degraded: float
+
+
+def rung_quality(rung: "Rung", y: float) -> float:
+    """Retained utilization fraction for a quality ``rung``.
+
+    ``y`` is the Eq.-14 degradation factor applied at rung ``DEGRADE``
+    (``y = inf`` makes ``DEGRADE`` equivalent to termination).
+    """
+    from repro.sim.degradation import Rung
+
+    if not (y >= 1.0):
+        raise ValueError(f"degradation factor y must be >= 1 (or inf), got {y}")
+    if rung in (Rung.NONE, Rung.EXTEND):
+        return 1.0
+    if rung in (Rung.TERMINATE, Rung.KILL):
+        return 0.0
+    return 0.0 if math.isinf(y) else 1.0 / y
+
+
+def degraded_lo_utilization(
+    taskset: TaskSet,
+    *,
+    y: float = 2.0,
+    rungs: Optional[Mapping[str, "Rung"]] = None,
+) -> float:
+    """``U^LO_deg``: summed retained HI-mode utilization of the LO tasks.
+
+    ``rungs`` maps task names to quality rungs; unnamed LO tasks default
+    to ``Rung.DEGRADE`` (service stretched by ``y``).  Rungs for HI or
+    unknown task names are rejected — a silent typo there would quietly
+    run the classic test instead.
+    """
+    from repro.sim.degradation import Rung
+
+    if rungs:
+        names = {t.name for t in taskset}
+        lo_names = {t.name for t in taskset.lo_tasks}
+        for name in rungs:
+            if name not in names:
+                raise ValueError(f"rung assigned to unknown task {name!r}")
+            if name not in lo_names:
+                raise ValueError(
+                    f"quality rungs apply to LO tasks only, {name!r} is HI"
+                )
+    total = 0.0
+    for task in taskset.lo_tasks:
+        rung = rungs.get(task.name, Rung.DEGRADE) if rungs else Rung.DEGRADE
+        total += rung_quality(rung, y) * task.utilization(Criticality.LO)
+    return total
+
+
+def edf_vd_degraded_schedulable(
+    taskset: TaskSet,
+    *,
+    y: float = 2.0,
+    rungs: Optional[Mapping[str, "Rung"]] = None,
+) -> EdfVdDegradedResult:
+    """Apply the degraded-quality EDF-VD sufficient test.
+
+    Expects implicit-deadline base parameters (the generator's output).
+    With every rung at ``TERMINATE`` the verdict coincides with
+    :func:`repro.baselines.edf_vd.edf_vd_schedulable`.
+    """
+    u_lo_deg = degraded_lo_utilization(taskset, y=y, rungs=rungs)
+    u_lo_lo = taskset.u_lo_of_lo
+    u_hi_hi = sum(t.c_hi / t.t_lo for t in taskset.hi_tasks)
+    if u_lo_lo + u_hi_hi <= 1.0 + _RTOL:
+        return EdfVdDegradedResult(True, None, True, u_lo_deg)
+    x = edf_vd_virtual_deadline_factor(taskset)
+    if x is None or x > 1.0:
+        return EdfVdDegradedResult(False, None, False, u_lo_deg)
+    if x * u_lo_lo + u_hi_hi + (1.0 - x) * u_lo_deg <= 1.0 + _RTOL:
+        return EdfVdDegradedResult(True, x, False, u_lo_deg)
+    return EdfVdDegradedResult(False, None, False, u_lo_deg)

@@ -1,0 +1,154 @@
+"""Dual-rate fluid reference bound (MC-Fluid family, Ramanathan et al.).
+
+Fluid scheduling lets every task occupy a constant *fraction* of a
+processor, sidestepping partitioning losses entirely — which makes it
+the natural upper reference for the multiprocessor region maps: a point
+no fluid scheme can schedule is lost for every partitioned scheme too,
+while the gap between the fluid and partitioned frontiers is the price
+of binning.
+
+The model is the dual-rate one of MC-Fluid: each HI task ``i`` runs at
+rate ``theta^LO_i`` before the mode switch and ``theta^HI_i`` after it;
+LO tasks run at their LO utilization ``u_i`` throughout (the fluid
+reference keeps full LO service — the degraded baseline is the scheme
+that sheds quality).  With ``a = C(LO)/T`` and ``b = C(HI)/T``, a HI
+task meets both assurance levels iff its rates satisfy
+
+    ``theta^LO(theta) = a * theta / (theta - (b - a))``,
+    ``theta >= L = max(b, (b - a) / (1 - a))``,
+
+for its HI rate ``theta <= 1``: the carry-over job that observed the
+switch must finish its remaining HI demand at the new rate inside the
+original period, which reduces to the hyperbola above; ``L`` is the
+smallest HI rate for which the implied LO rate stays ``<= 1`` and the
+steady-state HI demand fits.
+
+``theta^LO`` is *decreasing* in ``theta``: granting a HI task more
+post-switch rate lets it run slower before the switch.  Minimizing the
+LO-mode load ``sum theta^LO_i`` subject to the HI-mode capacity
+``sum theta_i <= m`` is therefore a waterfilling problem, and the KKT
+stationarity condition gives the closed form
+
+    ``theta_i(lam) = clamp((b_i - a_i) + sqrt(a_i (b_i - a_i) / lam),
+                           L_i, 1)``
+
+with a single multiplier ``lam`` fixed by ``sum theta_i(lam) = m``.  A
+fixed-iteration bisection on ``lam`` (no early exit, no tolerance
+branch) keeps the verdict bit-for-bit deterministic across platforms.
+The set is fluid-schedulable on ``m`` unit-speed processors iff every
+per-task bound holds, ``sum L_i <= m``, and the minimized LO-mode load
+fits: ``sum theta^LO_i + U^LO_LO <= m``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.model.task import Criticality
+from repro.model.taskset import TaskSet
+
+_RTOL = 1e-9
+_BISECT_ITERS = 200
+
+
+@dataclass(frozen=True)
+class FluidResult:
+    """Verdict of the dual-rate fluid feasibility test.
+
+    Attributes
+    ----------
+    schedulable:
+        Whether the dual-rate fluid model can schedule the set on ``m``
+        unit-speed processors with full LO service.
+    lo_load:
+        Minimized LO-mode fluid load ``sum theta^LO_i + U^LO_LO``
+        (``None`` when the HI-mode capacity check already fails).
+    hi_rates:
+        The HI tasks' optimized post-switch rates ``theta^HI_i`` in task
+        order (empty when infeasible before rate assignment).
+    """
+
+    schedulable: bool
+    lo_load: Optional[float]
+    hi_rates: Tuple[float, ...]
+
+
+def fluid_speedup_bound() -> float:
+    """MC-Fluid's proven multiprocessor speedup bound (4/3)."""
+    return 4.0 / 3.0
+
+
+def _rate_params(taskset: TaskSet) -> Optional[List[Tuple[float, float, float]]]:
+    """Per-HI-task ``(a, d, L)`` with ``d = b - a``; ``None`` if any task
+    is individually infeasible (``L > 1``)."""
+    params: List[Tuple[float, float, float]] = []
+    for task in taskset.hi_tasks:
+        a = task.c_lo / task.t_lo
+        b = task.c_hi / task.t_lo
+        d = max(b - a, 0.0)
+        if a >= 1.0 - _RTOL:
+            lower = math.inf if d > 0.0 else max(a, b)
+        else:
+            lower = max(b, d / (1.0 - a))
+        if lower > 1.0 + _RTOL:
+            return None
+        params.append((a, d, min(lower, 1.0)))
+    return params
+
+
+def _rates_at(lam: float, params: List[Tuple[float, float, float]]) -> List[float]:
+    rates = []
+    for a, d, lower in params:
+        if a <= 0.0 or d <= 0.0:
+            rates.append(lower)
+        else:
+            rates.append(min(max(d + math.sqrt(a * d / lam), lower), 1.0))
+    return rates
+
+
+def fluid_schedulable(taskset: TaskSet, m: int) -> FluidResult:
+    """Dual-rate fluid feasibility of ``taskset`` on ``m`` processors.
+
+    Expects implicit-deadline base parameters (the generator's output).
+    Deterministic: the waterfilling multiplier is resolved by a
+    fixed-iteration bisection, so equal inputs give bit-equal verdicts.
+    """
+    if m < 1:
+        raise ValueError(f"need at least one processor, got {m}")
+    u_lo_lo = taskset.u_lo_of_lo
+    if any(
+        t.utilization(Criticality.LO) > 1.0 + _RTOL for t in taskset.lo_tasks
+    ):
+        return FluidResult(False, None, ())
+    params = _rate_params(taskset)
+    if params is None:
+        return FluidResult(False, None, ())
+    floor = sum(lower for _, _, lower in params)
+    if floor > m + _RTOL:
+        return FluidResult(False, None, ())
+    if len(params) <= m:
+        # Capacity never binds: every HI task takes the full processor
+        # fraction, which minimizes each theta^LO independently.
+        rates = [1.0] * len(params)
+    else:
+        # sum theta(lam) is decreasing in lam; bracket and bisect.
+        lo_lam, hi_lam = 1e-18, 1e18
+        for _ in range(_BISECT_ITERS):
+            mid = math.sqrt(lo_lam * hi_lam)
+            if sum(_rates_at(mid, params)) > m:
+                lo_lam = mid
+            else:
+                hi_lam = mid
+        rates = _rates_at(hi_lam, params)
+    lo_load = u_lo_lo
+    for (a, d, _), theta in zip(params, rates):
+        if a <= 0.0:
+            continue
+        denom = theta - d
+        if denom <= 0.0:
+            return FluidResult(False, None, tuple(rates))
+        lo_load += a * theta / denom
+    ok = lo_load <= m + _RTOL
+    return FluidResult(ok, lo_load, tuple(rates))

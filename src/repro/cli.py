@@ -4,6 +4,7 @@ Usage::
 
     repro-mc table1
     repro-mc fig1 | fig3 | fig4 | fig5 | fig6 | fig7  [--jobs N]
+    repro-mc multiproc [--quick] [--jobs N]   # figM region maps
     repro-mc validate            # simulator-vs-analysis cross-check
     repro-mc resilience [--quick] [--csv out.csv] [--jobs N]  # fault sweeps
     repro-mc all [--quick]
@@ -113,6 +114,28 @@ def _make_fig7(
         n = 20 if quick else 100
         grid = fig7.run(sets_per_point=n, jobs=jobs, population=population)
         return fig7.render(grid)
+
+    return run
+
+
+def _make_multiproc(
+    quick: bool, jobs: int = 1, population: bool = False
+) -> Callable[[], str]:
+    def run() -> str:
+        from repro.experiments import figM
+
+        if quick:
+            cells = figM.run(
+                u_bounds=(0.5, 0.7),
+                core_counts=(2, 4),
+                speedup_caps=(2.0, 3.0),
+                sets_per_point=12,
+                jobs=jobs,
+                population=population,
+            )
+        else:
+            cells = figM.run(jobs=jobs, population=population)
+        return figM.render(cells)
 
     return run
 
@@ -386,8 +409,8 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "validate", "resilience", "all", "analyze", "batch", "serve",
-            "chaos", "lint",
+            "multiproc", "validate", "resilience", "all", "analyze",
+            "batch", "serve", "chaos", "lint",
         ],
         help="which artefact to regenerate (or 'analyze' a task-set file, "
         "'batch'-analyse a directory of them, 'serve' the analysis over "
@@ -434,8 +457,8 @@ def main(argv=None) -> int:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for fig6/fig7/resilience/batch (default 1; "
-        "results are independent of the job count)",
+        help="worker processes for fig6/fig7/multiproc/resilience/batch "
+        "(default 1; results are independent of the job count)",
     )
     parser.add_argument(
         "--tasksets",
@@ -615,6 +638,7 @@ def main(argv=None) -> int:
         "fig5": _run_fig5,
         "fig6": _make_fig6(args.quick, args.jobs, args.population),
         "fig7": _make_fig7(args.quick, args.jobs, args.population),
+        "multiproc": _make_multiproc(args.quick, args.jobs, args.population),
         "validate": _run_validate,
         "resilience": _make_resilience(args.quick, args.csv, args.jobs),
     }

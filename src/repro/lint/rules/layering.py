@@ -16,6 +16,11 @@ TID251 tables):
   HTTP layer may import ``pipeline``/``obs``/``api`` (and the model/io
   layers beneath them) but nothing from ``repro.experiments`` — figure
   scripts are CLI artefacts, not serving dependencies.
+* ``repro.multiproc`` is an analysis-layer subsystem: the pipeline's
+  multiproc request kind calls into it, so importing
+  ``repro.experiments`` (a cycle through the figure scripts) or
+  ``repro.service`` (the serving layer above it) from there would
+  invert the stack.
 
 The rule resolves relative imports against the importing package, so
 ``from .. import analysis`` is caught just like the absolute spelling.
@@ -49,6 +54,18 @@ _BANS: List[Tuple[str, str, str]] = [
         "repro.experiments",
         "repro.service serves analyses over pipeline/obs/api; figure "
         "scripts in repro.experiments are not serving dependencies",
+    ),
+    (
+        "repro.multiproc",
+        "repro.experiments",
+        "repro.multiproc is analysis-layer: importing figure scripts "
+        "from repro.experiments would cycle the stack",
+    ),
+    (
+        "repro.multiproc",
+        "repro.service",
+        "repro.multiproc is analysis-layer: the serving layer sits "
+        "above it, never beneath it",
     ),
 ]
 
@@ -98,7 +115,8 @@ def _imported_modules(
 
 @register(CODE, "layering: obs imports nothing from repro; experiments "
                 "never import repro.analysis; service never imports "
-                "repro.experiments")
+                "repro.experiments; multiproc never imports "
+                "repro.experiments or repro.service")
 def check_layering(context: LintContext) -> Iterator[Finding]:
     for importer_prefix, banned_prefix, why in _BANS:
         if not _in_package(context.module, importer_prefix):

@@ -5,19 +5,37 @@ functions (its Section-I motivation) usually means *partitioned*
 scheduling: assign each task statically to a core, then run the
 uniprocessor protocol — including per-core temporary speedup —
 independently on every core.  This package provides the partitioning
-heuristics and the aggregated multi-core design report.
+heuristics, the per-core admission engines (scalar and
+population-kernel-batched — byte-identical decisions), and the
+aggregated multi-core design report.
 """
 
+from repro.multiproc.admission import (
+    ADMISSION_ENGINES,
+    EdfVdDegradedAdmission,
+    SpeedupAdmission,
+    speedup_admission,
+)
 from repro.multiproc.partition import (
+    CoreDesign,
     PartitionedDesign,
     PartitioningError,
+    min_cores,
     partition_tasks,
+    partition_tasks_edf_vd_degraded,
     partitioned_design,
 )
 
 __all__ = [
+    "ADMISSION_ENGINES",
+    "EdfVdDegradedAdmission",
+    "SpeedupAdmission",
+    "speedup_admission",
+    "CoreDesign",
     "PartitionedDesign",
     "PartitioningError",
+    "min_cores",
     "partition_tasks",
+    "partition_tasks_edf_vd_degraded",
     "partitioned_design",
 ]

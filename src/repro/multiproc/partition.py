@@ -7,6 +7,16 @@ feasible and its Theorem-2 requirement stays within the per-core
 speedup cap.  After assignment, each core gets its exact ``s_min`` and
 ``Delta_R`` so heterogeneous boost budgets can be provisioned.
 
+The admission question — *which cores can take this task?* — is
+delegated to an admission object (:mod:`repro.multiproc.admission`), so
+one heuristic loop serves both the paper's speedup scheme and the
+EDF-VD-with-degraded-quality baseline, and the speedup admission can
+batch all of a task's per-core trials through the population kernels
+(``engine="population"``, the default) instead of re-running the scalar
+analysis per (core, candidate) pair.  Both engines are byte-identical
+in their decisions; the batched one just shares each scan round's
+breakpoint generation and demand kernels across the cores.
+
 Heuristics:
 
 * ``"first_fit"``  — first core that admits the task;
@@ -14,6 +24,11 @@ Heuristics:
   equalize the per-core speedup requirements);
 * ``"best_fit"``   — fullest admitting core (packs tightly, frees whole
   cores for future growth).
+
+Ties on the load proxy break to the *lowest core index* (Python's
+``min``/``max`` keep the first optimum), so a heuristic's choice is a
+pure function of the admission verdicts — deterministic across runs,
+job counts, and admission engines.
 
 Tasks are considered in decreasing LO-utilization order (the standard
 decreasing-first-fit family).
@@ -23,19 +38,47 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+)
 
 from repro.analysis.resetting import ResettingResult, resetting_time
-from repro.analysis.schedulability import lo_mode_schedulable
 from repro.analysis.speedup import SpeedupResult, min_speedup
 from repro.model.task import Criticality, MCTask
 from repro.model.taskset import TaskSet
+from repro.multiproc.admission import (
+    ADMISSION_ENGINES,
+    EdfVdDegradedAdmission,
+    SpeedupAdmission,
+)
+
+if TYPE_CHECKING:  # type-only: importing repro.sim at runtime would
+    from repro.sim.degradation import Rung  # cycle through repro.api.
 
 _HEURISTICS = ("first_fit", "worst_fit", "best_fit")
 
 
 class PartitioningError(ValueError):
     """Raised when the task set cannot be partitioned onto the cores."""
+
+
+class AdmissionTest(Protocol):
+    """What a partitioning heuristic needs from an admission policy."""
+
+    def admitting_cores(
+        self,
+        bins: Sequence[Sequence[MCTask]],
+        candidate: MCTask,
+        core_indices: Sequence[int],
+    ) -> List[int]:
+        """Subset of ``core_indices`` whose core admits ``candidate``."""
+        ...  # pragma: no cover - protocol
 
 
 @dataclass
@@ -63,7 +106,11 @@ class PartitionedDesign:
     speedup_cap:
         The per-core speedup cap the admission used.
     max_s_min:
-        The largest per-core requirement (provision the boost for this).
+        The largest *finite* per-core requirement (provision the boost
+        for this).  Cores whose requirement is non-finite — an edge set
+        whose exact analysis reports ``inf`` despite passing the capped
+        admission — are excluded rather than letting ``inf`` poison the
+        provisioning figure.
     max_delta_r:
         The slowest per-core recovery at the cap.
     """
@@ -73,7 +120,11 @@ class PartitionedDesign:
 
     @property
     def max_s_min(self) -> float:
-        finite = [c.s_min.s_min for c in self.cores if c.taskset]
+        finite = [
+            c.s_min.s_min
+            for c in self.cores
+            if c.taskset and math.isfinite(c.s_min.s_min)
+        ]
         return max(finite) if finite else 0.0
 
     @property
@@ -106,44 +157,28 @@ class PartitionedDesign:
         return "\n".join(lines)
 
 
-def _admits(tasks: List[MCTask], candidate: MCTask, speedup_cap: float) -> bool:
-    trial = TaskSet(tasks + [candidate])
-    if not lo_mode_schedulable(trial):
-        return False
-    return min_speedup(trial).s_min <= speedup_cap * (1.0 + 1e-9)
-
-
-def partition_tasks(
+def _partition_with(
     taskset: TaskSet,
     n_cores: int,
-    *,
-    speedup_cap: float = 2.0,
-    heuristic: str = "first_fit",
+    admission: AdmissionTest,
+    heuristic: str,
+    what: str,
 ) -> List[TaskSet]:
-    """Assign every task to one of ``n_cores`` cores.
-
-    Raises :class:`PartitioningError` when some task fits nowhere under
-    the per-core admission test.
-    """
     if n_cores < 1:
         raise PartitioningError(f"need at least one core, got {n_cores}")
     if heuristic not in _HEURISTICS:
         raise PartitioningError(f"unknown heuristic {heuristic!r}")
-    if speedup_cap <= 0.0:
-        raise PartitioningError(f"speedup cap must be positive, got {speedup_cap}")
 
     bins: List[List[MCTask]] = [[] for _ in range(n_cores)]
     order = sorted(
         taskset, key=lambda t: t.utilization(Criticality.LO), reverse=True
     )
+    all_cores = list(range(n_cores))
     for task in order:
-        candidates = [
-            i for i in range(n_cores) if _admits(bins[i], task, speedup_cap)
-        ]
+        candidates = admission.admitting_cores(bins, task, all_cores)
         if not candidates:
             raise PartitioningError(
-                f"task {task.name!r} fits on no core "
-                f"({n_cores} cores, cap {speedup_cap:g})"
+                f"task {task.name!r} fits on no core ({n_cores} cores, {what})"
             )
         if heuristic == "first_fit":
             chosen = candidates[0]
@@ -161,6 +196,58 @@ def partition_tasks(
     ]
 
 
+def partition_tasks(
+    taskset: TaskSet,
+    n_cores: int,
+    *,
+    speedup_cap: float = 2.0,
+    heuristic: str = "first_fit",
+    engine: str = "population",
+) -> List[TaskSet]:
+    """Assign every task to one of ``n_cores`` cores.
+
+    ``engine`` selects the admission backend (``"population"`` batches
+    each task's per-core trials through the lockstep kernels,
+    ``"scalar"`` runs the per-set analysis per trial); the partitioning
+    decisions are byte-identical either way.
+
+    Raises :class:`PartitioningError` when some task fits nowhere under
+    the per-core admission test.
+    """
+    if speedup_cap <= 0.0:
+        raise PartitioningError(f"speedup cap must be positive, got {speedup_cap}")
+    if engine not in ADMISSION_ENGINES:
+        raise PartitioningError(
+            f"admission engine must be one of {ADMISSION_ENGINES}, got {engine!r}"
+        )
+    admission = SpeedupAdmission(speedup_cap, engine=engine)
+    return _partition_with(
+        taskset, n_cores, admission, heuristic, f"cap {speedup_cap:g}"
+    )
+
+
+def partition_tasks_edf_vd_degraded(
+    taskset: TaskSet,
+    n_cores: int,
+    *,
+    y: float = 2.0,
+    rungs: Optional[Mapping[str, "Rung"]] = None,
+    heuristic: str = "first_fit",
+) -> List[TaskSet]:
+    """Partition under the EDF-VD-with-degraded-quality admission.
+
+    Same heuristic loop as :func:`partition_tasks`, but a core admits a
+    task iff its set passes the unit-speed degraded-quality EDF-VD test
+    (:func:`repro.baselines.edf_vd_degraded.edf_vd_degraded_schedulable`
+    with factor ``y`` and per-task quality ``rungs``) — the no-speedup
+    baseline of the region maps.
+    """
+    admission = EdfVdDegradedAdmission(y=y, rungs=rungs)
+    return _partition_with(
+        taskset, n_cores, admission, heuristic, f"EDF-VD-degraded y={y:g}"
+    )
+
+
 def partitioned_design(
     taskset: TaskSet,
     n_cores: int,
@@ -168,22 +255,35 @@ def partitioned_design(
     speedup_cap: float = 2.0,
     heuristic: str = "first_fit",
     evaluate_at_cap: bool = True,
+    engine: str = "population",
 ) -> PartitionedDesign:
     """Partition and fully analyse every core.
 
     ``evaluate_at_cap`` computes each core's ``Delta_R`` at the common
     cap (uniform provisioning); otherwise at the core's own ``s_min``
-    times 1.01 (heterogeneous provisioning).
+    times 1.01, clamped below by ``1 + 1e-6`` (heterogeneous
+    provisioning).  The clamp is part of the contract: a core whose
+    tasks are so light that ``s_min < 1`` is still provisioned at a
+    (marginal) *speedup* — recovery is never evaluated at a slowdown,
+    which Corollary 5 does not model.
     """
     partitions = partition_tasks(
-        taskset, n_cores, speedup_cap=speedup_cap, heuristic=heuristic
+        taskset,
+        n_cores,
+        speedup_cap=speedup_cap,
+        heuristic=heuristic,
+        engine=engine,
     )
     cores: List[CoreDesign] = []
     for index, core_set in enumerate(partitions):
         requirement = min_speedup(core_set)
         reset = None
         if len(core_set) and math.isfinite(requirement.s_min):
-            s = speedup_cap if evaluate_at_cap else max(requirement.s_min, 1e-6) * 1.01
+            s = (
+                speedup_cap
+                if evaluate_at_cap
+                else max(requirement.s_min * 1.01, 1.0 + 1e-6)
+            )
             reset = resetting_time(core_set, s)
         cores.append(
             CoreDesign(index=index, taskset=core_set, s_min=requirement, resetting=reset)
@@ -197,11 +297,18 @@ def min_cores(
     speedup_cap: float = 2.0,
     heuristic: str = "first_fit",
     max_cores: int = 64,
+    engine: str = "population",
 ) -> int:
     """Smallest core count the heuristic can partition ``taskset`` onto."""
     for n in range(1, max_cores + 1):
         try:
-            partition_tasks(taskset, n, speedup_cap=speedup_cap, heuristic=heuristic)
+            partition_tasks(
+                taskset,
+                n,
+                speedup_cap=speedup_cap,
+                heuristic=heuristic,
+                engine=engine,
+            )
             return n
         except PartitioningError:
             continue

@@ -24,7 +24,9 @@ grouped and ungrouped runs and population mode is opt-in at the
 
 Requests on the scalar engine (``engine="scalar"``) do not group; they
 fall back to per-item evaluation inside the same chunk, keeping mixed
-chunks valid.
+chunks valid.  Multiproc requests (``cores`` set) take the same
+fallback: their partitioned admission already population-batches
+internally, per candidate task.
 """
 
 from __future__ import annotations
@@ -129,7 +131,10 @@ def evaluate_chunk_grouped(
     reports: List[Optional[AnalysisReport]] = [None] * len(requests)
     live: List[_GroupItem] = []
     for index, request in enumerate(requests):
-        if request.engine != "compiled":
+        if request.engine != "compiled" or request.cores is not None:
+            # Scalar-engine and multiproc items evaluate per item; the
+            # multiproc evaluation batches internally (its partitioned
+            # admission runs the population kernels per candidate task).
             reports[index] = evaluate_captured(request)
         else:
             live.append(

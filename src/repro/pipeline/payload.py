@@ -51,6 +51,7 @@ class ReportPayload(TypedDict):
     within_budget: Optional[bool]
     closed_form: Optional[Dict[str, Any]]
     per_task: Optional[Dict[str, Any]]
+    multiproc: Optional[Dict[str, Any]]
     failure: Optional[FailurePayload]
 
 

@@ -55,6 +55,22 @@ RESETTING_POLICIES = ("auto", "always", "never")
 #: Preparation-factor tuning methods accepted for ``auto_x``.
 AUTO_X_METHODS = ("density", "exact")
 
+#: Partitioning heuristics accepted for multiproc requests (mirrors
+#: ``repro.multiproc.partition`` without importing it at module load).
+PARTITION_HEURISTICS = ("first_fit", "worst_fit", "best_fit")
+
+#: Request fields that have no meaning for a multiproc (``cores``)
+#: request: the per-core protocol knobs are fixed by the partitioned
+#: design itself (admission at ``speedup_cap``, recovery at the cap).
+_MULTIPROC_FORBIDDEN = (
+    "speedup",
+    "reset_budget",
+    "auto_x",
+    "lo_test",
+    "closed_form",
+    "per_task",
+)
+
 
 @dataclass(frozen=True)
 class AnalysisRequest:
@@ -95,6 +111,26 @@ class AnalysisRequest:
         improvement over the uniform ``x``.
     drop_terminated_carryover:
         Ablation switch forwarded to the resetting-time analysis.
+    cores:
+        Number of processors for a *multiproc* request.  When set, the
+        item is evaluated by :func:`_evaluate_multiproc` instead of the
+        uniprocessor flow: partitioned Theorem-2 admission under
+        ``speedup_cap``, the EDF-VD-with-degraded-quality partitioned
+        baseline at ``degraded_y``, and the dual-rate fluid reference —
+        the three frontiers of the ``figM`` region maps.  An explicit
+        ``x`` (with ``y``) prepares the set before partitioning; the
+        uniprocessor-only knobs (``speedup``, ``reset_budget``,
+        ``auto_x``, ``lo_test``, ``closed_form``, ``per_task``) are
+        rejected.
+    speedup_cap:
+        Per-core temporary-speedup cap the partitioned admission tests
+        against (required with ``cores``).
+    heuristic:
+        Bin-packing heuristic for the partitioning
+        (:data:`PARTITION_HEURISTICS`).
+    degraded_y:
+        Eq.-14 degradation factor of the EDF-VD-degraded baseline
+        (default 2; ``inf`` reduces it to classic EDF-VD).
     max_candidates:
         Breakpoint budget forwarded to the scans (``None`` = defaults).
     engine:
@@ -122,6 +158,10 @@ class AnalysisRequest:
     closed_form: bool = False
     per_task: bool = False
     drop_terminated_carryover: bool = False
+    cores: Optional[int] = None
+    speedup_cap: Optional[float] = None
+    heuristic: str = "first_fit"
+    degraded_y: Optional[float] = None
     max_candidates: Optional[int] = None
     engine: str = "compiled"
     retry: Optional[RetryPolicy] = None
@@ -155,6 +195,38 @@ class AnalysisRequest:
             raise ModelError(
                 f'engine must be "compiled" or "scalar", got {self.engine!r}'
             )
+        if self.heuristic not in PARTITION_HEURISTICS:
+            raise ModelError(
+                f"heuristic must be one of {PARTITION_HEURISTICS}, "
+                f"got {self.heuristic!r}"
+            )
+        if self.degraded_y is not None and self.degraded_y < 1.0:
+            raise ModelError(
+                f"degraded_y must be >= 1 (or inf), got {self.degraded_y}"
+            )
+        if self.cores is not None:
+            if self.cores < 1:
+                raise ModelError(f"cores must be >= 1, got {self.cores}")
+            if self.speedup_cap is None or self.speedup_cap <= 0.0:
+                raise ModelError(
+                    "a multiproc request needs a positive speedup_cap, "
+                    f"got {self.speedup_cap}"
+                )
+            for name in _MULTIPROC_FORBIDDEN:
+                if getattr(self, name) not in (None, False):
+                    raise ModelError(
+                        f"{name} has no meaning for a multiproc (cores) request"
+                    )
+            if self.resetting != "auto":
+                raise ModelError(
+                    "a multiproc request evaluates per-core recovery at the "
+                    "cap; the resetting policy knob has no meaning there"
+                )
+        elif self.speedup_cap is not None or self.degraded_y is not None:
+            raise ModelError(
+                "speedup_cap / degraded_y only apply to multiproc requests "
+                "(set cores)"
+            )
         if self.retry is not None and not isinstance(self.retry, RetryPolicy):
             raise ModelError(
                 f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
@@ -174,7 +246,7 @@ class AnalysisRequest:
         key addresses the analysis content, not the implementation (or
         the weather) that computed it.
         """
-        return {
+        payload: Dict[str, Any] = {
             "speedup": self.speedup,
             "reset_budget": self.reset_budget,
             "x": self.x,
@@ -187,6 +259,17 @@ class AnalysisRequest:
             "drop_terminated_carryover": self.drop_terminated_carryover,
             "max_candidates": self.max_candidates,
         }
+        if self.cores is not None:
+            # Conditional so pre-existing (uniprocessor) request keys —
+            # and every cache/checkpoint entry addressed by them — stay
+            # byte-stable.
+            payload["cores"] = self.cores
+            payload["speedup_cap"] = self.speedup_cap
+            payload["heuristic"] = self.heuristic
+            payload["degraded_y"] = (
+                None if self.degraded_y is None else float(self.degraded_y)
+            )
+        return payload
 
     @cached_property
     def key(self) -> str:
@@ -259,6 +342,7 @@ class AnalysisReport:
     within_budget: Optional[bool] = None
     closed_form: Optional[ClosedFormBounds] = None
     per_task: Optional[Dict[str, Any]] = None
+    multiproc: Optional[Dict[str, Any]] = None
     failure: Optional[AnalysisFailure] = None
 
     # ------------------------------------------------------------------
@@ -287,6 +371,8 @@ class AnalysisReport:
         for verdict in (self.lo_ok, self.hi_ok, self.within_budget):
             if verdict is False:
                 return False
+        if self.multiproc is not None and not self.multiproc.get("speedup_ok"):
+            return False
         return True
 
     @property
@@ -332,6 +418,7 @@ class AnalysisReport:
             "within_budget": self.within_budget,
             "closed_form": opt(self.closed_form),
             "per_task": self.per_task,
+            "multiproc": self.multiproc,
             "failure": None if self.failure is None else self.failure.to_dict(),
         }
 
@@ -355,6 +442,7 @@ class AnalysisReport:
             within_budget=data.get("within_budget"),
             closed_form=load("closed_form", ClosedFormBounds.from_dict),
             per_task=data.get("per_task"),
+            multiproc=data.get("multiproc"),
             failure=load("failure", AnalysisFailure.from_dict),
         )
 
@@ -371,6 +459,11 @@ class AnalysisReport:
             record["delta_r_bound"] = self.closed_form.delta_r_bound
         if self.per_task is not None:
             record["per_task_s_min"] = self.per_task.get("s_min")
+        if self.multiproc is not None:
+            record["cores"] = self.multiproc.get("cores")
+            record["speedup_ok"] = self.multiproc.get("speedup_ok")
+            record["degraded_ok"] = self.multiproc.get("degraded_ok")
+            record["fluid_ok"] = self.multiproc.get("fluid_ok")
         if self.failure is not None:
             record["failure"] = f"{self.failure.error_type}: {self.failure.message}"
         record["key"] = self.key
@@ -412,7 +505,103 @@ def evaluate_request(request: AnalysisRequest) -> AnalysisReport:
         return _evaluate_request(request)
 
 
+def _evaluate_multiproc(request: AnalysisRequest) -> AnalysisReport:
+    """Evaluate the three multiprocessor frontiers for one request.
+
+    The speedup scheme partitions the (optionally ``x``-prepared) set
+    under the per-core Theorem-2 admission at ``speedup_cap``; the
+    EDF-VD-degraded baseline and the fluid reference evaluate the *raw*
+    set — the overrun-preparation shortening of HI deadlines is the
+    speedup protocol's own knob, the baselines have their own mode
+    mechanisms.  A :class:`~repro.multiproc.partition.PartitioningError`
+    is the expected "not schedulable this way" outcome, not a failure.
+    """
+    # Lazy imports (the per_task precedent): keeps pipeline importable
+    # without the multiproc/baselines packages on the module path walk.
+    from repro.baselines.fluid import fluid_schedulable
+    from repro.multiproc.partition import (
+        PartitioningError,
+        partition_tasks_edf_vd_degraded,
+        partitioned_design,
+    )
+
+    taskset = request.taskset
+    assert request.cores is not None and request.speedup_cap is not None
+    x_applied: Optional[float] = None
+    y_applied: Optional[float] = None
+    configured = taskset
+    lo_ok: Optional[bool] = None
+    if request.x is not None:
+        if taskset.hi_tasks and request.x >= 1.0:
+            return AnalysisReport(
+                name=taskset.name,
+                key=request.key,
+                lo_ok=False,
+                x_applied=request.x,
+                y_applied=request.y,
+            )
+        x_applied = min(request.x, 1.0 - 1e-9) if taskset.hi_tasks else 1.0
+        y_applied = request.y if request.y is not None else 1.0
+        configured = apply_uniform_scaling(taskset, x_applied, y_applied)
+        lo_ok = True
+
+    engine = "population" if request.engine == "compiled" else "scalar"
+    speedup_ok = False
+    used_cores: Optional[int] = None
+    max_s_min: Optional[Any] = None
+    max_delta_r: Optional[Any] = None
+    try:
+        with trace.span("multiproc.partition", cores=request.cores):
+            design = partitioned_design(
+                configured,
+                request.cores,
+                speedup_cap=request.speedup_cap,
+                heuristic=request.heuristic,
+                engine=engine,
+            )
+        speedup_ok = True
+        used_cores = design.used_cores
+        max_s_min = encode_float(design.max_s_min)
+        max_delta_r = encode_float(design.max_delta_r)
+    except PartitioningError:
+        pass
+
+    degraded_y = 2.0 if request.degraded_y is None else request.degraded_y
+    try:
+        partition_tasks_edf_vd_degraded(
+            taskset, request.cores, y=degraded_y, heuristic=request.heuristic
+        )
+        degraded_ok = True
+    except PartitioningError:
+        degraded_ok = False
+
+    fluid = fluid_schedulable(taskset, request.cores)
+
+    return AnalysisReport(
+        name=taskset.name,
+        key=request.key,
+        lo_ok=lo_ok,
+        x_applied=x_applied,
+        y_applied=y_applied,
+        multiproc={
+            "cores": request.cores,
+            "speedup_cap": request.speedup_cap,
+            "heuristic": request.heuristic,
+            "speedup_ok": speedup_ok,
+            "used_cores": used_cores,
+            "max_s_min": max_s_min,
+            "max_delta_r": max_delta_r,
+            "degraded_y": encode_float(degraded_y),
+            "degraded_ok": degraded_ok,
+            "fluid_ok": fluid.schedulable,
+            "fluid_lo_load": encode_float(fluid.lo_load),
+        },
+    )
+
+
 def _evaluate_request(request: AnalysisRequest) -> AnalysisReport:
+    if request.cores is not None:
+        return _evaluate_multiproc(request)
     taskset = request.taskset
     x_applied: Optional[float] = None
     y_applied: Optional[float] = None

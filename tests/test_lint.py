@@ -176,6 +176,43 @@ class TestRL001Layering:
         obs_dir = REPO_ROOT / "src" / "repro" / "obs"
         assert run(obs_dir, rules=["RL001"]) == []
 
+    def test_multiproc_importing_experiments_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/multiproc/bad.py": """\
+                from repro.experiments import figM
+            """,
+        })
+        findings = run(tmp_path, rules=["RL001"])
+        assert len(findings) == 1
+        assert "repro.multiproc.bad imports repro.experiments" in findings[0].message
+        assert "cycle" in findings[0].message
+
+    def test_multiproc_importing_service_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/multiproc/bad.py": """\
+                from repro.service.client import AnalysisClient
+            """,
+        })
+        findings = run(tmp_path, rules=["RL001"])
+        assert len(findings) == 1
+        assert "repro.multiproc.bad imports repro.service" in findings[0].message
+
+    def test_multiproc_importing_analysis_baselines_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/multiproc/good.py": """\
+                from repro.analysis.population import min_speedup_many
+                from repro.baselines.edf_vd_degraded import (
+                    edf_vd_degraded_schedulable,
+                )
+                from repro.model.taskset import TaskSet
+            """,
+        })
+        assert run(tmp_path, rules=["RL001"]) == []
+
+    def test_real_multiproc_package_clean(self):
+        multiproc_dir = REPO_ROOT / "src" / "repro" / "multiproc"
+        assert run(multiproc_dir, rules=["RL001"]) == []
+
 
 # ---------------------------------------------------------------------------
 # RL002: float equality in repro.analysis
