@@ -50,7 +50,7 @@ class PiecewiseLinear:
         starts = np.asarray(self.starts, dtype=float)
         # Exact by design: the domain contract is that the first segment
         # starts at literal 0.0; any other bit pattern is caller error.
-        if starts.size == 0 or starts[0] != 0.0:  # repro-lint: ignore[RL002]
+        if starts.size == 0 or starts[0] != 0.0:  # repro-lint: ignore[RL002] 0.0 is an exactly-representable sentinel, not a computed value
             raise ValueError("curve must start at 0")
         if np.any(np.diff(starts) <= 0):
             raise ValueError("segment starts must be strictly increasing")

@@ -341,7 +341,7 @@ class CompiledTaskSet:
             [(t.c_lo, t.c_hi, t.d_lo, t.d_hi, t.t_lo, t.t_hi) for t in taskset],
             dtype=float,
         ).reshape(-1, 6)
-        cols = np.ascontiguousarray(mat.T)
+        cols = np.ascontiguousarray(mat.T, dtype=float)
         return cls._from_arrays(
             names,
             np.array([t.is_hi for t in taskset], dtype=bool),
@@ -484,8 +484,8 @@ class CompiledTaskSet:
             # ADB offsets also include 0.0 for every task; dedup the gap
             # offsets against it exactly like the scalar set literal —
             # exact comparison IS the spec here (bit parity with dbf.py).
-            keep_gap &= gap != 0.0  # repro-lint: ignore[RL002]
-            keep_gap2 &= gap2 != 0.0  # repro-lint: ignore[RL002]
+            keep_gap &= gap != 0.0  # repro-lint: ignore[RL002] exact zero-gap dedup mirrors the scalar oracle's set semantics
+            keep_gap2 &= gap2 != 0.0  # repro-lint: ignore[RL002] exact zero-gap dedup mirrors the scalar oracle's set semantics
             counts = keep_gap.astype(np.int64) + keep_gap2 + 2
             zeros = np.zeros_like(p)
             pieces_off = [zeros, gap[keep_gap], gap2[keep_gap2], p]
@@ -749,7 +749,7 @@ class CompiledTaskSet:
             # breakpoint so the pruned scan reports the same critical
             # delta as the scalar oracle's left-to-right argmax.
             if float(r_interior[at]) > peak or (
-                float(r_interior[at]) == peak  # repro-lint: ignore[RL002]
+                float(r_interior[at]) == peak  # repro-lint: ignore[RL002] first-strict-maximum tie-break is exact by spec
                 and int(interior[at]) < peak_index
             ):
                 peak = float(r_interior[at])
@@ -818,7 +818,7 @@ class CompiledTaskSet:
         the first-strict-maximum selection order.
         """
         hc = self._hi_active_cols()
-        block = np.array([float(delta)])
+        block = np.array([float(delta)], dtype=float)
         k = self._floor_div_rows(block, hc["t_hi"])
         window = block - k * hc["t_hi_mult"]
         window -= hc["gap"]
@@ -1104,7 +1104,7 @@ def compile_tasksets(
                 [row[2:] for _, _, _, rows in miss for row in rows],
                 dtype=float,
             ).reshape(-1, 6)
-            cols = np.ascontiguousarray(big.T)
+            cols = np.ascontiguousarray(big.T, dtype=float)
             hi_flags = np.fromiter(
                 (row[1] == "HI" for _, _, _, rows in miss for row in rows),
                 dtype=bool,
@@ -1276,7 +1276,7 @@ class CompiledPopulation:
         shape = (bucket, len(indices))
         c_lo = np.zeros(shape)
         d_lo = np.zeros(shape)
-        t_lo = np.full(shape, np.inf)
+        t_lo = np.full(shape, np.inf, dtype=float)
         for slot, member in enumerate(mems):
             c_lo[: member.n, slot] = member.c_lo
             d_lo[: member.n, slot] = member.d_lo
@@ -1346,10 +1346,10 @@ class CompiledPopulation:
             self._hi_mats[bucket] = mats
             return mats
         shape = (bucket, len(indices))
-        t_hi = np.full(shape, np.inf)
+        t_hi = np.full(shape, np.inf, dtype=float)
         t_hi_mult = np.zeros(shape)
-        gap = np.full(shape, np.inf)
-        gap_star = np.full(shape, np.inf)
+        gap = np.full(shape, np.inf, dtype=float)
+        gap_star = np.full(shape, np.inf, dtype=float)
         one_plus = np.ones(shape)
         c_lo = np.zeros(shape)
         chd = np.zeros(shape)
@@ -1438,8 +1438,8 @@ class CompiledPopulation:
                 (owner_sel[keep_gap], owner_sel[keep_gap2], owner_sel)
             )
         else:
-            keep_gap &= gap != 0.0  # repro-lint: ignore[RL002]
-            keep_gap2 &= gap2 != 0.0  # repro-lint: ignore[RL002]
+            keep_gap &= gap != 0.0  # repro-lint: ignore[RL002] exact zero-gap dedup mirrors the scalar oracle's set semantics
+            keep_gap2 &= gap2 != 0.0  # repro-lint: ignore[RL002] exact zero-gap dedup mirrors the scalar oracle's set semantics
             counts = keep_gap.astype(np.int64) + keep_gap2 + 2
             off_all = cat((np.zeros_like(p), gap[keep_gap], gap2[keep_gap2], p))
             per_all = cat((p, p[keep_gap], p[keep_gap2], p))
@@ -1814,7 +1814,7 @@ class CompiledPopulation:
             boundary[0] = True
             boundary[1:] = owner[1:] != owner[:-1]
             keep = boundary.copy()
-            keep[1:] |= points[1:] != points[:-1]  # repro-lint: ignore[RL002]
+            keep[1:] |= points[1:] != points[:-1]  # repro-lint: ignore[RL002] adjacent-duplicate drop mirrors the oracle's set-literal dedup
             points = points[keep]
             owner = owner[keep]
             if kind != "lo":

@@ -115,7 +115,7 @@ def _min_speedup_lockstep(
     states: List[Optional[_SpeedupState]] = [None] * len(members)
 
     zero_probe = [
-        (index, np.array([0.0]))
+        (index, np.array([0.0], dtype=float))
         for index, member in enumerate(members)
         if member.n > 0
     ]
@@ -243,7 +243,7 @@ def _min_speedup_lockstep(
             # breakpoint so the pruned scan reports the same critical
             # delta as the scalar oracle's left-to-right argmax.
             if float(ratios[at]) > peak or (
-                float(ratios[at]) == peak  # repro-lint: ignore[RL002]
+                float(ratios[at]) == peak  # repro-lint: ignore[RL002] first-strict-maximum tie-break is exact by spec
                 and int(interior[at]) < peak_index
             ):
                 peak = float(ratios[at])
@@ -544,7 +544,7 @@ def _resetting_lockstep(
         elif member.n == 0:
             outcomes[index] = ResettingResult(0.0, s, True, 0.0)
         else:
-            zero_items.append((index, np.array([0.0])))
+            zero_items.append((index, np.array([0.0], dtype=float)))
     zero_of: Dict[int, float] = {}
     for drop in (False, True):
         subset = [

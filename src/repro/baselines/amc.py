@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.model.task import MCTask
 from repro.model.taskset import TaskSet
@@ -37,7 +37,9 @@ from repro.model.taskset import TaskSet
 _MAX_ITER = 10_000
 
 
-def _fixed_point(start: float, step) -> Optional[float]:
+def _fixed_point(
+    start: float, step: Callable[[float], float]
+) -> Optional[float]:
     """Solve ``R = step(R)`` by iteration from ``start``; None = divergence."""
     response = start
     for _ in range(_MAX_ITER):
@@ -119,7 +121,7 @@ class AmcResult:
 
     schedulable: bool
     priority_order: Optional[List[str]]
-    response_times: Dict[str, tuple]
+    response_times: Dict[str, Tuple[Optional[float], Optional[float]]]
 
 
 def amc_schedulable(taskset: TaskSet) -> AmcResult:
@@ -143,7 +145,7 @@ def amc_schedulable(taskset: TaskSet) -> AmcResult:
         remaining.remove(placed)
 
     order = list(reversed(order_low_to_high))  # highest priority first
-    responses: Dict[str, tuple] = {}
+    responses: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
     for idx, task in enumerate(order):
         higher = order[:idx]
         r_lo = lo_mode_response_time(task, higher)

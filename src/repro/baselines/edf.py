@@ -11,6 +11,8 @@ Two non-mixed-criticality extremes bracket every MC scheme:
 
 from __future__ import annotations
 
+from typing import Callable, Optional, Tuple
+
 import numpy as np
 
 from repro.model.task import Criticality, MCTask
@@ -19,7 +21,7 @@ from repro.model.taskset import TaskSet
 _RTOL = 1e-9
 
 
-def _dbf_single(c: float, d: float, t: float, delta) -> np.ndarray:
+def _dbf_single(c: float, d: float, t: float, delta: np.ndarray) -> np.ndarray:
     """Classic single-mode demand bound: ``max(floor((D-d)/t)+1, 0)*c``."""
     d_arr = np.asarray(delta, dtype=float)
     jobs = np.maximum(np.floor((d_arr - d) / t + 1e-12) + 1.0, 0.0)
@@ -35,7 +37,12 @@ def edf_utilization_schedulable(taskset: TaskSet, level: Criticality) -> bool:
     return total <= 1.0 + _RTOL
 
 
-def _demand_test(taskset: TaskSet, params, speed: float = 1.0) -> bool:
+_ParamsFn = Callable[[MCTask], Optional[Tuple[float, float, float]]]
+
+
+def _demand_test(
+    taskset: TaskSet, params: _ParamsFn, speed: float = 1.0
+) -> bool:
     """Generic processor-demand test for per-task ``(c, d, t)`` triples."""
     triples = [params(t) for t in taskset]
     triples = [x for x in triples if x is not None]
@@ -85,7 +92,7 @@ def edf_demand_schedulable(taskset: TaskSet, level: Criticality, speed: float = 
     are skipped at level HI.
     """
 
-    def params(task: MCTask):
+    def params(task: MCTask) -> Optional[Tuple[float, float, float]]:
         if level is Criticality.HI and task.terminated_in_hi:
             return None
         return (task.wcet(level), task.deadline(level), task.period(level))
@@ -101,7 +108,7 @@ def pessimistic_edf_schedulable(taskset: TaskSet, speed: float = 1.0) -> bool:
     of massive over-provisioning.
     """
 
-    def params(task: MCTask):
+    def params(task: MCTask) -> Optional[Tuple[float, float, float]]:
         return (task.c_hi, task.d_lo, task.t_lo)
 
     return _demand_test(taskset, params, speed)

@@ -22,7 +22,7 @@ makes it the natural ``s = 1`` comparison point for the paper's Figures
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.model.task import Criticality
 from repro.model.taskset import TaskSet
@@ -50,7 +50,7 @@ class EdfVdResult:
     plain_edf: bool
 
 
-def _utilizations(taskset: TaskSet):
+def _utilizations(taskset: TaskSet) -> Tuple[float, float, float]:
     u_lo_lo = taskset.utilization(Criticality.LO, Criticality.LO)
     u_hi_lo = taskset.utilization(Criticality.LO, Criticality.HI)
     u_hi_hi = sum(t.c_hi / t.t_lo for t in taskset.hi_tasks)

@@ -13,7 +13,8 @@ Usage::
                    [--retries N] [--timeout SECS] [--quarantine out.jsonl]
     repro-mc serve [--host H] [--port P] [--jobs N] [--cache DIR]
     repro-mc chaos [--quick] [--jobs N] [--families kill,poison,...]
-    repro-mc lint [paths ...] [--format json] [--write-baseline]
+    repro-mc lint [paths ...] [--format json|sarif] [--write-baseline]
+                  [--lint-cache FILE] [--changed-only] [--write-contracts]
 
 ``--quick`` shrinks the synthetic population sizes so the whole
 evaluation finishes in about a minute (the benchmark harness under
@@ -549,7 +550,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         dest="lint_format",
         help="'lint' report format (default text)",
@@ -562,12 +563,37 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--write-baseline",
         action="store_true",
-        help="record current 'lint' findings as the new baseline and exit 0",
+        help="record current 'lint' findings as the new baseline and exit 0 "
+        "(refused while RL006 contract-drift findings are present)",
     )
     parser.add_argument(
         "--rules",
         metavar="RL001,RL002,...",
         help="comma-separated subset of lint rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--lint-cache",
+        metavar="FILE.json",
+        help="incremental 'lint' cache file: warm runs re-analyze only "
+        "changed files plus their reverse-dependency cone",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="'lint' reports findings only for files re-analyzed this run "
+        "(requires --lint-cache to be meaningful)",
+    )
+    parser.add_argument(
+        "--contracts",
+        metavar="FILE.json",
+        help="'lint' serialized-surface contract file consumed by RL006 "
+        "(default lint-contracts.json when present)",
+    )
+    parser.add_argument(
+        "--write-contracts",
+        action="store_true",
+        help="regenerate the 'lint' contract file from the current tree "
+        "and exit 0",
     )
     args = parser.parse_args(argv)
 
@@ -583,6 +609,11 @@ def main(argv=None) -> int:
             baseline_path=args.baseline,
             update_baseline=args.write_baseline,
             rules=args.rules,
+            cache_path=args.lint_cache,
+            changed_only=args.changed_only,
+            contracts_path=args.contracts,
+            write_contracts=args.write_contracts,
+            jobs=args.jobs,
         )
 
     if args.paths:

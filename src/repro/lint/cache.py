@@ -1,0 +1,173 @@
+"""Incremental lint cache: content-hash keyed, cone-invalidated.
+
+The cache file is one JSON document::
+
+    {
+      "lint_cache_version": 1,
+      "engine_key": "<sha256>",
+      "files": {
+        "<path>": {
+          "digest": "<sha256 of file bytes>",
+          "module": "repro.pipeline.runner",
+          "linted": true,
+          "imports": ["repro.pipeline.payload", ...],
+          "findings": [{"rule": ..., "path": ..., ...}, ...]
+        },
+        ...
+      }
+    }
+
+The effective key of one file's cached verdict is therefore the triple
+the design calls for: the *file digest* (its own bytes), the *rule
+set* and *contract digest* (folded into ``engine_key`` together with
+the engine's cache-format salt), and the *model digest* (every file in
+its transitive import closure is itself digest-checked, and a mismatch
+anywhere in the cone re-analyzes the importer).  Dependency files that
+were pulled in from outside the linted paths (RL004 traversal, RL006
+surfaces) are recorded with ``"linted": false`` so warm runs watch
+them too.
+
+Hashing fans out over a ``ProcessPoolExecutor`` when ``jobs`` > 1 —
+the worker is a module-level function that communicates only through
+arguments and return values, exactly as RL004 demands of the code this
+package lints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Schema stamp for the cache file; unknown versions are discarded.
+CACHE_SCHEMA_VERSION = 1
+
+#: Bump when rule semantics change in a way that must invalidate every
+#: cached verdict even though file bytes did not move.
+ENGINE_CACHE_SALT = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+#: Default committed contract file consumed by RL006.
+DEFAULT_CONTRACTS_NAME = "lint-contracts.json"
+
+#: Schema stamp for the contract file.
+CONTRACTS_VERSION = 1
+
+#: Only files at least this many bytes in total fan hashing out to a
+#: pool; below it the fork overhead dwarfs the hashing.
+_PARALLEL_DIGEST_MIN_FILES = 32
+
+
+def path_digest(path_str: str) -> Optional[str]:
+    """Hex SHA-256 of one file's bytes, or ``None`` if unreadable."""
+    try:
+        return hashlib.sha256(Path(path_str).read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+def _digest_worker(path_str: str) -> Tuple[str, Optional[str]]:
+    """Pool worker: digest one file (module-level, argument-pure)."""
+    return path_str, path_digest(path_str)
+
+
+def digest_files(
+    files: Sequence[Path], *, jobs: int = 0
+) -> Dict[str, Optional[str]]:
+    """Content digests for ``files``, optionally over a process pool."""
+    keys = [str(path) for path in files]
+    if jobs > 1 and len(keys) >= _PARALLEL_DIGEST_MIN_FILES:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return dict(pool.map(_digest_worker, keys))
+    return {key: path_digest(key) for key in keys}
+
+
+def engine_key(
+    rule_codes: Sequence[str], contracts_digest: Optional[str]
+) -> str:
+    """Cache key leg covering everything that is not file content."""
+    acc = hashlib.sha256()
+    acc.update(f"cache-schema:{CACHE_SCHEMA_VERSION}\n".encode("ascii"))
+    acc.update(f"engine-salt:{ENGINE_CACHE_SALT}\n".encode("ascii"))
+    acc.update(("rules:" + ",".join(sorted(rule_codes)) + "\n").encode())
+    acc.update(f"contracts:{contracts_digest or 'absent'}\n".encode())
+    return acc.hexdigest()
+
+
+def load_cache(path: Optional[Path]) -> Optional[Dict[str, Any]]:
+    """Read cache state; any unreadable/foreign content is a cold start."""
+    if path is None or not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("lint_cache_version") != CACHE_SCHEMA_VERSION
+    ):
+        return None
+    return payload
+
+
+def write_cache(
+    path: Path,
+    *,
+    engine_key: str,
+    model: Any,
+    findings_by_path: Dict[str, List[Any]],
+) -> None:
+    """Persist per-file verdicts for every module the model loaded."""
+    files: Dict[str, Dict[str, Any]] = {}
+    for info in model.modules():
+        path_str = str(info.path)
+        linted = model.is_linted(info.module)
+        entry: Dict[str, Any] = {
+            "digest": info.digest,
+            "module": info.module,
+            "linted": linted,
+            "imports": sorted(info.imports),
+        }
+        if linted:
+            entry["findings"] = [
+                f.to_dict() for f in findings_by_path.get(path_str, [])
+            ]
+        files[path_str] = entry
+    payload = {
+        "lint_cache_version": CACHE_SCHEMA_VERSION,
+        "engine_key": engine_key,
+        "files": files,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_contracts(
+    path: Optional[Path],
+) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """(contract data, digest of the file) — (None, None) when absent.
+
+    The digest feeds :func:`engine_key`, so editing the committed
+    contract file invalidates every cached verdict — RL006 must get a
+    fresh look at the whole tree.
+    """
+    if path is None or not path.is_file():
+        return None, None
+    try:
+        data = path.read_bytes()
+        payload = json.loads(data.decode("utf-8"))
+    except (OSError, ValueError):
+        return None, None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("lint_contracts_version") != CONTRACTS_VERSION
+    ):
+        return None, None
+    return payload, hashlib.sha256(data).hexdigest()

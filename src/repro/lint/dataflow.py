@@ -1,0 +1,684 @@
+"""Light dataflow for repro-lint: value lattice and path enumeration.
+
+Two analyses power the v2 semantic rules:
+
+* :class:`Dataflow` — a per-function forward pass over an abstract
+  value lattice (:class:`Value`): reaching definitions with branch
+  joins, a numpy constructor/dtype transfer table, and container kinds
+  (set, dict, sorted sequence, hashlib digest, ``[None] * n`` settle
+  buffer).  RL007 asks it "is this receiver a float array?", RL009 asks
+  "is this iterable a set?", RL008 asks "is this subscript store a
+  settle-buffer write?".
+* :func:`enumerate_paths` — a CFG-lite execution-path enumerator over a
+  statement list (both ``if`` arms, loop body zero-or-once, ``try``
+  body plus each handler, terminators cut the path), used by RL008 to
+  prove every settle path increments exactly one disposition counter.
+
+Everything here is conservative by construction: when the lattice
+cannot prove a fact it answers ``UNKNOWN`` and rules stay silent —
+the engine prefers silence to noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+# -- the value lattice -------------------------------------------------
+
+#: Value kinds.  ``unknown`` is the lattice top.
+ARRAY = "array"
+SCALAR = "scalar"
+LIST = "list"
+TUPLE = "tuple"
+SET = "set"
+DICT = "dict"
+DICT_VIEW = "dict-view"
+STR = "str"
+DIGEST = "digest"
+NONE_BUFFER = "none-buffer"
+UNKNOWN = "unknown"
+
+#: dtype lattice for arrays/scalars, coarse on purpose.
+FLOAT64 = "float64"
+FLOAT32 = "float32"
+INT = "int64"
+BOOL = "bool"
+
+_PROMOTION_ORDER = {BOOL: 0, INT: 1, FLOAT32: 2, FLOAT64: 3}
+
+
+@dataclass(frozen=True)
+class Value:
+    """One abstract value: a kind, an optional dtype, and provenance."""
+
+    kind: str = UNKNOWN
+    dtype: Optional[str] = None
+    #: Order is guaranteed (a ``sorted()`` / ``np.sort`` result).
+    ordered: bool = False
+    #: dtype came from an explicit ``dtype=`` argument.
+    explicit_dtype: bool = False
+
+    @property
+    def is_float_array(self) -> bool:
+        return self.kind == ARRAY and self.dtype in (FLOAT32, FLOAT64)
+
+    @property
+    def is_unordered(self) -> bool:
+        return self.kind == SET
+
+
+UNKNOWN_VALUE = Value()
+
+
+def join(a: Value, b: Value) -> Value:
+    """Least upper bound of two abstract values."""
+    if a == b:
+        return a
+    if a.kind == b.kind:
+        dtype = a.dtype if a.dtype == b.dtype else None
+        return Value(
+            kind=a.kind,
+            dtype=dtype,
+            ordered=a.ordered and b.ordered,
+            explicit_dtype=a.explicit_dtype and b.explicit_dtype,
+        )
+    return UNKNOWN_VALUE
+
+
+def promote(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Numpy-style dtype promotion; ``None`` poisons."""
+    if a is None or b is None:
+        return None
+    return a if _PROMOTION_ORDER[a] >= _PROMOTION_ORDER[b] else b
+
+
+def _dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+#: dtype spellings accepted in ``dtype=`` positions.
+_DTYPE_NAMES = {
+    "float": FLOAT64, "numpy.float64": FLOAT64, "numpy.double": FLOAT64,
+    "numpy.float32": FLOAT32, "numpy.single": FLOAT32,
+    "int": INT, "numpy.int64": INT, "numpy.int32": INT, "numpy.intp": INT,
+    "bool": BOOL, "numpy.bool_": BOOL,
+    "float64": FLOAT64, "float32": FLOAT32, "int64": INT, "int32": INT,
+}
+
+#: numpy constructors with a fixed float64 default dtype.
+_FLOAT64_DEFAULT_CTORS = {"zeros", "ones", "empty", "linspace"}
+
+#: numpy constructors that infer dtype from their data argument.
+_INFERRING_CTORS = {"array", "asarray", "ascontiguousarray", "atleast_1d",
+                    "full", "fromiter"}
+
+_HASHLIB_CTORS = {"sha256", "sha1", "sha384", "sha512", "md5", "blake2b",
+                  "blake2s", "new"}
+
+_SET_METHODS = {"union", "difference", "intersection",
+                "symmetric_difference", "copy"}
+
+
+def dtype_of_expr(
+    node: Optional[ast.AST], aliases: Dict[str, str]
+) -> Optional[str]:
+    """The dtype a ``dtype=`` argument denotes, if recognisable."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _DTYPE_NAMES.get(node.value)
+    dotted = _dotted(node, aliases)
+    if dotted is not None:
+        return _DTYPE_NAMES.get(dotted)
+    return None
+
+
+class Dataflow:
+    """Forward abstract interpretation of one function (or module) body.
+
+    After :meth:`run`, :meth:`value_of` answers for every ``ast.Name``
+    load, ``ast.Call`` and ``ast.BinOp`` the abstract value the pass
+    computed at that point.  Branches are joined (equal values survive,
+    disagreements decay to ``UNKNOWN``); loop bodies run once; nested
+    function definitions are not descended into (they get their own
+    pass, seeded with the enclosing environment via ``initial``).
+    """
+
+    def __init__(self, aliases: Dict[str, str]) -> None:
+        self.aliases = aliases
+        self._values: Dict[int, Value] = {}
+
+    # -- public API ----------------------------------------------------
+
+    @classmethod
+    def of_function(
+        cls,
+        fn: ast.FunctionDef,
+        aliases: Dict[str, str],
+        initial: Optional[Dict[str, Value]] = None,
+    ) -> "Dataflow":
+        flow = cls(aliases)
+        env = dict(initial or {})
+        for arg in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]:
+            env[arg.arg] = UNKNOWN_VALUE
+        flow._exec_block(fn.body, env)
+        return flow
+
+    @classmethod
+    def of_module(cls, tree: ast.Module, aliases: Dict[str, str]) -> "Dataflow":
+        flow = cls(aliases)
+        flow._exec_block(tree.body, {})
+        return flow
+
+    def value_of(self, node: ast.AST) -> Value:
+        return self._values.get(id(node), UNKNOWN_VALUE)
+
+    # -- statement execution -------------------------------------------
+
+    def _exec_block(
+        self, body: Sequence[ast.stmt], env: Dict[str, Value]
+    ) -> Dict[str, Value]:
+        for stmt in body:
+            env = self._exec(stmt, env)
+        return env
+
+    def _exec(self, stmt: ast.stmt, env: Dict[str, Value]) -> Dict[str, Value]:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, env)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            value = (
+                self._eval(stmt.value, env)
+                if stmt.value is not None else UNKNOWN_VALUE
+            )
+            self._bind(stmt.target, value, env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            right = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                left = env.get(stmt.target.id, UNKNOWN_VALUE)
+                env[stmt.target.id] = self._binop_value(left, right)
+            return env
+        if isinstance(stmt, (ast.Expr, ast.Return)):
+            if stmt.value is not None:
+                self._eval(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env = self._exec_block(stmt.body, dict(env))
+            else_env = self._exec_block(stmt.orelse, dict(env))
+            return self._join_env(then_env, else_env)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self._eval(stmt.iter, env)
+            body_env = dict(env)
+            self._bind(stmt.target, self._element_of(iterable), body_env)
+            body_env = self._exec_block(stmt.body, body_env)
+            body_env = self._exec_block(stmt.orelse, body_env)
+            return self._join_env(env, body_env)
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            body_env = self._exec_block(stmt.body, dict(env))
+            return self._join_env(env, body_env)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value, env)
+            return self._exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            body_env = self._exec_block(stmt.body, dict(env))
+            joined = body_env
+            for handler in stmt.handlers:
+                handler_env = self._exec_block(handler.body, dict(env))
+                joined = self._join_env(joined, handler_env)
+            joined = self._exec_block(stmt.orelse, joined)
+            return self._exec_block(stmt.finalbody, joined)
+        if isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+            return env
+        # Nested defs, imports, pass, global, etc.: no dataflow effect.
+        return env
+
+    def _bind(
+        self, target: ast.AST, value: Value, env: Dict[str, Value]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, UNKNOWN_VALUE, env)
+        # Attribute/subscript stores do not rebind a tracked name.
+
+    @staticmethod
+    def _join_env(
+        a: Dict[str, Value], b: Dict[str, Value]
+    ) -> Dict[str, Value]:
+        out: Dict[str, Value] = {}
+        for name in set(a) | set(b):
+            out[name] = join(a.get(name, UNKNOWN_VALUE),
+                             b.get(name, UNKNOWN_VALUE))
+        return out
+
+    # -- expression evaluation -----------------------------------------
+
+    def _eval(self, node: ast.expr, env: Dict[str, Value]) -> Value:
+        value = self._eval_inner(node, env)
+        if isinstance(node, (ast.Name, ast.Call, ast.BinOp, ast.Attribute,
+                             ast.Subscript)):
+            self._values[id(node)] = value
+        return value
+
+    def _eval_inner(self, node: ast.expr, env: Dict[str, Value]) -> Value:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return Value(SCALAR, BOOL)
+            if isinstance(node.value, float):
+                return Value(SCALAR, FLOAT64)
+            if isinstance(node.value, int):
+                return Value(SCALAR, INT)
+            if isinstance(node.value, str):
+                return Value(STR)
+            return UNKNOWN_VALUE
+        if isinstance(node, ast.Name):
+            return env.get(node.id, UNKNOWN_VALUE)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            for elt in node.elts:
+                self._eval(elt, env)
+            kind = LIST if isinstance(node, ast.List) else TUPLE
+            return Value(kind, self._literal_dtype(node.elts, env))
+        if isinstance(node, ast.Set):
+            for elt in node.elts:
+                self._eval(elt, env)
+            return Value(SET, self._literal_dtype(node.elts, env))
+        if isinstance(node, ast.Dict):
+            for child in [*node.keys, *node.values]:
+                if child is not None:
+                    self._eval(child, env)
+            return Value(DICT)
+        if isinstance(node, ast.SetComp):
+            self._eval_comp(node, env)
+            return Value(SET)
+        if isinstance(node, ast.DictComp):
+            self._eval_comp(node, env)
+            return Value(DICT)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            self._eval_comp(node, env)
+            return Value(LIST)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            if (
+                isinstance(node.op, ast.Mult)
+                and self._is_none_list(node.left)
+            ):
+                return Value(NONE_BUFFER)
+            if (
+                isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub,
+                                     ast.BitXor))
+                and left.kind == SET and right.kind == SET
+            ):
+                return Value(SET)
+            return self._binop_value(left, right, true_div=isinstance(
+                node.op, ast.Div))
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+            return Value(SCALAR, BOOL)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return join(self._eval(node.body, env),
+                        self._eval(node.orelse, env))
+        if isinstance(node, ast.Subscript):
+            base = self._eval(node.value, env)
+            if isinstance(node.slice, ast.expr):
+                self._eval(node.slice, env)
+            if base.kind == ARRAY:
+                if isinstance(node.slice, ast.Slice):
+                    return base
+                return Value(SCALAR, base.dtype)
+            return UNKNOWN_VALUE
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value, env)
+            return UNKNOWN_VALUE
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            return Value(STR)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child, env)
+        return UNKNOWN_VALUE
+
+    def _eval_comp(self, node: ast.expr, env: Dict[str, Value]) -> None:
+        inner = dict(env)
+        for gen in getattr(node, "generators", []):
+            iterable = self._eval(gen.iter, inner)
+            self._bind(gen.target, self._element_of(iterable), inner)
+            for cond in gen.ifs:
+                self._eval(cond, inner)
+        for attr in ("elt", "key", "value"):
+            child = getattr(node, attr, None)
+            if isinstance(child, ast.expr):
+                self._eval(child, inner)
+
+    @staticmethod
+    def _is_none_list(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.List)
+            and len(node.elts) == 1
+            and isinstance(node.elts[0], ast.Constant)
+            and node.elts[0].value is None
+        )
+
+    def _literal_dtype(
+        self, elts: Sequence[ast.expr], env: Dict[str, Value]
+    ) -> Optional[str]:
+        dtype: Optional[str] = None
+        for elt in elts:
+            value = self._values.get(id(elt))
+            if value is None or value.kind != SCALAR or value.dtype is None:
+                # float(x) and friends still count as float elements.
+                value = self._eval_inner(elt, env)
+            if value.kind != SCALAR or value.dtype is None:
+                return None
+            dtype = value.dtype if dtype is None else promote(dtype,
+                                                              value.dtype)
+        return dtype
+
+    @staticmethod
+    def _element_of(iterable: Value) -> Value:
+        if iterable.kind == ARRAY:
+            return Value(SCALAR, iterable.dtype)
+        return UNKNOWN_VALUE
+
+    def _binop_value(
+        self, left: Value, right: Value, *, true_div: bool = False
+    ) -> Value:
+        numeric = (ARRAY, SCALAR)
+        if left.kind in numeric and right.kind in numeric:
+            kind = ARRAY if ARRAY in (left.kind, right.kind) else SCALAR
+            dtype = promote(left.dtype, right.dtype)
+            if true_div and dtype in (INT, BOOL):
+                dtype = FLOAT64
+            return Value(kind, dtype)
+        if left.kind in (LIST, TUPLE, STR) and right.kind == left.kind:
+            return Value(left.kind)
+        return UNKNOWN_VALUE
+
+    # -- call transfer table -------------------------------------------
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, Value]) -> Value:
+        arg_values = [self._eval(arg, env) for arg in node.args]
+        for kw in node.keywords:
+            self._eval(kw.value, env)
+
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = self._eval(func.value, env)
+            method = self._method_call(func.attr, receiver, node)
+            if method is not None:
+                return method
+
+        dotted = _dotted(func, self.aliases)
+        if dotted is None:
+            return UNKNOWN_VALUE
+        if dotted.startswith("numpy."):
+            return self._numpy_call(dotted[len("numpy."):], node, arg_values)
+        if dotted.startswith("hashlib.") and (
+            dotted[len("hashlib."):] in _HASHLIB_CTORS
+        ):
+            return Value(DIGEST)
+        if dotted == "sorted":
+            return Value(LIST, ordered=True)
+        if dotted in ("set", "frozenset"):
+            return Value(SET)
+        if dotted == "dict":
+            return Value(DICT)
+        if dotted in ("list", "tuple"):
+            kind = LIST if dotted == "list" else TUPLE
+            inner = arg_values[0] if arg_values else UNKNOWN_VALUE
+            return Value(kind, inner.dtype, ordered=inner.ordered)
+        if dotted == "float":
+            return Value(SCALAR, FLOAT64)
+        if dotted in ("int", "len", "round"):
+            return Value(SCALAR, INT)
+        if dotted == "bool":
+            return Value(SCALAR, BOOL)
+        if dotted == "str":
+            return Value(STR)
+        return UNKNOWN_VALUE
+
+    def _method_call(
+        self, method: str, receiver: Value, node: ast.Call
+    ) -> Optional[Value]:
+        if method == "astype":
+            dtype = dtype_of_expr(
+                node.args[0] if node.args else self._kwarg(node, "dtype"),
+                self.aliases,
+            )
+            return Value(ARRAY, dtype, ordered=receiver.ordered,
+                         explicit_dtype=True)
+        if receiver.kind == ARRAY:
+            if method in ("sum", "min", "max", "prod", "dot"):
+                return Value(SCALAR, receiver.dtype)
+            if method == "mean":
+                return Value(SCALAR, FLOAT64)
+            if method in ("copy", "ravel", "reshape", "clip"):
+                return receiver
+            if method == "tolist":
+                return Value(LIST, receiver.dtype, ordered=receiver.ordered)
+        if receiver.kind == SET and method in _SET_METHODS:
+            return Value(SET)
+        if receiver.kind == DICT:
+            if method in ("items", "keys", "values"):
+                return Value(DICT_VIEW)
+            if method == "copy":
+                return Value(DICT)
+        if receiver.kind == DIGEST and method == "copy":
+            return Value(DIGEST)
+        return None
+
+    @staticmethod
+    def _kwarg(node: ast.Call, name: str) -> Optional[ast.expr]:
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _numpy_call(
+        self, tail: str, node: ast.Call, arg_values: List[Value]
+    ) -> Value:
+        dtype_node = self._kwarg(node, "dtype")
+        explicit = dtype_node is not None
+        dtype = dtype_of_expr(dtype_node, self.aliases)
+        if tail in _FLOAT64_DEFAULT_CTORS:
+            return Value(ARRAY, dtype if explicit else FLOAT64,
+                         explicit_dtype=explicit)
+        if tail == "fromiter" and not explicit and len(node.args) >= 2:
+            # np.fromiter(iterable, dtype) takes dtype positionally.
+            dtype = dtype_of_expr(node.args[1], self.aliases)
+            explicit = True
+        if tail in _INFERRING_CTORS:
+            if explicit:
+                return Value(ARRAY, dtype, explicit_dtype=True)
+            inferred = arg_values[0].dtype if arg_values else None
+            if arg_values and arg_values[0].kind == ARRAY:
+                return replace(arg_values[0], kind=ARRAY)
+            return Value(ARRAY, inferred)
+        if tail == "arange":
+            if explicit:
+                return Value(ARRAY, dtype, explicit_dtype=True)
+            dtypes = [v.dtype for v in arg_values]
+            if dtypes and all(d == INT for d in dtypes):
+                return Value(ARRAY, INT)
+            return Value(ARRAY, FLOAT64 if FLOAT64 in dtypes else None)
+        if tail in ("concatenate", "stack", "hstack", "vstack"):
+            return Value(ARRAY, explicit_dtype=explicit, dtype=dtype)
+        if tail == "sort":
+            inner = arg_values[0] if arg_values else UNKNOWN_VALUE
+            return Value(ARRAY, inner.dtype, ordered=True)
+        if tail in ("add.reduce", "sum", "prod", "minimum.reduce",
+                    "maximum.reduce"):
+            inner = arg_values[0] if arg_values else UNKNOWN_VALUE
+            return Value(SCALAR, inner.dtype)
+        if tail in ("float64", "double"):
+            return Value(SCALAR, FLOAT64)
+        if tail in ("float32", "single"):
+            return Value(SCALAR, FLOAT32)
+        if tail in ("int64", "int32", "intp"):
+            return Value(SCALAR, INT)
+        if tail in ("maximum", "minimum", "where", "clip", "abs", "rint"):
+            dtypes = [v.dtype for v in arg_values if v.kind in (ARRAY, SCALAR)]
+            out: Optional[str] = None
+            for d in dtypes:
+                out = d if out is None else promote(out, d)
+            return Value(ARRAY, out)
+        return UNKNOWN_VALUE
+
+
+# -- CFG-lite path enumeration -----------------------------------------
+
+#: One execution path: leaf statements in order.  Terminators (return,
+#: raise, break, continue) appear as the final element of their path.
+Path = List[ast.stmt]
+
+#: Statements an ``atomic`` predicate may keep whole on a path.
+AtomicPredicate = Callable[[ast.stmt], bool]
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+class _Enumerator:
+    def __init__(
+        self, limit: int, atomic: Optional[AtomicPredicate]
+    ) -> None:
+        self.limit = limit
+        self.atomic = atomic
+        self.truncated = False
+
+    def block(
+        self, body: Sequence[ast.stmt], prefixes: List[Path]
+    ) -> Tuple[List[Path], List[Path]]:
+        """Returns (all paths seen, the still-alive subset)."""
+        alive = [list(p) for p in prefixes]
+        finished: List[Path] = []
+        for stmt in body:
+            if not alive:
+                break
+            next_alive: List[Path] = []
+            for path in alive:
+                extended, still_alive = self.stmt(stmt, path)
+                for sub, ok in zip(extended, still_alive):
+                    if ok:
+                        next_alive.append(sub)
+                    else:
+                        finished.append(sub)
+                if len(next_alive) + len(finished) > self.limit:
+                    self.truncated = True
+                    next_alive = next_alive[
+                        : max(0, self.limit - len(finished))
+                    ]
+                    break
+            alive = next_alive
+        return finished + alive, alive
+
+    def stmt(
+        self, stmt: ast.stmt, path: Path
+    ) -> Tuple[List[Path], List[bool]]:
+        if isinstance(stmt, _TERMINATORS):
+            return [path + [stmt]], [False]
+        if self.atomic is not None and self.atomic(stmt):
+            return [path + [stmt]], [True]
+        if isinstance(stmt, ast.If):
+            then_paths, then_alive = self.block(stmt.body, [path])
+            else_paths, else_alive = self.block(stmt.orelse, [path])
+            paths = then_paths + else_paths
+            alive_ids = {id(p) for p in (*then_alive, *else_alive)}
+            return paths, [id(p) in alive_ids for p in paths]
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            once_paths, once_alive = self.block(stmt.body, [path])
+            alive_ids = {id(p) for p in once_alive}
+            paths = [list(path)] + once_paths
+            flags = [True] + [
+                # break/continue inside the loop ends the iteration,
+                # not the function: those paths continue afterwards.
+                id(p) in alive_ids or (bool(p) and isinstance(
+                    p[-1], (ast.Break, ast.Continue)))
+                for p in once_paths
+            ]
+            return paths, flags
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            paths, alive = self.block(stmt.body, [path])
+            alive_ids = {id(p) for p in alive}
+            return paths, [id(p) in alive_ids for p in paths]
+        if isinstance(stmt, ast.Try):
+            ok_paths, ok_alive = self.block(
+                list(stmt.body) + list(stmt.orelse), [path]
+            )
+            all_paths = list(ok_paths)
+            all_alive = list(ok_alive)
+            for handler in stmt.handlers:
+                h_paths, h_alive = self.block(handler.body, [path])
+                all_paths.extend(h_paths)
+                all_alive.extend(h_alive)
+            alive_ids = {id(p) for p in all_alive}
+            if stmt.finalbody:
+                out_paths: List[Path] = []
+                out_flags: List[bool] = []
+                for p in all_paths:
+                    was_alive = id(p) in alive_ids
+                    f_paths, f_alive = self.block(stmt.finalbody, [p])
+                    f_alive_ids = {id(fp) for fp in f_alive}
+                    out_paths.extend(f_paths)
+                    out_flags.extend(
+                        (id(fp) in f_alive_ids) and was_alive
+                        for fp in f_paths
+                    )
+                return out_paths, out_flags
+            return all_paths, [id(p) in alive_ids for p in all_paths]
+        return [path + [stmt]], [True]
+
+
+def enumerate_paths(
+    body: Sequence[ast.stmt],
+    *,
+    limit: int = 256,
+    atomic: Optional[AtomicPredicate] = None,
+) -> Tuple[List[Path], bool]:
+    """(acyclic execution paths through ``body``, truncation flag).
+
+    Branch semantics: ``if`` explores both arms (an absent ``else`` is
+    an empty arm); loops contribute the zero-iteration and the
+    one-iteration path; ``try`` explores the full body plus, per
+    handler, the handler body (exception-at-entry approximation);
+    ``with`` bodies run unconditionally.  Nested function definitions
+    are opaque single statements — the accounting rule analyses them
+    separately.  A statement matching ``atomic`` stays whole on the
+    path (RL008 keeps pure store fan-out loops atomic so their
+    zero-iteration artifact cannot split a settle event from its
+    counter).  When the path count exceeds ``limit``, enumeration stops
+    and the flag comes back ``True`` — callers must treat a truncated
+    enumeration as "no proof", not "no findings".
+    """
+    walker = _Enumerator(limit, atomic)
+    paths, _alive = walker.block(body, [[]])
+    return paths, walker.truncated

@@ -1,12 +1,23 @@
-"""Core of ``repro-lint``: findings, the rule registry, and the driver.
+"""Core of ``repro-lint`` v2: findings, the registry, and the driver.
 
 A *rule* is a callable taking a :class:`LintContext` (one parsed source
-file plus project-wide lookups) and yielding :class:`Finding` records.
-Rules register themselves under a stable code (``RL001`` ...) via
-:func:`register`; the driver (:func:`lint_paths`) walks the requested
-paths, parses each ``*.py`` once, runs every selected rule, then drops
-findings suppressed by a ``# repro-lint: ignore[CODE]`` comment on the
-offending line.
+file plus the whole-program :class:`~repro.lint.model.ProjectModel`)
+and yielding :class:`Finding` records.  Rules register themselves under
+a stable code (``RL001`` ...) via :func:`register`.
+
+The driver is two-phase: phase one indexes every requested file into
+the project model (import graph, alias tables, digests — optionally
+fanning the content hashing out over a process pool); phase two runs
+the selected rules with that model in hand.  :func:`lint_project`
+additionally consults the incremental cache
+(:mod:`repro.lint.cache`): a warm run over an unchanged tree
+re-analyzes zero files, and an edit re-analyzes only the changed files
+plus their reverse-dependency cone.
+
+Suppression comments must justify themselves: ``# repro-lint:
+ignore[RL002] exact dedup mirrors the scalar oracle`` silences RL002 on
+that line, while a bare ``# repro-lint: ignore[RL002]`` suppresses
+nothing and instead raises the engine's own hygiene finding (RL000).
 
 The engine is deliberately dependency-free (stdlib ``ast`` only) and
 imports nothing from the analysed packages, so linting can never be
@@ -18,17 +29,42 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
-
-#: Suppression marker: ``# repro-lint: ignore`` silences every rule on
-#: that line, ``# repro-lint: ignore[RL002]`` (comma-separated codes
-#: allowed) silences just those rules.
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
 )
+
+from repro.lint import cache as lint_cache
+from repro.lint.model import (
+    ModuleInfo,
+    ProjectModel,
+    build_model,
+    module_name as _model_module_name,
+)
+
+#: Suppression marker: ``# repro-lint: ignore[RL002] <why>`` silences
+#: the listed rules on that line; ``# repro-lint: ignore <why>``
+#: silences every rule.  The trailing justification is mandatory — a
+#: reasonless marker is inert and raises RL000 instead.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore"
+    r"(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+    r"(?P<reason>[^#]*)"
+)
+
+#: Engine-owned hygiene code (reasonless suppression markers).
+HYGIENE_CODE = "RL000"
 
 
 @dataclass(frozen=True)
@@ -41,7 +77,7 @@ class Finding:
     col: int
     message: str
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
 
     @property
@@ -70,17 +106,20 @@ class LintContext:
 
     ``module`` is the dotted module name when the file lives under a
     recognised package root (``.../src/repro/analysis/dbf.py`` →
-    ``repro.analysis.dbf``), else the stem.  ``project`` indexes every
-    file seen in this run by module name, letting cross-module rules
-    (layering, fork-safety traversal) resolve project imports without
-    re-reading the tree.
+    ``repro.analysis.dbf``), else the stem.  ``model`` is the
+    whole-program project model built in phase one; ``info`` is this
+    file's own entry in it.  ``contracts`` carries the committed
+    serialized-surface contract data when a contract file was supplied
+    (RL006 stays silent without one).
     """
 
     path: Path
     source: str
     tree: ast.Module
     module: str
-    project: "ProjectIndex"
+    model: ProjectModel
+    info: ModuleInfo
+    contracts: Optional[Dict[str, object]] = None
     lines: List[str] = field(init=False)
 
     def __post_init__(self) -> None:
@@ -99,49 +138,10 @@ class LintContext:
         )
 
 
-class ProjectIndex:
-    """Lazy module-name → parsed-file index over the linted tree.
-
-    Rules that follow imports (RL004's transitive traversal, RL005's
-    re-export resolution) ask here; files outside the linted paths but
-    inside the same source root are parsed on demand, so a lint of
-    ``src/repro/pipeline`` can still traverse into ``repro.analysis``.
-    """
-
-    def __init__(self) -> None:
-        self._by_module: Dict[str, LintContext] = {}
-        self._roots: List[Path] = []
-
-    def add_root(self, root: Path) -> None:
-        if root not in self._roots:
-            self._roots.append(root)
-
-    def add(self, context: LintContext) -> None:
-        self._by_module[context.module] = context
-
-    def get(self, module: str) -> Optional[LintContext]:
-        """The context for ``module``, loading it from a root if needed."""
-        context = self._by_module.get(module)
-        if context is not None:
-            return context
-        relative = Path(*module.split("."))
-        for root in self._roots:
-            for candidate in (
-                root / relative.with_suffix(".py"),
-                root / relative / "__init__.py",
-            ):
-                if candidate.is_file():
-                    loaded = _parse_file(candidate, self)
-                    if loaded is not None:
-                        self._by_module[module] = loaded
-                        return loaded
-        return None
-
-
 Rule = Callable[[LintContext], Iterator[Finding]]
 
 #: code → (rule function, one-line summary); populated by :func:`register`.
-_REGISTRY: Dict[str, tuple] = {}
+_REGISTRY: Dict[str, Tuple[Rule, str]] = {}
 
 
 def register(code: str, summary: str) -> Callable[[Rule], Rule]:
@@ -161,61 +161,63 @@ def available_rules() -> Dict[str, str]:
     return {code: summary for code, (_rule, summary) in sorted(_REGISTRY.items())}
 
 
+@register(HYGIENE_CODE, "suppression hygiene: every repro-lint ignore "
+                        "marker carries a written justification")
+def _hygiene_placeholder(context: LintContext) -> Iterator[Finding]:
+    # RL000 findings are emitted by the engine's suppression scanner
+    # (they come from comments, not the AST); this placeholder exists
+    # so the code shows up in available_rules() and --rules validation.
+    return iter(())
+
+
 def _module_name(path: Path) -> str:
     """Dotted module name for ``path`` (``src`` layout aware)."""
-    parts = list(path.with_suffix("").parts)
-    if parts and parts[-1] == "__init__":
-        parts = parts[:-1]
-    for anchor in ("repro", "tests"):
-        if anchor in parts:
-            parts = parts[parts.index(anchor):]
-            break
-    return ".".join(parts) if parts else path.stem
+    return _model_module_name(path)
 
 
-def _source_root(path: Path) -> Optional[Path]:
-    """The directory that dotted imports resolve against, if any."""
-    resolved = path.resolve()
-    for parent in resolved.parents:
-        if parent.name == "repro":
-            return parent.parent
-    return None
+def _scan_suppressions(
+    source: str, path: str
+) -> Tuple[Dict[int, Optional[Set[str]]], List[Finding]]:
+    """(line → suppressed codes, hygiene findings) for one file.
 
-
-def _parse_file(path: Path, project: ProjectIndex) -> Optional[LintContext]:
-    try:
-        source = path.read_text(encoding="utf-8")
-        tree = ast.parse(source, filename=str(path))
-    except (OSError, SyntaxError, UnicodeDecodeError):
-        return None
-    return LintContext(
-        path=path, source=source, tree=tree,
-        module=_module_name(path), project=project,
-    )
-
-
-def _suppressed_lines(context: LintContext) -> Dict[int, Optional[Set[str]]]:
-    """line → suppressed codes (``None`` means all rules) for one file.
-
-    Comments are found with :mod:`tokenize` rather than a substring
-    scan, so a marker inside a string literal does not suppress
-    anything.
+    ``None`` as the code set means "all rules".  Comments are found
+    with :mod:`tokenize` rather than a substring scan, so a marker
+    inside a string literal does not suppress anything.  Markers with
+    no justification text after the code list suppress nothing and
+    yield an RL000 finding instead.
     """
     suppressed: Dict[int, Optional[Set[str]]] = {}
+    hygiene: List[Finding] = []
     try:
-        tokens = tokenize.generate_tokens(io.StringIO(context.source).readline)
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
             if token.type != tokenize.COMMENT:
                 continue
             match = _SUPPRESS_RE.search(token.string)
             if match is None:
                 continue
-            codes = match.group("codes")
             line = token.start[0]
+            reason = match.group("reason").strip(" \t-—:;,.")
+            if not reason:
+                hygiene.append(Finding(
+                    rule=HYGIENE_CODE,
+                    path=path,
+                    line=line,
+                    col=token.start[1],
+                    message=(
+                        "suppression without justification: follow the "
+                        "marker with a reason, e.g. `# repro-lint: "
+                        "ignore[RL002] exact dedup mirrors the oracle`"
+                    ),
+                ))
+                continue
+            codes = match.group("codes")
             if codes is None:
                 suppressed[line] = None
             else:
-                wanted = {code.strip() for code in codes.split(",") if code.strip()}
+                wanted = {
+                    code.strip() for code in codes.split(",") if code.strip()
+                }
                 existing = suppressed.get(line)
                 if line not in suppressed:
                     suppressed[line] = wanted
@@ -223,33 +225,43 @@ def _suppressed_lines(context: LintContext) -> Dict[int, Optional[Set[str]]]:
                     existing.update(wanted)
     except (tokenize.TokenError, IndentationError, StopIteration):
         pass
-    return suppressed
+    return suppressed, hygiene
 
 
 def _is_suppressed(
     finding: Finding, suppressed: Dict[int, Optional[Set[str]]]
 ) -> bool:
-    codes = suppressed.get(finding.line, ...)
-    if codes is ...:
+    if finding.rule == HYGIENE_CODE:
+        return False  # hygiene findings are not themselves suppressable
+    codes = suppressed.get(finding.line)
+    if finding.line not in suppressed:
         return False
     return codes is None or finding.rule in codes
+
+
+def _select(rules: Optional[Sequence[str]]) -> List[str]:
+    selected = sorted(rules) if rules is not None else sorted(_REGISTRY)
+    for code in selected:
+        if code not in _REGISTRY:
+            raise ValueError(
+                f"unknown lint rule {code!r}; known: "
+                f"{', '.join(sorted(_REGISTRY))}"
+            )
+    return selected
 
 
 def lint_file(
     context: LintContext, rules: Optional[Sequence[str]] = None
 ) -> List[Finding]:
     """Run the selected rules over one parsed file."""
-    selected = sorted(rules) if rules is not None else sorted(_REGISTRY)
+    selected = _select(rules)
     findings: List[Finding] = []
     for code in selected:
-        entry = _REGISTRY.get(code)
-        if entry is None:
-            raise ValueError(
-                f"unknown lint rule {code!r}; known: {', '.join(sorted(_REGISTRY))}"
-            )
-        rule, _summary = entry
+        rule, _summary = _REGISTRY[code]
         findings.extend(rule(context))
-    suppressed = _suppressed_lines(context)
+    suppressed, hygiene = _scan_suppressions(context.source, str(context.path))
+    if HYGIENE_CODE in selected:
+        findings.extend(hygiene)
     return [f for f in findings if not _is_suppressed(f, suppressed)]
 
 
@@ -267,21 +279,205 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
                 yield candidate
 
 
+@dataclass
+class LintRun:
+    """Result of one :func:`lint_project` invocation."""
+
+    findings: List[Finding]
+    #: Every file in the linted set.
+    checked_files: List[Path]
+    #: Files the rules actually ran over this time.
+    analyzed_files: List[Path]
+    #: Files whose findings were served from the incremental cache.
+    cached_files: List[Path]
+    #: ``True`` when no usable cache state existed (full analysis).
+    cold: bool
+    duration_s: float
+    model: Optional[ProjectModel] = None
+
+
+def _context_for(
+    info: ModuleInfo,
+    model: ProjectModel,
+    contracts: Optional[Dict[str, object]],
+) -> LintContext:
+    return LintContext(
+        path=info.path,
+        source=info.source,
+        tree=info.tree,
+        module=info.module,
+        model=model,
+        info=info,
+        contracts=contracts,
+    )
+
+
+def _load_dep_entries(
+    model: ProjectModel,
+    entries: Dict[str, Dict[str, object]],
+    linted: Set[str],
+) -> None:
+    """Bring previously-seen dependency files back into the model.
+
+    Cone computation needs their import edges: a lint of a subtree can
+    depend on modules outside it (RL004 traversal, RL006 surfaces), and
+    an edit to one of those must still invalidate its importers.
+    """
+    for path_str, entry in entries.items():
+        if path_str in linted:
+            continue
+        path = Path(path_str)
+        if not path.is_file():
+            continue
+        info = ModuleInfo.parse(path)
+        if info is not None:
+            stored = entry.get("module")
+            if isinstance(stored, str) and stored:
+                info.module = stored
+            model.add(info, linted=False)
+
+
+def lint_project(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[str]] = None,
+    *,
+    cache_path: Optional[Path] = None,
+    jobs: int = 0,
+    contracts_path: Optional[Path] = None,
+) -> LintRun:
+    """Two-phase whole-program lint with optional incremental caching.
+
+    Phase one digests and indexes every file under ``paths`` (hashing
+    fans out over a process pool when ``jobs`` > 1).  With a cache, the
+    run then re-analyzes only files whose content digest changed plus
+    every linted file whose transitive import closure reaches a changed
+    module; an unchanged tree re-analyzes nothing and never even
+    parses.  Phase two runs the selected rules with the full project
+    model in context.
+    """
+    started = time.perf_counter()
+    selected = _select(rules)
+    files = list(iter_python_files(paths))
+    file_keys = [str(p) for p in files]
+    contracts, contracts_digest = lint_cache.load_contracts(contracts_path)
+    engine_key = lint_cache.engine_key(selected, contracts_digest)
+
+    digests = lint_cache.digest_files(files, jobs=jobs)
+    stored = lint_cache.load_cache(cache_path)
+    entries: Dict[str, Dict[str, object]] = {}
+    if stored is not None and stored.get("engine_key") == engine_key:
+        raw = stored.get("files")
+        if isinstance(raw, dict):
+            entries = raw
+
+    linted_set = set(file_keys)
+    changed: Set[str] = set()
+    if entries:
+        for path_str in file_keys:
+            entry = entries.get(path_str)
+            if entry is None or entry.get("digest") != digests.get(path_str):
+                changed.add(path_str)
+        for path_str, entry in entries.items():
+            if path_str in linted_set:
+                continue
+            if entry.get("linted", True):
+                changed.add(path_str)  # left the linted set
+                continue
+            if lint_cache.path_digest(path_str) != entry.get("digest"):
+                changed.add(path_str)
+
+        if not changed:
+            # Warm fast path: nothing moved, answer entirely from cache
+            # without parsing a single file.
+            findings = sorted(
+                (
+                    Finding(**f)  # type: ignore[arg-type]
+                    for path_str in file_keys
+                    for f in entries[path_str].get("findings", ())
+                    if isinstance(f, dict)
+                ),
+                key=Finding.sort_key,
+            )
+            return LintRun(
+                findings=findings,
+                checked_files=files,
+                analyzed_files=[],
+                cached_files=list(files),
+                cold=False,
+                duration_s=time.perf_counter() - started,
+            )
+
+    model = build_model(files)
+    if entries:
+        _load_dep_entries(model, entries, linted_set)
+
+    changed_modules: Set[str] = set()
+    for path_str in changed:
+        entry = entries.get(path_str)
+        module = entry.get("module") if entry else None
+        if isinstance(module, str) and module:
+            changed_modules.add(module)
+    for info in model.linted_modules():
+        if str(info.path) in changed:
+            changed_modules.add(info.module)
+
+    reused: Dict[str, List[Finding]] = {}
+    to_analyze: List[ModuleInfo] = []
+    for info in model.linted_modules():
+        path_str = str(info.path)
+        entry = entries.get(path_str)
+        if (
+            entry is None
+            or path_str in changed
+            or changed_modules & (
+                model.import_closure(info.module) | {info.module}
+            )
+        ):
+            to_analyze.append(info)
+        else:
+            reused[path_str] = [
+                Finding(**f)  # type: ignore[arg-type]
+                for f in entry.get("findings", ())
+                if isinstance(f, dict)
+            ]
+
+    fresh: Dict[str, List[Finding]] = {}
+    for info in to_analyze:
+        context = _context_for(info, model, contracts)
+        fresh[str(info.path)] = lint_file(context, selected)
+
+    findings = sorted(
+        (f for per_file in (*reused.values(), *fresh.values())
+         for f in per_file),
+        key=Finding.sort_key,
+    )
+
+    if cache_path is not None:
+        lint_cache.write_cache(
+            cache_path,
+            engine_key=engine_key,
+            model=model,
+            findings_by_path={**reused, **fresh},
+        )
+
+    return LintRun(
+        findings=findings,
+        checked_files=files,
+        analyzed_files=[info.path for info in to_analyze],
+        cached_files=[Path(p) for p in sorted(reused)],
+        cold=not entries,
+        duration_s=time.perf_counter() - started,
+        model=model,
+    )
+
+
 def lint_paths(
-    paths: Sequence[Path], rules: Optional[Sequence[str]] = None
+    paths: Sequence[Path],
+    rules: Optional[Sequence[str]] = None,
+    *,
+    contracts_path: Optional[Path] = None,
 ) -> List[Finding]:
     """Lint every Python file under ``paths``; findings in stable order."""
-    project = ProjectIndex()
-    contexts: List[LintContext] = []
-    for file_path in iter_python_files(paths):
-        root = _source_root(file_path)
-        if root is not None:
-            project.add_root(root)
-        context = _parse_file(file_path, project)
-        if context is not None:
-            contexts.append(context)
-            project.add(context)
-    findings: List[Finding] = []
-    for context in contexts:
-        findings.extend(lint_file(context, rules))
-    return sorted(findings, key=Finding.sort_key)
+    return lint_project(
+        paths, rules, contracts_path=contracts_path
+    ).findings

@@ -3,6 +3,9 @@
 ==== =================================================================
 Code Invariant protected
 ==== =================================================================
+RL000 Suppression hygiene (engine-emitted): every ``# repro-lint:
+      ignore[...]`` marker carries a justifying reason; reasonless
+      markers are inert and flagged.
 RL001 Layering: ``repro.obs`` imports nothing from the analysed stack;
       ``repro.experiments`` never touches ``repro.analysis`` internals
       (the :mod:`repro.api` facade is the only door).
@@ -18,21 +21,41 @@ RL004 Fork-safety: callables handed to a ``ProcessPoolExecutor`` are
       communicate through module-level globals.
 RL005 API surface: every ``repro.api`` export is annotated and
       documented; deprecation shims actually raise DeprecationWarning.
+RL006 Contract drift: a serialized surface (payload fields, fingerprint
+      encoding, cache entry, wire schema) changed without bumping its
+      version constant against the committed ``lint-contracts.json``.
+RL007 Dtype discipline: the bit-exact kernels stay float64 end to end,
+      reduce via ``np.add.reduce`` (row-order contract), and never
+      build arrays from unordered sets/dicts or inferred dtypes.
+RL008 Exactly-once accounting: every settle path in the pipeline
+      increments exactly one ``BatchStats`` disposition counter, and
+      the five counters provably cover ``total``.
+RL009 Iteration order: no set/dict/filesystem iteration feeds
+      fingerprints, checkpoints or report serialization without an
+      intervening ``sorted(...)``.
 ==== =================================================================
 """
 
 from repro.lint.rules import (  # noqa: F401  (import registers the rules)
+    accounting,
     api_surface,
+    contract_drift,
     determinism,
+    dtype_discipline,
     exactness,
     forksafety,
+    iteration_order,
     layering,
 )
 
 __all__ = [
+    "accounting",
     "api_surface",
+    "contract_drift",
     "determinism",
+    "dtype_discipline",
     "exactness",
     "forksafety",
+    "iteration_order",
     "layering",
 ]

@@ -14,22 +14,23 @@ surface is held to a stricter standard than internal modules:
   ``warnings.warn(..., DeprecationWarning)``.  A shim that silently
   forwards keeps dead spellings alive forever.
 
-Re-export chains are followed through the project index up to a small
-depth, so ``api -> pipeline.cache -> model.fingerprint`` still ends at
-the real definition.
+Re-export chains are followed through the project model's resolver
+(:meth:`~repro.lint.model.ProjectModel.resolve_name`), so ``api ->
+pipeline.cache -> model.fingerprint`` still ends at the real
+definition.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List
 
 from repro.lint.engine import Finding, LintContext, register
+from repro.lint.model import ModuleInfo
 
 CODE = "RL005"
 
 _API_MODULE = "repro.api"
-_MAX_CHAIN = 6
 
 
 def _exported_names(tree: ast.Module) -> List[str]:
@@ -58,15 +59,6 @@ def _top_level_defs(
     return defs
 
 
-def _imports_of(tree: ast.Module) -> Dict[str, Tuple[str, str]]:
-    imports: Dict[str, Tuple[str, str]] = {}
-    for node in tree.body:
-        if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
-            for alias in node.names:
-                imports[alias.asname or alias.name] = (node.module, alias.name)
-    return imports
-
-
 def _missing_annotations(fn: ast.FunctionDef) -> List[str]:
     missing: List[str] = []
     args = fn.args
@@ -82,28 +74,9 @@ def _missing_annotations(fn: ast.FunctionDef) -> List[str]:
     return missing
 
 
-def _resolve_export(
-    context: LintContext, name: str
-) -> Optional[Tuple[LintContext, ast.AST]]:
-    """Follow re-export chains to the defining module, if resolvable."""
-    ctx: Optional[LintContext] = context
-    for _hop in range(_MAX_CHAIN):
-        if ctx is None:
-            return None
-        defs = _top_level_defs(ctx.tree)
-        node = defs.get(name)
-        if node is not None:
-            return ctx, node
-        target = _imports_of(ctx.tree).get(name)
-        if target is None or not target[0].startswith("repro"):
-            return None
-        ctx, name = context.project.get(target[0]), target[1]
-    return None
-
-
 def _check_function(
     context: LintContext,
-    owner: LintContext,
+    owner: ModuleInfo,
     fn: ast.FunctionDef,
     exported_as: str,
     anchor: ast.AST,
@@ -150,7 +123,7 @@ def check_api_surface(context: LintContext) -> Iterator[Finding]:
         return
 
     defs = _top_level_defs(context.tree)
-    checked: set = set()
+    checked: set[str] = set()
 
     # Everything defined in api.py itself is public surface.
     for name, node in defs.items():
@@ -158,7 +131,9 @@ def check_api_surface(context: LintContext) -> Iterator[Finding]:
             continue
         checked.add(name)
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield from _check_function(context, context, node, name, node)
+            yield from _check_function(
+                context, context.info, node, name, node
+            )
         elif isinstance(node, ast.ClassDef) and ast.get_docstring(node) is None:
             yield context.finding(
                 CODE, node, f"api export {name!r} has no docstring"
@@ -170,7 +145,7 @@ def check_api_surface(context: LintContext) -> Iterator[Finding]:
     for name in _exported_names(context.tree):
         if name in checked:
             continue
-        resolved = _resolve_export(context, name)
+        resolved = context.model.resolve_name(context.module, name)
         if resolved is None:
             continue  # a module object or unresolvable chain: skip
         owner, node = resolved

@@ -1,0 +1,75 @@
+"""RL006: serialized surfaces may not drift without a version bump.
+
+Every byte the pipeline persists or serves lives under a version
+constant: ``FINGERPRINT_VERSION`` (task-set digests),
+``CHECKPOINT_VERSION`` (checkpoint records), ``CACHE_FORMAT_VERSION``
+(result-cache entries) and ``WIRE_VERSION`` (the HTTP schema).  The
+constants exist so old artifacts are *detected*, not misread — which
+only works if every change to the serialized shape actually bumps the
+constant.  Tests cannot see this class of bug: a new ``ReportPayload``
+field round-trips fine against a fresh checkpoint and silently
+misreads an old one.
+
+The committed ``lint-contracts.json`` records, per surface, the SHA-256
+of its canonical descriptor (:mod:`repro.lint.contracts`) and the
+version constant's value at commit time.  This rule fires on exactly
+one combination: the surface hash moved while the version did not.  A
+bump alongside the change is the sanctioned path and stays silent —
+regenerate the contract file with ``repro-mc lint --write-contracts``
+as part of the same commit.
+
+Findings anchor at the version constant's assignment, one per surface,
+in the module that owns the constant.  Without a contract file the
+rule is silent (fixture trees, fresh checkouts of a subtree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.lint.contracts import SURFACES, surface_hash, surface_version
+from repro.lint.engine import Finding, LintContext, register
+
+CODE = "RL006"
+
+
+def _committed(
+    contracts: Dict[str, object], surface: str
+) -> Optional[Dict[str, object]]:
+    surfaces = contracts.get("surfaces")
+    if not isinstance(surfaces, dict):
+        return None
+    entry = surfaces.get(surface)
+    return entry if isinstance(entry, dict) else None
+
+
+@register(CODE, "contract drift: serialized surface (payload fields, "
+                "fingerprint encoding, wire schema) changed without "
+                "bumping its version constant")
+def check_contract_drift(context: LintContext) -> Iterator[Finding]:
+    if context.contracts is None:
+        return
+    for surface, spec in SURFACES.items():
+        anchor_module, constant_name = spec["version"]
+        if context.module != anchor_module:
+            continue  # one finding per surface, in the owning module
+        committed = _committed(context.contracts, surface)
+        if committed is None:
+            continue
+        version = surface_version(context.model, surface)
+        current_hash = surface_hash(context.model, surface)
+        if version is None or current_hash is None:
+            continue
+        value, assign, name = version
+        if value != committed.get("version"):
+            continue  # the bump accompanied the change: sanctioned
+        if current_hash != committed.get("surface"):
+            committed_hash = str(committed.get("surface", ""))
+            yield context.finding(
+                CODE,
+                assign,
+                f"serialized {surface!r} surface changed "
+                f"({committed_hash[:12]} -> {current_hash[:12]}) without "
+                f"bumping {name}: bump the constant and regenerate "
+                f"lint-contracts.json (repro-mc lint --write-contracts)",
+            )

@@ -29,7 +29,7 @@ sim, experiments, io, api and the obs counters module) the rule flags:
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator
 
 from repro.lint.engine import Finding, LintContext, register
 
@@ -84,47 +84,17 @@ def _in_scope(module: str) -> bool:
     )
 
 
-def _alias_table(tree: ast.Module) -> Dict[str, str]:
-    """Local name → dotted origin for every top-level-ish import."""
-    aliases: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                local = alias.asname or alias.name.split(".")[0]
-                origin = alias.name if alias.asname else alias.name.split(".")[0]
-                aliases[local] = origin
-        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
-            for alias in node.names:
-                local = alias.asname or alias.name
-                aliases[local] = f"{node.module}.{alias.name}"
-    return aliases
-
-
-def _dotted_path(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
-    """Resolve an attribute chain to a dotted origin path, if static."""
-    parts = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    root = aliases.get(node.id)
-    if root is None:
-        return None
-    parts.append(root)
-    return ".".join(reversed(parts))
-
-
 @register(CODE, "determinism: wall clock, OS entropy or unseeded RNG in "
                 "fingerprint/cache/counter-affecting code")
 def check_determinism(context: LintContext) -> Iterator[Finding]:
     if not _in_scope(context.module):
         return
-    aliases = _alias_table(context.tree)
+    # The per-module index already resolved every import (including
+    # relative ones) to a dotted origin; dotted_path rides on it.
     for node in ast.walk(context.tree):
         if not isinstance(node, ast.Call):
             continue
-        path = _dotted_path(node.func, aliases)
+        path = context.info.dotted_path(node.func)
         if path is None:
             continue
         reason = _BANNED_CALLS.get(path)

@@ -1,0 +1,244 @@
+"""RL007: dtype and reduction discipline in the numpy kernels.
+
+The compiled kernels promise bit-exactness against the scalar oracle
+(``results_match`` in every benchmark run).  That promise rests on
+three numpy disciplines that nothing at runtime enforces:
+
+* **everything is float64.**  A single float32 value — an explicit
+  ``dtype=np.float32``, an ``astype``, a cast — silently promotes
+  through arithmetic and shifts the low bits of every sum it touches.
+* **reductions follow the documented row-order contract.**  The
+  kernels pin reductions to ``np.add.reduce`` over a fixed axis order
+  (see the contract notes in :mod:`repro.analysis.kernels`); a stray
+  ``np.sum`` / ``.sum()`` on a float array may use pairwise summation
+  with a different grouping and break bit-exactness with the oracle.
+* **array constructors are explicit.**  ``np.array(values)`` infers a
+  dtype from whatever ``values`` happens to hold (ints one day,
+  floats the next); construction from a set or dict additionally
+  inherits process-dependent ordering.  ``np.zeros``/``np.empty``/
+  ``np.linspace`` are exempt — their float64 default is part of the
+  numpy API, not an inference.
+
+Scope: :mod:`repro.analysis.kernels` and
+:mod:`repro.analysis.population` only — the two modules under the
+bit-exactness contract.  Integer reductions (``counts.sum()`` on a
+proven int array) and unproven receivers stay silent: the rule
+prefers silence to noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.dataflow import (
+    ARRAY,
+    DICT,
+    DICT_VIEW,
+    FLOAT32,
+    FLOAT64,
+    SCALAR,
+    SET,
+    Dataflow,
+    dtype_of_expr,
+)
+from repro.lint.engine import Finding, LintContext, register
+from repro.lint.model import iter_functions
+
+CODE = "RL007"
+
+_SCOPE_PREFIXES = ("repro.analysis.kernels", "repro.analysis.population")
+
+#: Constructors that infer their dtype from data: explicit dtype required.
+_INFERRING_CTORS = {"array", "asarray", "ascontiguousarray", "full",
+                    "fromiter"}
+
+#: Constructors whose float64 default is fixed API, not inference.
+_FIXED_DEFAULT_CTORS = {"zeros", "ones", "empty", "linspace", "arange",
+                        "zeros_like", "ones_like", "empty_like"}
+
+_FLOAT32_CASTS = {"float32", "single", "float16", "half"}
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in _SCOPE_PREFIXES
+    )
+
+
+def _walk_shallow(root: ast.AST) -> Iterator[ast.AST]:
+    for child in ast.iter_child_nodes(root):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef, ast.Lambda)):
+            continue
+        yield child
+        yield from _walk_shallow(child)
+
+
+def _dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(aliases.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def _kwarg(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _unordered_feed(arg: ast.expr, flow: Dataflow) -> Optional[str]:
+    """'set'/'dict' when ``arg`` iterates unordered data, else None."""
+
+    def _classify(expr: ast.expr) -> Optional[str]:
+        value = flow.value_of(expr)
+        if value.kind == SET or isinstance(expr, (ast.Set, ast.SetComp)):
+            return "set"
+        if value.kind in (DICT, DICT_VIEW) or (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("items", "keys", "values")
+        ):
+            return "dict"
+        return None
+
+    direct = _classify(arg)
+    if direct is not None:
+        return direct
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+        for gen in arg.generators:
+            inner = _classify(gen.iter)
+            if inner is not None:
+                return inner
+    return None
+
+
+def _check_body(
+    context: LintContext, root: ast.AST, flow: Dataflow
+) -> Iterator[Finding]:
+    aliases = context.info.aliases
+    for node in _walk_shallow(root):
+        if isinstance(node, ast.BinOp):
+            left = flow.value_of(node.left)
+            right = flow.value_of(node.right)
+            dtypes = {
+                v.dtype for v in (left, right) if v.kind in (ARRAY, SCALAR)
+            }
+            if {FLOAT32, FLOAT64} <= dtypes:
+                yield context.finding(
+                    CODE, node,
+                    "mixed float32/float64 arithmetic promotes implicitly "
+                    "and shifts low bits: keep kernel data float64 end "
+                    "to end",
+                )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+
+        # .astype(float32) and float-array .sum() method calls.
+        if isinstance(func, ast.Attribute):
+            if func.attr == "astype":
+                dtype_node = (
+                    node.args[0] if node.args else _kwarg(node, "dtype")
+                )
+                if dtype_of_expr(dtype_node, aliases) == FLOAT32:
+                    yield context.finding(
+                        CODE, node,
+                        "astype to float32 in kernel code: the "
+                        "bit-exactness contract is float64 end to end",
+                    )
+                continue
+            if func.attr == "sum":
+                receiver = flow.value_of(func.value)
+                if receiver.is_float_array:
+                    yield context.finding(
+                        CODE, node,
+                        ".sum() on a float array: reductions follow the "
+                        "documented row-order contract — use "
+                        "np.add.reduce",
+                    )
+                if receiver.kind == ARRAY:
+                    continue
+                # An unproven receiver may still be the numpy module
+                # itself (np.sum(...)): fall through to the dotted check.
+
+        dotted = _dotted(func, aliases)
+        if dotted is None or not dotted.startswith("numpy."):
+            continue
+        tail = dotted[len("numpy."):]
+
+        if tail in _FLOAT32_CASTS:
+            yield context.finding(
+                CODE, node,
+                f"np.{tail} cast in kernel code: the bit-exactness "
+                f"contract is float64 end to end",
+            )
+            continue
+        if tail == "sum":
+            arg = node.args[0] if node.args else None
+            if arg is not None and flow.value_of(arg).is_float_array:
+                yield context.finding(
+                    CODE, node,
+                    "np.sum on a float array: reductions follow the "
+                    "documented row-order contract — use np.add.reduce",
+                )
+            continue
+        if tail in _FIXED_DEFAULT_CTORS:
+            if dtype_of_expr(_kwarg(node, "dtype"), aliases) == FLOAT32:
+                yield context.finding(
+                    CODE, node,
+                    f"np.{tail}(dtype=float32) in kernel code: the "
+                    f"bit-exactness contract is float64 end to end",
+                )
+            continue
+        if tail not in _INFERRING_CTORS:
+            continue
+
+        dtype_node = _kwarg(node, "dtype")
+        if dtype_node is None and tail == "fromiter" and len(node.args) >= 2:
+            dtype_node = node.args[1]
+        if dtype_node is None:
+            yield context.finding(
+                CODE, node,
+                f"np.{tail} without an explicit dtype infers one from its "
+                f"data: pass dtype=float (or the intended integer dtype) "
+                f"so kernel arrays cannot drift",
+            )
+        elif dtype_of_expr(dtype_node, aliases) == FLOAT32:
+            yield context.finding(
+                CODE, node,
+                f"np.{tail}(dtype=float32) in kernel code: the "
+                f"bit-exactness contract is float64 end to end",
+            )
+        if node.args:
+            feed = _unordered_feed(node.args[0], flow)
+            if feed is not None:
+                yield context.finding(
+                    CODE, node,
+                    f"np.{tail} over a {feed}: unordered iteration feeding "
+                    f"array construction makes element order "
+                    f"process-dependent; sort first",
+                )
+
+
+@register(CODE, "kernel dtype discipline: no float32, no np.sum on float "
+                "arrays (row-order contract wants np.add.reduce), no "
+                "unordered-set/dict feeds, explicit dtypes on inferring "
+                "constructors")
+def check_dtype_discipline(context: LintContext) -> Iterator[Finding]:
+    if not _in_scope(context.module):
+        return
+    aliases = context.info.aliases
+    module_flow = Dataflow.of_module(context.tree, aliases)
+    yield from _check_body(context, context.tree, module_flow)
+    for _name, fn in iter_functions(context.tree):
+        flow = Dataflow.of_function(fn, aliases)
+        yield from _check_body(context, fn, flow)

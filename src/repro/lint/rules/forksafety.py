@@ -30,9 +30,10 @@ there belong to the caller.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.lint.engine import Finding, LintContext, register
+from repro.lint.model import ModuleInfo
 
 CODE = "RL004"
 
@@ -102,14 +103,6 @@ def _executor_names(tree: ast.Module) -> Set[str]:
     return names
 
 
-def _module_functions(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
-    return {
-        node.name: node
-        for node in tree.body
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-    }
-
-
 def _module_level_bindings(tree: ast.Module) -> Set[str]:
     """Names assigned at module top level (candidates for shared state)."""
     bound: Set[str] = set()
@@ -122,16 +115,6 @@ def _module_level_bindings(tree: ast.Module) -> Set[str]:
             if isinstance(node.target, ast.Name):
                 bound.add(node.target.id)
     return bound
-
-
-def _import_map(tree: ast.Module) -> Dict[str, Tuple[str, str]]:
-    """Local function name → (module, original name) for project imports."""
-    imports: Dict[str, Tuple[str, str]] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
-            for alias in node.names:
-                imports[alias.asname or alias.name] = (node.module, alias.name)
-    return imports
 
 
 def _global_writes(fn: ast.FunctionDef) -> List[Tuple[ast.AST, str]]:
@@ -209,7 +192,14 @@ def _shared_state_writes(
 
 
 class _Traversal:
-    """Cycle-safe transitive walk of the project-internal call graph."""
+    """Cycle-safe transitive walk of the project-internal call graph.
+
+    Resolution runs over the project model: the per-module index
+    (:class:`~repro.lint.model.ModuleInfo`) provides top-level
+    functions and import bindings, and cross-module hops go through
+    ``model.get`` so any indexed module — not just the one being
+    linted — anchors the traversal.
+    """
 
     def __init__(self, context: LintContext) -> None:
         self.context = context
@@ -222,38 +212,36 @@ class _Traversal:
     def visit(
         self,
         fn_name: str,
-        module_ctx: LintContext,
+        info: ModuleInfo,
         origin: ast.AST,
         chain: str,
     ) -> None:
-        key = (module_ctx.module, fn_name)
+        key = (info.module, fn_name)
         if key in self.visited or len(self.visited) >= _MAX_VISITED:
             return
         self.visited.add(key)
-        functions = _module_functions(module_ctx.tree)
-        fn = functions.get(fn_name)
+        fn = info.functions.get(fn_name)
         if fn is None:
-            imports = _import_map(module_ctx.tree)
-            target = imports.get(fn_name)
+            target = info.import_bindings.get(fn_name)
             if target is not None and target[0].startswith("repro"):
-                imported_ctx = self.context.project.get(target[0])
-                if imported_ctx is not None:
-                    self.visit(target[1], imported_ctx, origin, chain)
+                imported = self.context.model.get(target[0])
+                if imported is not None:
+                    self.visit(target[1], imported, origin, chain)
             return
 
         for node, name in _global_writes(fn):
             self._flag(
                 origin,
-                f"{chain} reaches {module_ctx.module}.{fn_name}, which "
+                f"{chain} reaches {info.module}.{fn_name}, which "
                 f"writes module-level global {name!r} (line "
                 f"{getattr(node, 'lineno', '?')}); workers never share "
                 f"that write back",
             )
-        bindings = _module_level_bindings(module_ctx.tree)
+        bindings = _module_level_bindings(info.tree)
         for node, name in _shared_state_writes(fn, bindings):
             self._flag(
                 origin,
-                f"{chain} reaches {module_ctx.module}.{fn_name}, which "
+                f"{chain} reaches {info.module}.{fn_name}, which "
                 f"mutates module-level state {name!r} (line "
                 f"{getattr(node, 'lineno', '?')}); worker-local mutations "
                 f"are lost unless explicitly shipped back",
@@ -263,7 +251,7 @@ class _Traversal:
         for node in ast.walk(fn):
             if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
                 self.visit(
-                    node.func.id, module_ctx, origin,
+                    node.func.id, info, origin,
                     f"{chain} -> {node.func.id}",
                 )
 
@@ -274,7 +262,7 @@ def check_fork_safety(context: LintContext) -> Iterator[Finding]:
     executors = _executor_names(context.tree)
     if not executors:
         return
-    functions = _module_functions(context.tree)
+    functions = context.info.functions
     nested: Set[str] = set()
     for outer in ast.walk(context.tree):
         if isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -320,8 +308,11 @@ def check_fork_safety(context: LintContext) -> Iterator[Finding]:
                 f"closures do not pickle",
             )
             continue
-        if name not in functions and name not in _import_map(context.tree):
+        if (
+            name not in functions
+            and name not in context.info.import_bindings
+        ):
             continue  # a parameter or local alias: caller owns semantics
         traversal = _Traversal(context)
-        traversal.visit(name, context, submitted, name)
+        traversal.visit(name, context.info, submitted, name)
         yield from traversal.findings

@@ -1,0 +1,229 @@
+"""RL009: unordered iteration must not reach serialized output.
+
+Fingerprints, checkpoints, metrics snapshots and report files promise
+byte-identical output across runs and across ``--jobs`` settings.  A
+``for x in some_set`` (Python randomises set order between processes
+via hash seeding), a ``d.items()`` walk feeding a digest, or a raw
+``Path.glob`` (filesystem order is mount-dependent) breaks that
+promise in the one place tests rarely look — the serialization path.
+
+Within the serialization-adjacent modules (fingerprint, pipeline, io,
+report, service schema, obs metrics/trace) the rule flags, at
+*order-sensitive consumption sites* (a ``for`` loop, a comprehension,
+``list``/``tuple``/``enumerate``/``reversed``, ``np.array`` /
+``np.fromiter``, ``str.join``, argument unpacking):
+
+* iteration over a **proven set value** (literal, ``set()`` call, set
+  operator, or a name the dataflow pass tracks to one) — always;
+* iteration over **filesystem enumeration** (``os.listdir`` /
+  ``os.scandir`` / ``Path.glob`` / ``rglob`` / ``iterdir``) — always;
+* **dict traversal** (``.items()`` / ``.keys()`` / ``.values()`` or a
+  bare dict in a ``for``) — only inside functions that contain a
+  serialization sink (``json.dump*`` without ``sort_keys=True``, a
+  hashlib ``update``, ``pickle.dump*``, or any ``write*`` call):
+  insertion order is deterministic per process, but canonical output
+  wants an explicit ``sorted(...)`` the reader can see.
+
+Wrapping the iterable in ``sorted(...)`` (or ``np.sort``) silences the
+rule by construction; order-insensitive reducers (``sum``/``min``/
+``max``/``len``/``any``/``all``/``set``/``in``) are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.dataflow import DICT, DICT_VIEW, DIGEST, SET, Dataflow
+from repro.lint.engine import Finding, LintContext, register
+from repro.lint.model import iter_functions
+
+CODE = "RL009"
+
+_SCOPE_PREFIXES = (
+    "repro.model.fingerprint",
+    "repro.pipeline",
+    "repro.io",
+    "repro.report",
+    "repro.service.schema",
+    "repro.obs.metrics",
+    "repro.obs.trace",
+)
+
+_DICT_VIEW_METHODS = {"items", "keys", "values"}
+
+_FS_METHODS = {"glob", "rglob", "iterdir"}
+_FS_CALLS = {"os.listdir", "os.scandir"}
+
+#: Builtin/numpy consumers whose first argument is consumed in order.
+_ORDERED_CONSUMERS = {
+    "list", "tuple", "enumerate", "reversed",
+    "numpy.array", "numpy.asarray", "numpy.fromiter",
+    "numpy.concatenate",
+}
+
+_SINK_JSON = {"json.dump", "json.dumps"}
+_SINK_ALWAYS = {"pickle.dump", "pickle.dumps"}
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in _SCOPE_PREFIXES
+    )
+
+
+def _walk_shallow(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested defs/lambdas."""
+    for child in ast.iter_child_nodes(root):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef, ast.Lambda)):
+            continue
+        yield child
+        yield from _walk_shallow(child)
+
+
+def _dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(aliases.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def _has_serialization_sink(
+    root: ast.AST, aliases: Dict[str, str], flow: Dataflow
+) -> bool:
+    for node in _walk_shallow(root):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if callee is not None and callee.startswith("write"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "update"
+            and flow.value_of(func.value).kind == DIGEST
+        ):
+            return True
+        dotted = _dotted(func, aliases)
+        if dotted in _SINK_ALWAYS:
+            return True
+        if dotted in _SINK_JSON:
+            sort_keys = next(
+                (kw.value for kw in node.keywords if kw.arg == "sort_keys"),
+                None,
+            )
+            if not (
+                isinstance(sort_keys, ast.Constant)
+                and sort_keys.value is True
+            ):
+                return True
+    return False
+
+
+def _consumption_sites(
+    root: ast.AST, aliases: Dict[str, str]
+) -> Iterator[Tuple[ast.expr, str]]:
+    """(iterated expression, how it is consumed) for one body."""
+    for node in _walk_shallow(root):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, "for-loop"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter, "comprehension"
+        elif isinstance(node, ast.Starred):
+            yield node.value, "argument unpacking"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "join":
+                if node.args:
+                    yield node.args[0], "str.join"
+                continue
+            dotted = _dotted(func, aliases)
+            if dotted in _ORDERED_CONSUMERS and node.args:
+                yield node.args[0], dotted.rsplit(".", 1)[-1] + "()"
+
+
+def _is_dict_view_call(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in _DICT_VIEW_METHODS
+    )
+
+
+def _is_fs_enumeration(
+    expr: ast.expr, aliases: Dict[str, str]
+) -> Optional[str]:
+    if not isinstance(expr, ast.Call):
+        return None
+    func = expr.func
+    if isinstance(func, ast.Attribute) and func.attr in _FS_METHODS:
+        return func.attr
+    dotted = _dotted(func, aliases)
+    if dotted in _FS_CALLS:
+        return dotted
+    return None
+
+
+def _check_body(
+    context: LintContext,
+    root: ast.AST,
+    flow: Dataflow,
+) -> Iterator[Finding]:
+    aliases = context.info.aliases
+    sinky = _has_serialization_sink(root, aliases, flow)
+    for expr, how in _consumption_sites(root, aliases):
+        fs_source = _is_fs_enumeration(expr, aliases)
+        if fs_source is not None:
+            yield context.finding(
+                CODE, expr,
+                f"{how} over {fs_source} results: filesystem enumeration "
+                f"order is arbitrary; wrap in sorted(...)",
+            )
+            continue
+        value = flow.value_of(expr)
+        if value.kind == SET or isinstance(expr, (ast.Set, ast.SetComp)):
+            yield context.finding(
+                CODE, expr,
+                f"{how} over a set: set order is process-dependent; wrap "
+                f"in sorted(...) before it can reach serialized output",
+            )
+            continue
+        if not sinky:
+            continue
+        if _is_dict_view_call(expr) or value.kind == DICT_VIEW:
+            yield context.finding(
+                CODE, expr,
+                f"{how} over an unsorted dict view in a function that "
+                f"serializes: iterate sorted(...) for canonical order",
+            )
+        elif value.kind == DICT and how == "for-loop":
+            yield context.finding(
+                CODE, expr,
+                "for-loop over a dict in a function that serializes: "
+                "iterate sorted(...) for canonical order",
+            )
+
+
+@register(CODE, "iteration order: set/dict/filesystem iteration feeding "
+                "fingerprints, checkpoints or report serialization "
+                "without an intervening sorted()")
+def check_iteration_order(context: LintContext) -> Iterator[Finding]:
+    if not _in_scope(context.module):
+        return
+    aliases = context.info.aliases
+    module_flow = Dataflow.of_module(context.tree, aliases)
+    yield from _check_body(context, context.tree, module_flow)
+    for _name, fn in iter_functions(context.tree):
+        flow = Dataflow.of_function(fn, aliases)
+        yield from _check_body(context, fn, flow)

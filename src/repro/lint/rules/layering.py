@@ -32,6 +32,7 @@ import ast
 from typing import Iterator, List, Tuple
 
 from repro.lint.engine import Finding, LintContext, register
+from repro.lint.model import resolve_relative
 
 CODE = "RL001"
 
@@ -77,24 +78,6 @@ def _in_package(module: str, package: str) -> bool:
     return module == package or module.startswith(package + ".")
 
 
-def _resolve_relative(context: LintContext, node: ast.ImportFrom) -> str:
-    """Absolute module path of a (possibly relative) ``from`` import."""
-    if node.level == 0:
-        return node.module or ""
-    parts = context.module.split(".")
-    # level 1 inside a module drops the module name itself; each extra
-    # level drops one more package.  __init__ modules already name the
-    # package, which _module_name normalised for us.
-    is_package = context.path.name == "__init__.py"
-    drop = node.level - 1 if is_package else node.level
-    if drop >= len(parts):
-        return node.module or ""
-    base = parts[: len(parts) - drop]
-    if node.module:
-        base.append(node.module)
-    return ".".join(base)
-
-
 def _imported_modules(
     context: LintContext,
 ) -> Iterator[Tuple[ast.AST, str]]:
@@ -103,7 +86,9 @@ def _imported_modules(
             for alias in node.names:
                 yield node, alias.name
         elif isinstance(node, ast.ImportFrom):
-            module = _resolve_relative(context, node)
+            module = resolve_relative(
+                context.module, context.info.is_package, node
+            )
             if module:
                 yield node, module
             # `from repro import analysis` imports the submodule even

@@ -588,7 +588,10 @@ class BatchRunner:
         path = Path(self.checkpoint)
         if self.resume and path.exists():
             lines = []
-            for key, payload in completed.items():
+            # Canonical compaction order: the append order of the dying
+            # file reflects jobs=N scheduling, so a key-sorted rewrite
+            # keeps compacted checkpoints byte-identical across runs.
+            for key, payload in sorted(completed.items()):
                 entry: CheckpointEntry = {
                     "checkpoint_version": CHECKPOINT_VERSION,
                     "key": key,

@@ -80,7 +80,7 @@ class AnalysisClient:
             response = connection.getresponse()
             raw = response.read()
             try:
-                document = json.loads(raw) if raw else {}
+                document: Dict[str, Any] = json.loads(raw) if raw else {}
             except json.JSONDecodeError as error:
                 raise ServiceError(
                     f"invalid JSON from service: {error}", status=response.status

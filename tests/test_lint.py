@@ -59,9 +59,10 @@ def codes(findings):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_rules_registered(self):
         assert sorted(available_rules()) == [
-            "RL001", "RL002", "RL003", "RL004", "RL005",
+            "RL000", "RL001", "RL002", "RL003", "RL004",
+            "RL005", "RL006", "RL007", "RL008", "RL009",
         ]
 
     def test_unknown_rule_rejected(self, tmp_path):
@@ -654,24 +655,55 @@ class TestSuppression:
         return run(tmp_path, rules=["RL002"])
 
     def test_targeted_suppression(self, tmp_path):
-        assert self._findings(tmp_path, "  # repro-lint: ignore[RL002]") == []
+        marker = "  # repro-lint: ignore[RL002] exact sentinel by spec"
+        assert self._findings(tmp_path, marker) == []
 
     def test_blanket_suppression(self, tmp_path):
-        assert self._findings(tmp_path, "  # repro-lint: ignore") == []
+        marker = "  # repro-lint: ignore exact sentinel by spec"
+        assert self._findings(tmp_path, marker) == []
 
     def test_wrong_code_does_not_suppress(self, tmp_path):
-        findings = self._findings(tmp_path, "  # repro-lint: ignore[RL003]")
+        marker = "  # repro-lint: ignore[RL003] exact sentinel by spec"
+        findings = self._findings(tmp_path, marker)
         assert codes(findings) == ["RL002"]
 
     def test_multiple_codes(self, tmp_path):
-        marker = "  # repro-lint: ignore[RL003, RL002]"
+        marker = "  # repro-lint: ignore[RL003, RL002] exact sentinel by spec"
         assert self._findings(tmp_path, marker) == []
+
+    def test_reasonless_marker_is_inert(self, tmp_path):
+        # v2: a suppression must justify itself.  A bare marker
+        # suppresses nothing...
+        findings = self._findings(tmp_path, "  # repro-lint: ignore[RL002]")
+        assert codes(findings) == ["RL002"]
+
+    def test_reasonless_marker_raises_hygiene_finding(self, tmp_path):
+        # ...and raises the engine's own RL000 when the full pack runs.
+        make_tree(tmp_path, {
+            "repro/analysis/s.py": self.BAD.format(
+                marker="  # repro-lint: ignore[RL002]"
+            ),
+        })
+        findings = run(tmp_path, rules=["RL000", "RL002"])
+        assert codes(findings) == ["RL000", "RL002"]
+        hygiene = [f for f in findings if f.rule == "RL000"]
+        assert "without justification" in hygiene[0].message
+
+    def test_hygiene_finding_is_not_suppressable(self, tmp_path):
+        # A blanket reasonless marker cannot silence its own RL000.
+        make_tree(tmp_path, {
+            "repro/analysis/s.py": self.BAD.format(
+                marker="  # repro-lint: ignore"
+            ),
+        })
+        findings = run(tmp_path, rules=["RL000"])
+        assert codes(findings) == ["RL000"]
 
     def test_suppression_only_covers_its_line(self, tmp_path):
         make_tree(tmp_path, {
             "repro/analysis/s.py": """\
                 def f(x, y):
-                    a = x == 0.0  # repro-lint: ignore[RL002]
+                    a = x == 0.0  # repro-lint: ignore[RL002] exact by spec
                     b = y == 0.0
                     return a or b
             """,
@@ -797,15 +829,29 @@ class TestCli:
         assert code == 1
         assert "RL002" in capsys.readouterr().out
 
-    def test_write_baseline_then_clean(self, tmp_path, capsys):
+    def test_write_baseline_then_grandfathered_exit_3(self, tmp_path, capsys):
         root = self._bad_tree(tmp_path)
         baseline = str(tmp_path / "b.json")
         assert run_lint_command(
             [str(root)], baseline_path=baseline, update_baseline=True
         ) == 0
         capsys.readouterr()
-        assert run_lint_command([str(root)], baseline_path=baseline) == 0
+        # Exit-code contract: only-baselined findings exit 3, so
+        # clean-but-grandfathered is distinguishable from clean.
+        assert run_lint_command([str(root)], baseline_path=baseline) == 3
         assert "baselined" in capsys.readouterr().out
+
+    def test_actually_clean_tree_exits_0(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {
+            "repro/analysis/ok.py": """\
+                def f(x: float) -> float:
+                    return x + 1.0
+            """,
+        })
+        assert run_lint_command(
+            [str(root)], baseline_path=str(tmp_path / "b.json")
+        ) == 0
+        capsys.readouterr()
 
     def test_json_output(self, tmp_path, capsys):
         root = self._bad_tree(tmp_path)
@@ -819,12 +865,13 @@ class TestCli:
 
     def test_missing_path_exit_2(self, tmp_path, capsys):
         assert run_lint_command([str(tmp_path / "nope")]) == 2
-        assert "does not exist" in capsys.readouterr().out
+        # Diagnostics go to stderr so stdout stays pure JSON/SARIF.
+        assert "does not exist" in capsys.readouterr().err
 
     def test_unknown_rule_exit_2(self, tmp_path, capsys):
         root = self._bad_tree(tmp_path)
         assert run_lint_command([str(root)], rules="RL042") == 2
-        assert "unknown rule" in capsys.readouterr().out
+        assert "unknown rule" in capsys.readouterr().err
 
     def test_rule_subset(self, tmp_path, capsys):
         root = self._bad_tree(tmp_path)
@@ -857,6 +904,7 @@ class TestSelfCheck:
             [str(REPO_ROOT / "src")],
             output_format="json",
             baseline_path=str(REPO_ROOT / "lint-baseline.json"),
+            contracts_path=str(REPO_ROOT / "lint-contracts.json"),
         )
         payload = json.loads(capsys.readouterr().out)
         assert code == 0, payload["findings"]
